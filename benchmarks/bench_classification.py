@@ -1,0 +1,43 @@
+"""E2 — the §3.4 error-classification table across workloads.
+
+Regenerates: for each benchmark workload, the outcome breakdown
+(Detected per mechanism / Escaped / Latent / Overwritten) of a SCIFI
+campaign over registers + caches — the analysis-phase table a GOOFI
+user reads after a campaign.
+
+Timed unit: classifying one full campaign from the database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_campaign, classification_table, write_result
+from repro.analysis import classify_campaign, format_classification
+
+WORKLOADS = ["bubble_sort", "matmul", "crc32", "dotprod"]
+LOCATIONS = ("internal:regs.*", "internal:icache.*", "internal:dcache.*",
+              "internal:ctrl.PC", "internal:ctrl.PSW")
+
+
+@pytest.fixture(scope="module")
+def campaigns(bench_session):
+    names = []
+    for i, workload in enumerate(WORKLOADS):
+        name = f"e2_{workload}"
+        build_campaign(bench_session, name, workload=workload,
+                       locations=LOCATIONS, num_experiments=150, seed=100 + i)
+        bench_session.run_campaign(name)
+        names.append(name)
+    return names
+
+
+def test_e2_classification_table(benchmark, bench_session, campaigns):
+    classification = benchmark(classify_campaign, bench_session.db, campaigns[0])
+    assert classification.total == 150
+
+    sections = [classification_table(bench_session, campaigns), ""]
+    for name in campaigns:
+        sections.append(format_classification(classify_campaign(bench_session.db, name)))
+        sections.append("")
+    write_result("E2_classification", "\n".join(sections))

@@ -1,0 +1,148 @@
+"""E6 — the control application with executable assertions and
+best-effort recovery (§4 + ref [12]).
+
+Regenerates the companion study's headline table: for the same register
+fault campaign against the PID speed controller, how many runs end in a
+*critical failure* (plant leaves the safety envelope, or the run times
+out) with and without assertions + recovery.
+
+Timed unit: one SCIFI experiment against the protected control loop
+(including the environment-simulator exchange per iteration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_campaign, write_result
+from repro.analysis import classify_campaign
+from repro.workloads import load, replay_dc_motor
+
+VARIANTS = [("unprotected", "control_unprotected"), ("protected", "control_protected")]
+EXPERIMENTS = 60
+
+
+def environment_for(workload: str) -> dict:
+    program = load(workload)
+    return {
+        "name": "dc_motor",
+        "params": {
+            "sensor_addr": program.symbol("sensor"),
+            "actuator_addr": program.symbol("actuator"),
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def campaigns(bench_session):
+    """Two campaign pairs: transient flips (often corrected by the
+    closed loop itself) and stuck-at faults (persistent corruption —
+    the case assertions + recovery exist for)."""
+    from repro.core import StuckAt
+
+    names = {}
+    for model_label, model in (("transient", None), ("stuck", StuckAt(1))):
+        for label, workload in VARIANTS:
+            name = f"e6_{model_label}_{label}"
+            extra = {} if model is None else {"fault_model": model}
+            build_campaign(
+                bench_session,
+                name,
+                workload=workload,
+                locations=("internal:regs.*",),
+                num_experiments=EXPERIMENTS,
+                max_iterations=80,
+                environment=environment_for(workload),
+                injection_window=(50, 1500),
+                seed=600,  # same seed: same fault list for both variants
+                **extra,
+            )
+            bench_session.run_campaign(name)
+            names[(model_label, label)] = name
+    return names
+
+
+def critical_failures(session, campaign: str) -> tuple[int, int]:
+    """(critical, timeouts) over a control campaign, judged by offline
+    plant replay of the logged actuator sequence."""
+    critical = 0
+    timeouts = 0
+    for record in session.db.iter_experiments(campaign):
+        if record.experiment_data.get("technique") == "reference":
+            continue
+        termination = record.state_vector["termination"]
+        if termination["outcome"] == "timeout":
+            timeouts += 1
+            critical += 1
+            continue
+        u_sequence = [
+            v for _c, p, v in record.state_vector["final"].get("outputs", []) if p == 1
+        ]
+        _trajectory, failed = replay_dc_motor(u_sequence)
+        critical += failed
+    return critical, timeouts
+
+
+def test_e6_control_application(benchmark, bench_session, campaigns):
+    config = bench_session.algorithms.read_campaign_data(
+        campaigns[("transient", "protected")]
+    )
+    trace = bench_session.algorithms.make_reference_run(config)
+    from repro.core import TimeTrigger, TransientBitFlip
+    from repro.core.campaign import ExperimentSpec, PlannedFault
+    from repro.core.locations import Location
+
+    spec = ExperimentSpec(
+        name="e6/bench",
+        index=0,
+        faults=(
+            PlannedFault(
+                location=Location(kind="scan", chain="internal",
+                                  element="regs.R4", bit=20),
+                trigger=TimeTrigger(500),
+                model=TransientBitFlip(),
+            ),
+        ),
+        seed=1,
+    )
+    benchmark(bench_session.algorithms._run_scifi_experiment, config, spec, trace)
+
+    lines = [
+        f"E6: control application, {EXPERIMENTS} register faults each "
+        "(same seed = same fault list per pair)",
+        f"{'fault model':<13}{'variant':<14}{'critical':>10}{'timeouts':>10}"
+        f"{'detected':>10}{'escaped':>9}{'assert-fired':>14}",
+        "-" * 80,
+    ]
+    results = {}
+    for model_label in ("transient", "stuck"):
+        for label, _workload in VARIANTS:
+            name = campaigns[(model_label, label)]
+            critical, timeouts = critical_failures(bench_session, name)
+            classification = classify_campaign(bench_session.db, name)
+            fired = 0
+            for record in bench_session.db.iter_experiments(name):
+                if record.experiment_data.get("technique") == "reference":
+                    continue
+                violations = [
+                    v for _c, p, v in record.state_vector["final"].get("outputs", [])
+                    if p == 2
+                ]
+                fired += bool(violations and violations[-1] > 0)
+            results[(model_label, label)] = critical
+            lines.append(
+                f"{model_label:<13}{label:<14}{critical:>10}{timeouts:>10}"
+                f"{classification.detected:>10}{classification.escaped:>9}{fired:>14}"
+            )
+    lines.append("")
+    for model_label in ("transient", "stuck"):
+        unprotected = results[(model_label, "unprotected")]
+        protected = results[(model_label, "protected")]
+        reduction = (unprotected - protected) / unprotected if unprotected else 0.0
+        lines.append(
+            f"critical-failure reduction ({model_label}): {reduction:.0%} "
+            f"({unprotected} -> {protected})"
+        )
+        assert protected <= unprotected
+    assert results[("stuck", "unprotected")] > results[("stuck", "protected")]
+    write_result("E6_control_app", "\n".join(lines))

@@ -1,0 +1,113 @@
+"""E3 — normal vs detail logging mode (§3.3).
+
+The paper: detail mode logs "as frequently as the target system allows,
+typically after the execution of each machine instruction, which
+increases the time-overhead".  Regenerates the overhead table: wall time
+per experiment and logged state-vector volume for normal mode, detail
+mode, and detail mode thinned to every 10th instruction.
+
+Timed unit: one experiment in each mode (three benchmark entries via
+parametrisation).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import build_campaign, write_result
+from repro.analysis import classify_campaign
+
+MODES = [
+    ("normal", {"logging_mode": "normal"}),
+    ("detail", {"logging_mode": "detail", "detail_period": 1}),
+    ("detail/10", {"logging_mode": "detail", "detail_period": 10}),
+]
+
+
+@pytest.fixture(scope="module")
+def mode_stats(bench_session):
+    stats = {}
+    for i, (label, options) in enumerate(MODES):
+        name = f"e3_{label.replace('/', '_')}"
+        build_campaign(
+            bench_session,
+            name,
+            workload="fibonacci",
+            num_experiments=20,
+            injection_window=(1, 60),
+            seed=300 + i,
+            **options,
+        )
+        started = time.perf_counter()
+        result = bench_session.run_campaign(name)
+        elapsed = time.perf_counter() - started
+        volume = 0
+        steps = 0
+        for record in bench_session.db.iter_experiments(name):
+            state_steps = record.state_vector.get("steps", [])
+            steps += len(state_steps)
+            volume += len(str(record.state_vector))
+        stats[label] = {
+            "seconds_per_experiment": elapsed / result.experiments_run,
+            "logged_steps": steps,
+            "state_bytes": volume,
+            "campaign": name,
+        }
+    return stats
+
+
+@pytest.mark.parametrize("label", [m[0] for m in MODES])
+def test_e3_mode_cost(benchmark, bench_session, mode_stats, label):
+    """Time one additional experiment in the given logging mode."""
+    config_name = mode_stats[label]["campaign"]
+    config = bench_session.algorithms.read_campaign_data(config_name)
+    trace = bench_session.algorithms.make_reference_run(config)
+    from repro.core import TimeTrigger, TransientBitFlip
+    from repro.core.campaign import ExperimentSpec, PlannedFault
+    from repro.core.locations import Location
+
+    spec = ExperimentSpec(
+        name=f"{config_name}/bench",
+        index=0,
+        faults=(
+            PlannedFault(
+                location=Location(kind="scan", chain="internal",
+                                  element="regs.R2", bit=3),
+                trigger=TimeTrigger(20),
+                model=TransientBitFlip(),
+            ),
+        ),
+        seed=1,
+    )
+    benchmark(bench_session.algorithms._run_scifi_experiment, config, spec, trace)
+
+    if label == MODES[-1][0]:  # emit the table once, after the last mode
+        normal = mode_stats["normal"]
+        lines = [
+            "E3: normal vs detail logging mode (20 experiments each, fibonacci)",
+            f"{'mode':<12}{'s/experiment':>14}{'logged steps':>14}"
+            f"{'state bytes':>13}{'overhead x':>12}",
+            "-" * 65,
+        ]
+        for mode_label, stat in mode_stats.items():
+            overhead = stat["seconds_per_experiment"] / normal["seconds_per_experiment"]
+            lines.append(
+                f"{mode_label:<12}{stat['seconds_per_experiment']:>14.4f}"
+                f"{stat['logged_steps']:>14}{stat['state_bytes']:>13}"
+                f"{overhead:>12.1f}"
+            )
+        detail = mode_stats["detail"]
+        lines.append("")
+        lines.append(
+            f"detail-mode overhead vs normal: "
+            f"{detail['seconds_per_experiment'] / normal['seconds_per_experiment']:.1f}x "
+            f"time, {detail['state_bytes'] / max(1, normal['state_bytes']):.1f}x data"
+        )
+        # Classification must agree between modes (same seed-free check:
+        # each campaign used a different seed, so compare totals only).
+        for mode_label in mode_stats:
+            c = classify_campaign(bench_session.db, mode_stats[mode_label]["campaign"])
+            assert c.total == 20
+        write_result("E3_detail_mode", "\n".join(lines))

@@ -1,0 +1,106 @@
+"""E11 — EDM ablation: detections "by each of the various mechanisms".
+
+The analysis phase classifies detected errors per mechanism; this bench
+turns that into an ablation of the target's EDM configuration: the same
+seeded register-fault campaign against three target builds —
+
+* baseline (cache parity + MPU + illegal-opcode + traps),
+* \\+ register-file parity,
+* \\+ register parity and overflow traps,
+
+regenerating the coverage-vs-EDM table a dependability engineer reads
+when deciding which mechanism earns its silicon.
+
+Timed unit: one experiment on the register-parity build (the EDM adds
+per-instruction parity work — its run-time cost is part of the story).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_campaign, write_result
+from repro import GoofiSession
+from repro.analysis import classify_campaign, detection_coverage
+from repro.targets.thor.interface import ThorTargetInterface
+
+BUILDS = [
+    ("baseline", {}),
+    ("+reg_parity", {"register_parity": True}),
+    ("+reg_parity+ovf", {"register_parity": True, "trap_on_overflow": True}),
+]
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    results = {}
+    for label, options in BUILDS:
+        target = ThorTargetInterface(**options)
+        with GoofiSession(target=target) as session:
+            build_campaign(
+                session,
+                "e11",
+                workload="crc32",
+                locations=("internal:regs.*",),
+                num_experiments=120,
+                seed=1100,  # identical plan for every build
+            )
+            session.run_campaign("e11")
+            results[label] = classify_campaign(session.db, "e11")
+    return results
+
+
+def test_e11_edm_ablation(benchmark, ablation):
+    target = ThorTargetInterface(register_parity=True)
+    with GoofiSession(target=target) as session:
+        config = build_campaign(
+            session, "e11b", workload="crc32",
+            locations=("internal:regs.*",), num_experiments=1, seed=1101,
+        )
+        trace = session.algorithms.make_reference_run(config)
+        from repro.core import TimeTrigger, TransientBitFlip
+        from repro.core.campaign import ExperimentSpec, PlannedFault
+        from repro.core.locations import Location
+
+        spec = ExperimentSpec(
+            name="e11/bench",
+            index=0,
+            faults=(
+                PlannedFault(
+                    location=Location(kind="scan", chain="internal",
+                                      element="regs.R1", bit=5),
+                    trigger=TimeTrigger(300),
+                    model=TransientBitFlip(),
+                ),
+            ),
+            seed=1,
+        )
+        benchmark(session.algorithms._run_scifi_experiment, config, spec, trace)
+
+    lines = [
+        "E11: EDM ablation — same 120 register faults (crc32) per target build",
+        f"{'build':<20}{'det':>6}{'esc':>6}{'lat':>6}{'ovw':>6}  "
+        f"{'coverage':<30}  mechanisms",
+        "-" * 100,
+    ]
+    for label, _options in BUILDS:
+        c = ablation[label]
+        mechanisms = ", ".join(
+            f"{m}={n}" for m, n in sorted(c.by_mechanism().items())
+        ) or "(none)"
+        coverage = str(detection_coverage(c)) if c.effective else "n/a"
+        lines.append(
+            f"{label:<20}{c.detected:>6}{c.escaped:>6}{c.latent:>6}"
+            f"{c.overwritten:>6}  {coverage:<30}  {mechanisms}"
+        )
+    baseline = ablation["baseline"]
+    with_parity = ablation["+reg_parity"]
+    lines.append("")
+    lines.append(
+        f"register parity converts escapes: {baseline.escaped} -> "
+        f"{with_parity.escaped}, detections {baseline.detected} -> "
+        f"{with_parity.detected}"
+    )
+    assert with_parity.detected > baseline.detected
+    assert with_parity.escaped < baseline.escaped
+    write_result("E11_edm_ablation", "\n".join(lines))

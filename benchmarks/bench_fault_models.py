@@ -1,0 +1,119 @@
+"""E8 — fault-model ablation (§4 future work: intermittent and
+permanent faults; §1: single or multiple transient bit flips).
+
+Regenerates two tables:
+
+* outcome mix per fault model (transient vs stuck-at-0/1 vs
+  intermittent) on the same workload and locations;
+* outcome mix vs flips-per-experiment (1, 2, 4) for transients.
+
+Expected shape: persistent models produce markedly more effective
+errors than a single transient flip, and effectiveness grows with
+multiplicity.
+
+Timed unit: one stuck-at experiment (overlay active on every cycle —
+the worst-case simulator path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_campaign, classification_table, write_result
+from repro.analysis import classify_campaign
+from repro.core import IntermittentBitFlip, StuckAt, TransientBitFlip
+
+MODELS = [
+    ("transient", TransientBitFlip()),
+    ("stuck_at_0", StuckAt(0)),
+    ("stuck_at_1", StuckAt(1)),
+    ("intermittent", IntermittentBitFlip(duration=800, activity=0.05)),
+]
+MULTIPLICITIES = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def model_campaigns(bench_session):
+    names = []
+    for label, model in MODELS:
+        name = f"e8_model_{label}"
+        build_campaign(bench_session, name, workload="crc32",
+                       locations=("internal:regs.*",), num_experiments=100,
+                       fault_model=model, seed=800)
+        bench_session.run_campaign(name)
+        names.append(name)
+    return names
+
+
+@pytest.fixture(scope="module")
+def multiplicity_campaigns(bench_session):
+    names = []
+    for flips in MULTIPLICITIES:
+        name = f"e8_flips_{flips}"
+        build_campaign(bench_session, name, workload="crc32",
+                       locations=("internal:regs.*",), num_experiments=100,
+                       flips_per_experiment=flips, seed=801)
+        bench_session.run_campaign(name)
+        names.append(name)
+    # The same flip counts placed as one multiple-bit upset (adjacent
+    # bits of a single register, one instant).
+    for flips in MULTIPLICITIES[1:]:
+        name = f"e8_mbu_{flips}"
+        build_campaign(bench_session, name, workload="crc32",
+                       locations=("internal:regs.*",), num_experiments=100,
+                       flips_per_experiment=flips,
+                       multiplicity_model="adjacent", seed=801)
+        bench_session.run_campaign(name)
+        names.append(name)
+    return names
+
+
+def test_e8_fault_models(benchmark, bench_session, model_campaigns,
+                         multiplicity_campaigns):
+    config = bench_session.algorithms.read_campaign_data("e8_model_stuck_at_1")
+    trace = bench_session.algorithms.make_reference_run(config)
+    from repro.core import TimeTrigger
+    from repro.core.campaign import ExperimentSpec, PlannedFault
+    from repro.core.locations import Location
+
+    spec = ExperimentSpec(
+        name="e8/bench",
+        index=0,
+        faults=(
+            PlannedFault(
+                location=Location(kind="scan", chain="internal",
+                                  element="regs.R6", bit=9),
+                trigger=TimeTrigger(100),
+                model=StuckAt(1),
+            ),
+        ),
+        seed=1,
+    )
+    benchmark(bench_session.algorithms._run_scifi_experiment, config, spec, trace)
+
+    lines = [
+        "E8a: outcome mix per fault model (crc32, 100 register faults)",
+        classification_table(bench_session, model_campaigns),
+        "",
+        "E8b: outcome mix vs transient flips per experiment",
+        "     (e8_flips_* = independent flips; e8_mbu_* = adjacent-bit MBU)",
+        classification_table(bench_session, multiplicity_campaigns),
+    ]
+    by_name = {
+        name: classify_campaign(bench_session.db, name)
+        for name in model_campaigns + multiplicity_campaigns
+    }
+    # Shape assertions: persistent faults beat a single transient;
+    # multiplicity never lowers effectiveness.
+    transient = by_name["e8_model_transient"].effective
+    assert by_name["e8_model_stuck_at_1"].effective > transient
+    # Intermittent flips can cancel themselves out, so no ordering vs a
+    # single transient is guaranteed — only that the model does damage.
+    assert by_name["e8_model_intermittent"].effective > 0
+    assert (
+        by_name["e8_flips_4"].effective >= by_name["e8_flips_1"].effective
+    )
+    # An MBU stays inside one register: it cannot be more effective than
+    # the same number of independent flips spread over the file.
+    assert by_name["e8_mbu_4"].effective <= by_name["e8_flips_4"].effective
+    write_result("E8_fault_models", "\n".join(lines))

@@ -1,0 +1,79 @@
+"""E10 — pin-level fault injection (paper §2.1).
+
+"By combining different abstract methods we can define algorithms for
+fault injection techniques such as SCIFI, SWIFI or pin level fault
+injection."  Regenerates: the outcome mix of pin-level campaigns on the
+input/output pin cells of the boundary scan chain vs a SCIFI campaign
+on internal state, for a workload that consumes pin data (adc_filter).
+
+Expected shape: input-pin faults feed straight into the computation
+(high escaped share, nothing for the internal EDMs to catch);
+output-pin faults are invisible to the result log (non-effective);
+internal SCIFI faults split across the EDMs as usual.
+
+Timed unit: one pin-level experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_campaign, classification_table, write_result
+from repro.analysis import classify_campaign
+
+CAMPAIGNS = [
+    ("e10_pins_in", "pinlevel", ("boundary:pins.IN0",)),
+    ("e10_pins_out", "pinlevel", ("boundary:pins.OUT*",)),
+    ("e10_scifi_internal", "scifi", ("internal:regs.*", "internal:icache.*")),
+]
+
+
+@pytest.fixture(scope="module")
+def campaigns(bench_session):
+    names = []
+    for i, (name, technique, locations) in enumerate(CAMPAIGNS):
+        build_campaign(bench_session, name, workload="adc_filter",
+                       technique=technique, locations=locations,
+                       num_experiments=120, seed=1000 + i)
+        bench_session.run_campaign(name)
+        names.append(name)
+    return names
+
+
+def test_e10_pinlevel(benchmark, bench_session, campaigns):
+    config = bench_session.algorithms.read_campaign_data("e10_pins_in")
+    trace = bench_session.algorithms.make_reference_run(config)
+    from repro.core import TimeTrigger, TransientBitFlip
+    from repro.core.campaign import ExperimentSpec, PlannedFault
+    from repro.core.locations import Location
+
+    spec = ExperimentSpec(
+        name="e10/bench",
+        index=0,
+        faults=(
+            PlannedFault(
+                location=Location(kind="scan", chain="boundary",
+                                  element="pins.IN0", bit=3),
+                trigger=TimeTrigger(50),
+                model=TransientBitFlip(),
+            ),
+        ),
+        seed=1,
+    )
+    benchmark(bench_session.algorithms._run_scifi_experiment, config, spec, trace)
+
+    lines = [
+        "E10: pin-level injection vs SCIFI on adc_filter (120 faults each)",
+        classification_table(bench_session, campaigns),
+    ]
+    in_pins = classify_campaign(bench_session.db, "e10_pins_in")
+    out_pins = classify_campaign(bench_session.db, "e10_pins_out")
+    lines.append("")
+    lines.append(
+        f"input-pin escape rate {in_pins.escaped / in_pins.total:.1%}; "
+        f"output-pin effective rate {out_pins.effective / out_pins.total:.1%}"
+    )
+    assert in_pins.escaped / in_pins.total > 0.3
+    assert in_pins.detected == 0  # nothing internal watches the pins
+    assert out_pins.effective / out_pins.total < 0.2
+    write_result("E10_pinlevel", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""E1 — the SCIFI campaign algorithm end to end (paper Figure 2, §3.3).
+
+Regenerates: campaign throughput (experiments/second) and the validated
+step sequence of one SCIFI experiment, plus the progress stream of the
+paper's Figure 7 window.
+
+Timed unit: one complete SCIFI experiment (init test card → load
+workload → run → breakpoint → read/inject/write scan chain → run to
+termination → state capture).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_campaign, write_result
+from repro.core import TimeTrigger, TransientBitFlip
+from repro.core.campaign import ExperimentSpec, PlannedFault
+from repro.core.locations import Location
+
+
+@pytest.fixture(scope="module")
+def prepared(bench_session):
+    config = build_campaign(bench_session, "e1", workload="bubble_sort",
+                            num_experiments=100, seed=11)
+    trace = bench_session.algorithms.make_reference_run(config)
+    return config, trace
+
+
+def test_e1_single_scifi_experiment(benchmark, bench_session, prepared):
+    config, trace = prepared
+    spec = ExperimentSpec(
+        name="e1/bench",
+        index=0,
+        faults=(
+            PlannedFault(
+                location=Location(kind="scan", chain="internal",
+                                  element="regs.R5", bit=12),
+                trigger=TimeTrigger(200),
+                model=TransientBitFlip(),
+            ),
+        ),
+        seed=1,
+    )
+    record = benchmark(
+        bench_session.algorithms._run_scifi_experiment, config, spec, trace
+    )
+    assert record.experiment_data["faults"][0]["applied"]
+
+    # Regenerate the throughput/progress table with a real campaign.
+    events = []
+    bench_session.progress.observers.append(events.append)
+    try:
+        result = bench_session.run_campaign("e1")
+    finally:
+        bench_session.progress.observers.remove(events.append)
+    rate = result.experiments_run / result.elapsed_seconds
+    lines = [
+        "E1: SCIFI campaign execution (paper Fig. 2 algorithm)",
+        f"  workload                 : {config.workload}",
+        f"  reference run length     : {trace.duration} cycles",
+        f"  experiments completed    : {result.experiments_run}/{result.experiments_planned}",
+        f"  wall time                : {result.elapsed_seconds:.2f} s",
+        f"  throughput               : {rate:.1f} experiments/s",
+        f"  progress events observed : {len(events)} (Fig. 7 stream)",
+        f"  final progress fraction  : {events[-1].fraction:.0%}",
+    ]
+    write_result("E1_scifi_campaign", "\n".join(lines))

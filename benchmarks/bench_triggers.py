@@ -1,0 +1,105 @@
+"""E9 — fault-trigger ablation (§4 future work: data-access, branch,
+subprogram-call, and real-time-clock triggers).
+
+Regenerates: the outcome mix per injection-time strategy on a workload
+with subroutine calls (dotprod), and the trigger-resolution cost.
+Expected shape: data-access-triggered faults (injected exactly when the
+corrupted word is touched) yield far more effective errors than
+uniformly timed ones; branch/call triggers concentrate injections on
+control-flow-heavy instants.
+
+Timed unit: resolving 1000 mixed triggers against the reference trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import build_campaign, classification_table, write_result
+from repro.analysis import classify_campaign
+from repro.core.triggers import (
+    BranchTrigger,
+    BreakpointTrigger,
+    CallTrigger,
+    DataAccessTrigger,
+    TimeTrigger,
+)
+
+STRATEGIES = [
+    ("uniform", "scifi", ("internal:regs.*",), {}),
+    ("branch", "scifi", ("internal:regs.*",), {"time_strategy": "branch"}),
+    ("call", "scifi", ("internal:regs.*",), {"time_strategy": "call"}),
+    ("clock", "scifi", ("internal:regs.*",), {"time_strategy": "clock",
+                                               "clock_period": 20}),
+    ("data_access", "swifi_runtime", ("memory:data",),
+     {"time_strategy": "data_access"}),
+]
+
+
+@pytest.fixture(scope="module")
+def campaigns(bench_session):
+    names = []
+    for label, technique, locations, options in STRATEGIES:
+        name = f"e9_{label}"
+        build_campaign(bench_session, name, workload="dotprod",
+                       technique=technique, locations=locations,
+                       num_experiments=100, seed=900, **options)
+        bench_session.run_campaign(name)
+        names.append(name)
+    # The task-switch trigger needs a workload with a dispatcher.
+    from repro.workloads import load
+
+    dispatcher = load("task_executive").symbol("task_switch")
+    build_campaign(bench_session, "e9_task_switch", workload="task_executive",
+                   locations=("internal:regs.*",), num_experiments=100,
+                   time_strategy="task_switch",
+                   task_switch_address=dispatcher, seed=900)
+    bench_session.run_campaign("e9_task_switch")
+    names.append("e9_task_switch")
+    return names
+
+
+def test_e9_trigger_ablation(benchmark, bench_session, campaigns):
+    config = bench_session.algorithms.read_campaign_data("e9_uniform")
+    trace = bench_session.algorithms.make_reference_run(config)
+
+    triggers = []
+    for i in range(1000):
+        kind = i % 5
+        if kind == 0:
+            triggers.append(TimeTrigger(cycle=i % trace.duration))
+        elif kind == 1:
+            triggers.append(BranchTrigger(occurrence=1 + i % len(trace.branch_cycles())))
+        elif kind == 2:
+            triggers.append(CallTrigger(occurrence=1 + i % len(trace.call_cycles())))
+        elif kind == 3:
+            pc = trace.instructions[i % trace.duration][1]
+            triggers.append(BreakpointTrigger(address=pc))
+        else:
+            cycle, access_kind, address = trace.mem_accesses[i % len(trace.mem_accesses)]
+            triggers.append(DataAccessTrigger(address=address, access=access_kind))
+
+    def resolve_all():
+        return [t.resolve(trace) for t in triggers]
+
+    resolved = benchmark(resolve_all)
+    assert len(resolved) == 1000
+
+    lines = [
+        "E9: outcome mix per trigger strategy "
+        "(dotprod; task_switch on task_executive; 100 faults each)",
+        classification_table(bench_session, campaigns),
+    ]
+    uniform = classify_campaign(bench_session.db, "e9_uniform")
+    data_access = classify_campaign(bench_session.db, "e9_data_access")
+    lines.append("")
+    lines.append(
+        f"data-access-triggered effectiveness "
+        f"{data_access.effective / data_access.total:.1%} vs uniform "
+        f"{uniform.effective / uniform.total:.1%}"
+    )
+    assert (
+        data_access.effective / data_access.total
+        > uniform.effective / uniform.total
+    )
+    write_result("E9_triggers", "\n".join(lines))

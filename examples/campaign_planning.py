@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Statistical campaign planning: inject only as many faults as needed.
+
+"The user also selects ... the number of fault injection experiments to
+perform" (§3.2).  This example answers *how many* with the methodology
+shipped in ``repro.analysis.samplesize``:
+
+1. compute the textbook sample size for a target coverage precision;
+2. instead of committing to it blindly, run the campaign in chunks
+   (merging results across chunks) and stop as soon as the exact
+   Clopper–Pearson interval on the detection coverage is narrow enough —
+   usually well before the worst-case estimate.
+
+Run with::
+
+    python examples/campaign_planning.py
+"""
+
+from repro import CampaignConfig, GoofiSession
+from repro.analysis import (
+    SequentialPlan,
+    achieved_half_width,
+    classify_campaign,
+    required_experiments,
+)
+from repro.analysis.measures import proportion
+
+TARGET_HALF_WIDTH = 0.06
+WORKLOAD = "bubble_sort"
+LOCATIONS = (
+    "internal:icache.line*.data",
+    "internal:dcache.line*.data",
+    "internal:regs.*",
+    "internal:ctrl.PC",
+)
+
+
+def main() -> None:
+    worst_case = required_experiments(TARGET_HALF_WIDTH)
+    print(
+        f"target: coverage CI half-width <= {TARGET_HALF_WIDTH:.0%} at 95% "
+        f"confidence\nworst-case (p=0.5) plan: {worst_case} effective errors\n"
+    )
+
+    with GoofiSession() as session:
+        plan = SequentialPlan(
+            target_half_width=TARGET_HALF_WIDTH, chunk=120, cap=2000
+        )
+        detected = 0
+        effective = 0
+        chunk_index = 0
+        while True:
+            batch = plan.next_chunk()
+            if batch == 0:
+                break
+            name = f"plan_chunk{chunk_index}"
+            config = CampaignConfig(
+                name=name,
+                target="thor-rd-sim",
+                technique="scifi",
+                workload=WORKLOAD,
+                location_patterns=LOCATIONS,
+                num_experiments=batch,
+                termination=session.default_termination(WORKLOAD),
+                observation=session.default_observation(WORKLOAD),
+                seed=9000 + chunk_index,  # independent chunk, same design
+            )
+            session.setup_campaign(config)
+            session.run_campaign(name)
+            classification = classify_campaign(session.db, name)
+            detected += classification.detected
+            effective += classification.effective
+            coverage = proportion(detected, effective)
+            width = achieved_half_width(coverage)
+            print(
+                f"chunk {chunk_index}: +{batch} experiments  ->  "
+                f"coverage {coverage}  half-width {width:.3f}"
+            )
+            chunk_index += 1
+            if plan.should_stop(coverage):
+                break
+
+        coverage = proportion(detected, effective)
+        print(
+            f"\nstopped after {plan.spent} injected faults "
+            f"({effective} effective errors observed)"
+        )
+        print(f"final coverage estimate: {coverage}")
+        print(
+            f"effective-error samples used vs the worst-case plan: "
+            f"{effective}/{worst_case} ({effective / worst_case:.0%}) — "
+            f"sequential stopping pays only for the precision it needs"
+        )
+
+
+if __name__ == "__main__":
+    main()

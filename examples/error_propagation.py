@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Detail-mode investigation: the ``parentExperiment`` workflow (§2.3).
+
+The paper's motivating example: "assume that one fault injection
+experiment E1 shows an interesting result such as a fail-silence
+violation, and we want to investigate the reason for this violation by
+re-running the experiment logging the system state after each machine
+instruction."
+
+This example runs a normal-mode campaign, picks the escaped (wrong
+output) experiments, re-runs each in detail mode — GOOFI stores the
+re-run with ``parentExperiment`` pointing at the original — and then
+walks the per-instruction logs to show how the error propagated.
+
+Run with::
+
+    python examples/error_propagation.py
+"""
+
+from repro import CampaignConfig, GoofiSession
+from repro.analysis import analyze_propagation, classify_campaign, propagation_summary
+from repro.db import reference_name
+
+
+def main() -> None:
+    with GoofiSession() as session:
+        workload = "dotprod"
+        config = CampaignConfig(
+            name="hunt",
+            target="thor-rd-sim",
+            technique="scifi",
+            workload=workload,
+            location_patterns=("internal:regs.*",),
+            num_experiments=150,
+            termination=session.default_termination(workload),
+            observation=session.default_observation(workload),
+            # Detail mode for the whole campaign would be slow; run
+            # normal mode first and re-run only what looks interesting.
+            logging_mode="normal",
+            seed=77,
+        )
+        session.setup_campaign(config)
+        session.run_campaign("hunt")
+
+        classification = classify_campaign(session.db, "hunt")
+        escaped = [
+            c.experiment_name
+            for c in classification.classifications
+            if c.category == "escaped"
+        ]
+        print(
+            f"campaign 'hunt': {classification.total} experiments, "
+            f"{len(escaped)} escaped errors (fail-silence violations)\n"
+        )
+
+        # The detail-mode reference both re-runs need for comparison: a
+        # detailed re-run of the fault-free execution.
+        detail_reference = session.algorithms.rerun_experiment_detailed(
+            reference_name("hunt"), new_experiment_name="hunt/reference-detail"
+        )
+
+        for name in escaped[:3]:
+            rerun = session.algorithms.rerun_experiment_detailed(name)
+            analysis = analyze_propagation(detail_reference, rerun)
+            digest = propagation_summary(analysis)
+            parent = session.db.load_experiment(rerun.experiment_name).parent_experiment
+            fault = session.db.load_experiment(name).experiment_data["faults"][0]
+            location = fault["location"]
+            print(f"experiment {name} (re-run stored as {rerun.experiment_name})")
+            print(f"  parentExperiment        : {parent}")
+            print(
+                f"  injected fault          : {location['chain']}:"
+                f"{location['element']}[{location['bit']}] at cycle "
+                f"{fault['injection_cycle']}"
+            )
+            print(f"  first divergence        : cycle {digest['first_divergence']}")
+            print(f"  peak infected locations : {digest['peak_infection']}")
+            print(f"  infected at termination : {digest['final_infection']}")
+            print(f"  propagation graph       : {digest['graph_nodes']} nodes, "
+                  f"{digest['graph_edges']} edges")
+            infected = ", ".join(digest["ever_infected"][:6])
+            print(f"  locations ever infected : {infected}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""GOOFI reproduction: a Generic Object-Oriented Fault Injection tool.
+
+A complete Python reproduction of *GOOFI: Generic Object-Oriented Fault
+Injection Tool* (Aidemark, Vinter, Folkesson, Karlsson — DSN 2001),
+including the target system it needs: a simulated THOR-RD-like
+microprocessor with scan-chain test logic, parity-protected caches, and
+hardware error-detection mechanisms.
+
+Quickstart::
+
+    from repro import GoofiSession, CampaignConfig, TransientBitFlip
+
+    with GoofiSession("goofi.db") as session:
+        config = CampaignConfig(
+            name="demo",
+            target="thor-rd-sim",
+            technique="scifi",
+            workload="bubble_sort",
+            location_patterns=("internal:regs.*",),
+            num_experiments=100,
+            termination=session.default_termination("bubble_sort"),
+            observation=session.default_observation("bubble_sort"),
+            seed=42,
+        )
+        session.setup_campaign(config)
+        session.run_campaign("demo")
+        print(session.report("demo"))
+"""
+
+from __future__ import annotations
+
+from .core import plugins as _plugins
+from .core import (
+    BranchTrigger,
+    BreakpointTrigger,
+    CallTrigger,
+    CampaignConfig,
+    CampaignResult,
+    ClockTrigger,
+    ConfigurationError,
+    DataAccessTrigger,
+    FaultInjectionAlgorithms,
+    GoofiError,
+    IntermittentBitFlip,
+    Location,
+    LocationSpace,
+    ObservationSpec,
+    ProgressReporter,
+    StuckAt,
+    TargetError,
+    TargetSystemInterface,
+    Termination,
+    TimeTrigger,
+    TransientBitFlip,
+    console_observer,
+    merge_campaigns,
+    register_target_system,
+    store_campaign,
+)
+from .db import GoofiDatabase
+from .session import GoofiSession
+
+__version__ = "1.0.0"
+
+
+def _register_builtins() -> None:
+    """Register the built-in target, techniques, and environment
+    simulators.  Idempotent: safe across repeated imports and test
+    registry resets."""
+    from .targets.stack.interface import TARGET_NAME as STACK_TARGET_NAME
+    from .targets.stack.interface import create_stack_target
+    from .targets.thor.interface import TARGET_NAME, create_thor_target
+    from .workloads.envsim import DCMotor, WaterTank
+
+    if TARGET_NAME not in _plugins.registered_targets():
+        _plugins.register_target(TARGET_NAME, create_thor_target)
+    if STACK_TARGET_NAME not in _plugins.registered_targets():
+        _plugins.register_target(STACK_TARGET_NAME, create_stack_target)
+    technique_methods = {
+        "scifi": "fault_injector_scifi",
+        "swifi_preruntime": "fault_injector_swifi_preruntime",
+        "swifi_runtime": "fault_injector_swifi_runtime",
+        "pinlevel": "fault_injector_pinlevel",
+    }
+    for name, method in technique_methods.items():
+        if name not in _plugins.registered_techniques():
+            _plugins.register_technique(name, method)
+    environments = {"dc_motor": DCMotor, "water_tank": WaterTank}
+    for name, factory in environments.items():
+        if name not in _plugins.registered_environments():
+            _plugins.register_environment(name, factory)
+
+
+_register_builtins()
+
+__all__ = [
+    "BranchTrigger",
+    "BreakpointTrigger",
+    "CallTrigger",
+    "CampaignConfig",
+    "CampaignResult",
+    "ClockTrigger",
+    "ConfigurationError",
+    "DataAccessTrigger",
+    "FaultInjectionAlgorithms",
+    "GoofiDatabase",
+    "GoofiError",
+    "GoofiSession",
+    "IntermittentBitFlip",
+    "Location",
+    "LocationSpace",
+    "ObservationSpec",
+    "ProgressReporter",
+    "StuckAt",
+    "TargetError",
+    "TargetSystemInterface",
+    "Termination",
+    "TimeTrigger",
+    "TransientBitFlip",
+    "console_observer",
+    "merge_campaigns",
+    "register_target_system",
+    "store_campaign",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Analysis phase: classification, dependability measures, propagation
+analysis, report rendering, and auto-generated analysis software."""
+
+from .autogen import generate_analysis_script, generate_analysis_sql, run_generated_sql
+from .dependability import (
+    DependabilityModel,
+    Interval,
+    format_dependability_report,
+    model_from_campaign,
+)
+from .latency import (
+    LatencySample,
+    LatencyStatistics,
+    detection_latencies,
+    format_latency_report,
+)
+from .export import COLUMNS, export_csv, export_csv_file, export_rows
+from .sensitivity import (
+    BitSensitivity,
+    band_rates,
+    bit_sensitivity,
+    format_sensitivity_map,
+)
+from .samplesize import (
+    SequentialPlan,
+    achieved_half_width,
+    required_experiments,
+)
+from .compare import (
+    CampaignComparison,
+    PairedOutcome,
+    compare_campaigns,
+    format_comparison,
+)
+from .classify import (
+    CATEGORY_DETECTED,
+    CATEGORY_ESCAPED,
+    CATEGORY_LATENT,
+    CATEGORY_OVERWRITTEN,
+    CampaignClassification,
+    Classification,
+    classify_campaign,
+    classify_experiment,
+    state_difference,
+)
+from .measures import (
+    GroupBreakdown,
+    Proportion,
+    detection_coverage,
+    effectiveness,
+    failure_rate,
+    mechanism_shares,
+    per_group_breakdown,
+    per_location_breakdown,
+    per_time_breakdown,
+    proportion,
+)
+from .propagation import (
+    PropagationAnalysis,
+    TimelinePoint,
+    analyze_propagation,
+    propagation_summary,
+)
+from .reports import campaign_report, format_classification, format_measures
+
+__all__ = [name for name in dir() if not name.startswith("_")]

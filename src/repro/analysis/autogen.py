@@ -1,0 +1,168 @@
+"""Automatic generation of analysis software (paper §4, future work).
+
+"Currently, there is no support for automatic generation of software
+that analyses the LoggedSystemState table.  The user must write tailor
+made scripts..." — and the future-extensions list promises exactly that
+automation.  This module delivers it: given a campaign, it generates
+
+* a ready-to-run **SQL script** (SQLite dialect, using the ``json_*``
+  functions on the JSON columns) computing the §3.4 outcome counts, the
+  per-mechanism breakdown, and campaign bookkeeping queries, and
+* a standalone **Python script** that opens the database and prints the
+  full classification report without importing this package.
+
+Both are plain text artefacts the user can store next to the database,
+edit, and re-run — the paper's "the user can then choose which analysis
+software to use, and where to store the results".
+"""
+
+from __future__ import annotations
+
+from ..db import GoofiDatabase, reference_name
+
+SQL_TEMPLATE = """\
+-- Auto-generated GOOFI analysis script for campaign {campaign!r}.
+-- Outcome counts over LoggedSystemState (reference run excluded).
+
+-- Experiments per termination outcome
+SELECT json_extract(stateVector, '$.termination.outcome') AS outcome,
+       COUNT(*) AS experiments
+FROM LoggedSystemState
+WHERE campaignName = '{campaign}'
+  AND experimentName <> '{reference}'
+GROUP BY outcome
+ORDER BY experiments DESC;
+
+-- Detected errors per error-detection mechanism
+SELECT json_extract(stateVector, '$.termination.detection.mechanism') AS mechanism,
+       COUNT(*) AS detected
+FROM LoggedSystemState
+WHERE campaignName = '{campaign}'
+  AND experimentName <> '{reference}'
+  AND json_extract(stateVector, '$.termination.outcome') = 'error_detected'
+GROUP BY mechanism
+ORDER BY detected DESC;
+
+-- Experiments whose faults were all applied
+SELECT COUNT(*) AS fully_injected
+FROM LoggedSystemState
+WHERE campaignName = '{campaign}'
+  AND experimentName <> '{reference}'
+  AND NOT EXISTS (
+      SELECT 1 FROM json_each(json_extract(experimentData, '$.faults'))
+      WHERE json_extract(json_each.value, '$.applied') = 0
+  );
+
+-- Detail-mode re-runs and their parents
+SELECT experimentName, parentExperiment
+FROM LoggedSystemState
+WHERE campaignName = '{campaign}'
+  AND parentExperiment IS NOT NULL;
+"""
+
+PYTHON_TEMPLATE = '''\
+#!/usr/bin/env python3
+"""Auto-generated GOOFI analysis program for campaign {campaign!r}.
+
+Runs against the GOOFI SQLite database directly; no imports from the
+GOOFI package are needed, so the script stays runnable wherever the
+database file travels.
+"""
+
+import json
+import sqlite3
+import sys
+
+
+CAMPAIGN = {campaign!r}
+REFERENCE = {reference!r}
+
+
+def outputs(state):
+    return [(p, v) for _c, p, v in state.get("outputs", [])]
+
+
+def flat(state):
+    result = {{}}
+    for key, value in state.get("scan", {{}}).items():
+        result["scan:" + key] = value
+    for key, value in state.get("memory", {{}}).items():
+        result["mem:" + key] = value
+    return result
+
+
+def main(db_path):
+    conn = sqlite3.connect(db_path)
+    row = conn.execute(
+        "SELECT stateVector FROM LoggedSystemState WHERE experimentName = ?",
+        (REFERENCE,),
+    ).fetchone()
+    if row is None:
+        raise SystemExit(f"no reference run for campaign {{CAMPAIGN!r}}")
+    reference = json.loads(row[0])
+    ref_final = reference["final"]
+
+    counts = {{"detected": 0, "escaped": 0, "latent": 0, "overwritten": 0}}
+    mechanisms = {{}}
+    cur = conn.execute(
+        "SELECT experimentName, stateVector FROM LoggedSystemState "
+        "WHERE campaignName = ? AND experimentName <> ?",
+        (CAMPAIGN, REFERENCE),
+    )
+    for name, state_json in cur:
+        state = json.loads(state_json)
+        term = state["termination"]
+        if term["outcome"] == "error_detected":
+            counts["detected"] += 1
+            mechanism = (term.get("detection") or {{}}).get("mechanism", "unknown")
+            mechanisms[mechanism] = mechanisms.get(mechanism, 0) + 1
+        elif term["outcome"] == "timeout":
+            counts["escaped"] += 1
+        elif outputs(state["final"]) != outputs(ref_final):
+            counts["escaped"] += 1
+        elif flat(state["final"]) != flat(ref_final):
+            counts["latent"] += 1
+        else:
+            counts["overwritten"] += 1
+
+    total = sum(counts.values())
+    print(f"Campaign {{CAMPAIGN}}: {{total}} experiments")
+    for category, count in counts.items():
+        share = count / total if total else 0.0
+        print(f"  {{category:<12}} {{count:6d}}  ({{share:6.1%}})")
+    if mechanisms:
+        print("  detected by mechanism:")
+        for mechanism, count in sorted(mechanisms.items(), key=lambda kv: -kv[1]):
+            print(f"    {{mechanism:<16}} {{count:6d}}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "goofi.db")
+'''
+
+
+def generate_analysis_sql(campaign_name: str) -> str:
+    """The SQL analysis script for one campaign."""
+    return SQL_TEMPLATE.format(
+        campaign=campaign_name, reference=reference_name(campaign_name)
+    )
+
+
+def generate_analysis_script(campaign_name: str) -> str:
+    """The standalone Python analysis program for one campaign."""
+    return PYTHON_TEMPLATE.format(
+        campaign=campaign_name, reference=reference_name(campaign_name)
+    )
+
+
+def run_generated_sql(db: GoofiDatabase, sql: str) -> list[list[tuple]]:
+    """Execute each SELECT of a generated SQL script, returning one row
+    list per statement (used by tests and the CLI's ``analyze --sql``)."""
+    results = []
+    for statement in sql.split(";"):
+        stripped = "\n".join(
+            line for line in statement.splitlines() if not line.strip().startswith("--")
+        ).strip()
+        if stripped:
+            results.append(db.execute_sql(stripped))
+    return results

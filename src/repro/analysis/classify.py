@@ -1,0 +1,234 @@
+"""Error classification — the analysis phase of §3.4.
+
+The paper's taxonomy, reproduced exactly:
+
+Effective errors
+    * **Detected errors** — "errors that are detected by the error
+      detection mechanisms of the target system.  These errors can be
+      further classified into errors detected by each of the various
+      mechanisms."
+    * **Escaped errors** — "errors that escapes the error detection
+      mechanisms causing failures such as incorrect results or
+      timeliness violations."
+
+Non-effective errors
+    * **Latent errors** — a difference between the reference state and
+      the experiment's final state is observable, but the run neither
+      detected anything nor failed.
+    * **Overwritten errors** — no difference at all between the
+      reference final state and the experiment's final state.
+
+Classification compares each ``LoggedSystemState`` row against the
+campaign's reference row: outputs (the workload's result sequence)
+decide wrong-result failures, the termination outcome decides detection
+and timeliness, and the observed state vector decides latent vs
+overwritten.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.errors import AnalysisError
+from ..db import ExperimentRecord, GoofiDatabase, reference_name
+
+CATEGORY_DETECTED = "detected"
+CATEGORY_ESCAPED = "escaped"
+CATEGORY_LATENT = "latent"
+CATEGORY_OVERWRITTEN = "overwritten"
+
+ESCAPE_WRONG_OUTPUT = "wrong_output"
+ESCAPE_TIMELINESS = "timeliness"
+
+EFFECTIVE_CATEGORIES = (CATEGORY_DETECTED, CATEGORY_ESCAPED)
+NON_EFFECTIVE_CATEGORIES = (CATEGORY_LATENT, CATEGORY_OVERWRITTEN)
+
+
+@dataclass(frozen=True, slots=True)
+class Classification:
+    """The analysis verdict for one experiment."""
+
+    experiment_name: str
+    category: str
+    #: EDM name for detected errors (``icache_parity``, ...).
+    mechanism: str | None = None
+    #: ``wrong_output`` or ``timeliness`` for escaped errors.
+    escape_kind: str | None = None
+    #: State-vector keys that differ from the reference (latent errors;
+    #: also filled for escaped wrong-output errors).
+    differing_keys: tuple[str, ...] = ()
+
+    @property
+    def effective(self) -> bool:
+        return self.category in EFFECTIVE_CATEGORIES
+
+
+def _output_values(state: dict) -> list[tuple[int, int]]:
+    """The (port, value) result sequence, ignoring emission cycles: a
+    fault that shifts timing without corrupting any result value is not
+    a wrong-output failure (timing is judged by the watchdog)."""
+    return [(port, value) for _cycle, port, value in state.get("outputs", [])]
+
+
+def _comparable_state(state: dict) -> dict[str, int]:
+    """Flatten the observed state for latent-difference comparison.
+
+    Cycle and iteration counters are excluded: a fault may legitimately
+    lengthen execution without leaving any erroneous state behind.
+    """
+    flat: dict[str, int] = {}
+    for key, value in state.get("scan", {}).items():
+        flat[f"scan:{key}"] = value
+    for address, value in state.get("memory", {}).items():
+        flat[f"mem:{address}"] = value
+    return flat
+
+
+def state_difference(reference: dict, observed: dict) -> tuple[str, ...]:
+    """Keys whose values differ between two captured states (symmetric:
+    a key missing on either side counts as differing)."""
+    ref_flat = _comparable_state(reference)
+    obs_flat = _comparable_state(observed)
+    keys = set(ref_flat) | set(obs_flat)
+    return tuple(sorted(k for k in keys if ref_flat.get(k) != obs_flat.get(k)))
+
+
+def classify_experiment(
+    reference_state: dict, record: ExperimentRecord
+) -> Classification:
+    """Classify one experiment against the campaign's reference state.
+
+    ``reference_state`` is the reference row's ``stateVector``.
+    """
+    state_vector = record.state_vector
+    try:
+        termination = state_vector["termination"]
+        final = state_vector["final"]
+        ref_final = reference_state["final"]
+    except KeyError as exc:
+        raise AnalysisError(
+            f"experiment {record.experiment_name!r} has a malformed state vector "
+            f"(missing {exc})"
+        ) from exc
+
+    outcome = termination["outcome"]
+    if outcome == "error_detected":
+        detection = termination.get("detection") or {}
+        return Classification(
+            experiment_name=record.experiment_name,
+            category=CATEGORY_DETECTED,
+            mechanism=detection.get("mechanism", "unknown"),
+        )
+    if outcome == "timeout":
+        return Classification(
+            experiment_name=record.experiment_name,
+            category=CATEGORY_ESCAPED,
+            escape_kind=ESCAPE_TIMELINESS,
+        )
+    if outcome != "workload_end":
+        raise AnalysisError(
+            f"experiment {record.experiment_name!r} has unknown outcome {outcome!r}"
+        )
+
+    differing = state_difference(ref_final, final)
+    if _output_values(final) != _output_values(ref_final):
+        return Classification(
+            experiment_name=record.experiment_name,
+            category=CATEGORY_ESCAPED,
+            escape_kind=ESCAPE_WRONG_OUTPUT,
+            differing_keys=differing,
+        )
+    if differing:
+        return Classification(
+            experiment_name=record.experiment_name,
+            category=CATEGORY_LATENT,
+            differing_keys=differing,
+        )
+    return Classification(
+        experiment_name=record.experiment_name, category=CATEGORY_OVERWRITTEN
+    )
+
+
+@dataclass(slots=True)
+class CampaignClassification:
+    """Aggregated analysis of one campaign."""
+
+    campaign_name: str
+    classifications: list[Classification] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.classifications)
+
+    def count(self, category: str) -> int:
+        return sum(1 for c in self.classifications if c.category == category)
+
+    @property
+    def detected(self) -> int:
+        return self.count(CATEGORY_DETECTED)
+
+    @property
+    def escaped(self) -> int:
+        return self.count(CATEGORY_ESCAPED)
+
+    @property
+    def latent(self) -> int:
+        return self.count(CATEGORY_LATENT)
+
+    @property
+    def overwritten(self) -> int:
+        return self.count(CATEGORY_OVERWRITTEN)
+
+    @property
+    def effective(self) -> int:
+        return self.detected + self.escaped
+
+    @property
+    def non_effective(self) -> int:
+        return self.latent + self.overwritten
+
+    def by_mechanism(self) -> dict[str, int]:
+        """Detected errors broken down per detection mechanism."""
+        counts: Counter[str] = Counter()
+        for c in self.classifications:
+            if c.category == CATEGORY_DETECTED and c.mechanism:
+                counts[c.mechanism] += 1
+        return dict(counts)
+
+    def by_escape_kind(self) -> dict[str, int]:
+        counts: Counter[str] = Counter()
+        for c in self.classifications:
+            if c.category == CATEGORY_ESCAPED and c.escape_kind:
+                counts[c.escape_kind] += 1
+        return dict(counts)
+
+    def summary(self) -> dict:
+        return {
+            "campaign": self.campaign_name,
+            "total": self.total,
+            "detected": self.detected,
+            "escaped": self.escaped,
+            "latent": self.latent,
+            "overwritten": self.overwritten,
+            "effective": self.effective,
+            "non_effective": self.non_effective,
+            "by_mechanism": self.by_mechanism(),
+            "by_escape_kind": self.by_escape_kind(),
+        }
+
+
+def classify_campaign(db: GoofiDatabase, campaign_name: str) -> CampaignClassification:
+    """Classify every experiment of a campaign against its reference."""
+    reference = db.load_experiment(reference_name(campaign_name))
+    result = CampaignClassification(campaign_name=campaign_name)
+    for record in db.iter_experiments(campaign_name):
+        if record.experiment_name == reference.experiment_name:
+            continue
+        if record.experiment_data.get("technique") == "reference":
+            continue
+        result.classifications.append(
+            classify_experiment(reference.state_vector, record)
+        )
+    return result

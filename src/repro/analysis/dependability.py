@@ -1,0 +1,157 @@
+"""Analytical dependability models fed by measured coverage.
+
+The paper's opening: "Fault injection can also be used to obtain
+dependability measures such as the error coverage of a system.  The
+coverage can then be used in an analytical model to calculate the
+system's availability and reliability."  This module is that analytical
+model, closing the loop from a campaign's measured coverage (with its
+confidence interval) to reliability and availability predictions.
+
+Model: faults arrive as a Poisson process with rate ``fault_rate`` (per
+hour).  An arriving fault becomes an *effective error* with probability
+``effectiveness``; an effective error is *detected* (and then recovered,
+with probability ``recovery_success``) with the measured coverage ``c``;
+an undetected or unrecovered effective error fails the system.  The
+system therefore fails at the effective rate::
+
+    lambda_fail = fault_rate * effectiveness * (1 - c * recovery_success)
+
+which gives closed forms for reliability ``R(t) = exp(-lambda_fail t)``,
+MTTF, and — with an exponential repair rate — steady-state availability.
+Uncertainty propagates by evaluating the model at the coverage interval
+endpoints: the model is monotone in ``c``, so the endpoints bound the
+prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import AnalysisError
+from .classify import CampaignClassification
+from .measures import Proportion, detection_coverage, effectiveness
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A point prediction with bounds from the coverage interval."""
+
+    low: float
+    estimate: float
+    high: float
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.6g} [{self.low:.6g}, {self.high:.6g}]"
+
+
+@dataclass(frozen=True, slots=True)
+class DependabilityModel:
+    """The analytic model, parameterised by campaign measurements.
+
+    ``fault_rate`` is the raw physical fault arrival rate (faults/hour,
+    e.g. from radiation data for a space application like Thor's);
+    ``repair_rate`` (repairs/hour) feeds the availability computation;
+    ``recovery_success`` is the probability that a *detected* error is
+    recovered before it does harm.
+    """
+
+    coverage: Proportion
+    effectiveness: Proportion
+    fault_rate: float
+    repair_rate: float = 1.0
+    recovery_success: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.fault_rate <= 0:
+            raise AnalysisError("fault_rate must be positive")
+        if self.repair_rate <= 0:
+            raise AnalysisError("repair_rate must be positive")
+        if not 0.0 <= self.recovery_success <= 1.0:
+            raise AnalysisError("recovery_success must be a probability")
+        if math.isnan(self.coverage.estimate):
+            raise AnalysisError(
+                "coverage is undefined (no effective errors in the campaign); "
+                "the model needs a campaign with effective errors"
+            )
+
+    # ------------------------------------------------------------------
+    def _failure_rate_at(self, coverage: float) -> float:
+        escape_probability = 1.0 - coverage * self.recovery_success
+        return self.fault_rate * self.effectiveness.estimate * escape_probability
+
+    def failure_rate(self) -> Interval:
+        """System failure rate (failures/hour).  Higher coverage →
+        lower failure rate, so the coverage CI maps inverted."""
+        return Interval(
+            low=self._failure_rate_at(self.coverage.ci_high),
+            estimate=self._failure_rate_at(self.coverage.estimate),
+            high=self._failure_rate_at(self.coverage.ci_low),
+        )
+
+    def reliability(self, hours: float) -> Interval:
+        """R(t): probability of surviving ``hours`` without failure."""
+        if hours < 0:
+            raise AnalysisError("mission time must be non-negative")
+        rate = self.failure_rate()
+        return Interval(
+            low=math.exp(-rate.high * hours),
+            estimate=math.exp(-rate.estimate * hours),
+            high=math.exp(-rate.low * hours),
+        )
+
+    def mttf_hours(self) -> Interval:
+        """Mean time to failure."""
+        rate = self.failure_rate()
+        return Interval(
+            low=_safe_inverse(rate.high),
+            estimate=_safe_inverse(rate.estimate),
+            high=_safe_inverse(rate.low),
+        )
+
+    def availability(self) -> Interval:
+        """Steady-state availability with exponential repair."""
+        rate = self.failure_rate()
+
+        def at(failure_rate: float) -> float:
+            return self.repair_rate / (self.repair_rate + failure_rate)
+
+        return Interval(low=at(rate.high), estimate=at(rate.estimate), high=at(rate.low))
+
+
+def _safe_inverse(rate: float) -> float:
+    return math.inf if rate == 0 else 1.0 / rate
+
+
+def model_from_campaign(
+    classification: CampaignClassification,
+    fault_rate: float,
+    repair_rate: float = 1.0,
+    recovery_success: float = 1.0,
+) -> DependabilityModel:
+    """Build the model straight from a classified campaign."""
+    return DependabilityModel(
+        coverage=detection_coverage(classification),
+        effectiveness=effectiveness(classification),
+        fault_rate=fault_rate,
+        repair_rate=repair_rate,
+        recovery_success=recovery_success,
+    )
+
+
+def format_dependability_report(
+    model: DependabilityModel, mission_hours: float
+) -> str:
+    """Plain-text prediction table."""
+    lines = [
+        "Analytical dependability prediction "
+        f"(fault rate {model.fault_rate:g}/h, repair rate {model.repair_rate:g}/h, "
+        f"recovery success {model.recovery_success:.0%}):",
+        f"  measured coverage        : {model.coverage}",
+        f"  measured effectiveness   : {model.effectiveness}",
+        f"  system failure rate (/h) : {model.failure_rate()}",
+        f"  MTTF (hours)             : {model.mttf_hours()}",
+        f"  R({mission_hours:g} h)              : {model.reliability(mission_hours)}",
+        f"  steady-state availability: {model.availability()}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Error-detection latency analysis.
+
+A classic measure of fault-injection studies of the paper's era (and of
+the Thor evaluations the group published): how long after injection an
+error-detection mechanism fires.  Latency matters because it bounds how
+stale a detected-then-recovered computation can be — short latencies are
+what make backward recovery cheap.
+
+Inputs are the ``LoggedSystemState`` rows: each detected experiment
+carries the detection cycle in its termination record and the injection
+cycle(s) in its ``experimentData``.  Latency is measured from the first
+applied fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+from ..db import ExperimentRecord, GoofiDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySample:
+    """Detection latency of one detected experiment."""
+
+    experiment_name: str
+    mechanism: str
+    injection_cycle: int
+    detection_cycle: int
+
+    @property
+    def latency(self) -> int:
+        return self.detection_cycle - self.injection_cycle
+
+
+@dataclass(slots=True)
+class LatencyStatistics:
+    """Distribution statistics of detection latencies (in cycles)."""
+
+    samples: list[LatencySample] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def _values(self) -> np.ndarray:
+        return np.array([s.latency for s in self.samples], dtype=float)
+
+    @property
+    def mean(self) -> float:
+        return float(self._values().mean()) if self.samples else float("nan")
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self._values())) if self.samples else float("nan")
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return float("nan")
+        return float(np.percentile(self._values(), q))
+
+    @property
+    def maximum(self) -> int:
+        return max((s.latency for s in self.samples), default=0)
+
+    def by_mechanism(self) -> dict[str, "LatencyStatistics"]:
+        split: dict[str, LatencyStatistics] = {}
+        for sample in self.samples:
+            split.setdefault(sample.mechanism, LatencyStatistics()).samples.append(sample)
+        return split
+
+    def histogram(self, bins: int = 10) -> list[tuple[int, int, int]]:
+        """(bin start, bin end, count) over latency values."""
+        if not self.samples:
+            return []
+        values = self._values()
+        counts, edges = np.histogram(values, bins=bins)
+        return [
+            (int(edges[i]), int(edges[i + 1]), int(counts[i]))
+            for i in range(len(counts))
+        ]
+
+
+def _latency_of(record: ExperimentRecord) -> LatencySample | None:
+    termination = record.state_vector.get("termination", {})
+    if termination.get("outcome") != "error_detected":
+        return None
+    detection = termination.get("detection") or {}
+    faults = [
+        f for f in record.experiment_data.get("faults", []) if f.get("applied")
+    ]
+    if not faults:
+        return None
+    injection = min(int(f["injection_cycle"]) for f in faults)
+    detection_cycle = int(detection.get("cycle", injection))
+    if detection_cycle < injection:
+        raise AnalysisError(
+            f"experiment {record.experiment_name!r} detected at cycle "
+            f"{detection_cycle}, before its injection at {injection}"
+        )
+    return LatencySample(
+        experiment_name=record.experiment_name,
+        mechanism=detection.get("mechanism", "unknown"),
+        injection_cycle=injection,
+        detection_cycle=detection_cycle,
+    )
+
+
+def detection_latencies(db: GoofiDatabase, campaign_name: str) -> LatencyStatistics:
+    """Latency statistics over every detected experiment of a campaign."""
+    statistics = LatencyStatistics()
+    for record in db.iter_experiments(campaign_name):
+        if record.experiment_data.get("technique") == "reference":
+            continue
+        sample = _latency_of(record)
+        if sample is not None:
+            statistics.samples.append(sample)
+    return statistics
+
+
+def format_latency_report(statistics: LatencyStatistics, title: str) -> str:
+    """Plain-text latency table: overall and per mechanism."""
+    lines = [
+        title,
+        f"{'mechanism':<18}{'n':>6}{'mean':>10}{'median':>10}{'p95':>10}{'max':>10}",
+        "-" * 64,
+    ]
+
+    def row(label: str, stats: LatencyStatistics) -> str:
+        return (
+            f"{label:<18}{stats.count:>6}{stats.mean:>10.1f}{stats.median:>10.1f}"
+            f"{stats.percentile(95):>10.1f}{stats.maximum:>10}"
+        )
+
+    lines.append(row("(all)", statistics))
+    for mechanism, stats in sorted(statistics.by_mechanism().items()):
+        lines.append(row(mechanism, stats))
+    return "\n".join(lines)

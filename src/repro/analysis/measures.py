@@ -1,0 +1,219 @@
+"""Dependability measures derived from campaign classifications.
+
+"The data in the database table LoggedSystemState is analysed in the
+analysis phase in order to obtain various dependability measures" —
+chiefly *error-detection coverage*, the probability that an effective
+error is caught by the target's error-detection mechanisms.  Coverage
+estimates from fault-injection sampling are proportions, so every
+measure carries a Clopper–Pearson confidence interval.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from scipy import stats
+
+from ..core.errors import AnalysisError
+from ..core.locations import Location
+from ..db import ExperimentRecord, GoofiDatabase
+from .classify import (
+    CampaignClassification,
+    Classification,
+    classify_campaign,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Proportion:
+    """A binomial proportion with a two-sided confidence interval."""
+
+    successes: int
+    trials: int
+    estimate: float
+    ci_low: float
+    ci_high: float
+    confidence: float = 0.95
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.3f} "
+            f"[{self.ci_low:.3f}, {self.ci_high:.3f}] "
+            f"({self.successes}/{self.trials})"
+        )
+
+
+def proportion(successes: int, trials: int, confidence: float = 0.95) -> Proportion:
+    """Clopper–Pearson (exact beta) interval for a binomial proportion."""
+    if trials < 0 or successes < 0 or successes > trials:
+        raise AnalysisError(f"bad proportion {successes}/{trials}")
+    if trials == 0:
+        return Proportion(0, 0, float("nan"), 0.0, 1.0, confidence)
+    alpha = 1.0 - confidence
+    estimate = successes / trials
+    if successes == 0:
+        low = 0.0
+    else:
+        low = float(stats.beta.ppf(alpha / 2, successes, trials - successes + 1))
+    if successes == trials:
+        high = 1.0
+    else:
+        high = float(stats.beta.ppf(1 - alpha / 2, successes + 1, trials - successes))
+    return Proportion(successes, trials, estimate, low, high, confidence)
+
+
+def detection_coverage(classification: CampaignClassification) -> Proportion:
+    """Error-detection coverage: detected / effective errors."""
+    return proportion(classification.detected, classification.effective)
+
+
+def effectiveness(classification: CampaignClassification) -> Proportion:
+    """Fraction of injected faults that produced an effective error."""
+    return proportion(classification.effective, classification.total)
+
+
+def failure_rate(classification: CampaignClassification) -> Proportion:
+    """Fraction of injected faults that escaped detection and caused a
+    failure (wrong output or timeliness violation)."""
+    return proportion(classification.escaped, classification.total)
+
+
+def mechanism_shares(classification: CampaignClassification) -> dict[str, Proportion]:
+    """Per-mechanism share of all detected errors."""
+    total_detected = classification.detected
+    return {
+        mechanism: proportion(count, total_detected)
+        for mechanism, count in sorted(classification.by_mechanism().items())
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-location and per-time breakdowns
+# ----------------------------------------------------------------------
+def _first_fault_location(record: ExperimentRecord) -> str | None:
+    faults = record.experiment_data.get("faults") or []
+    if not faults:
+        return None
+    return Location.from_dict(faults[0]["location"]).element_key
+
+
+def _first_fault_cycle(record: ExperimentRecord) -> int | None:
+    faults = record.experiment_data.get("faults") or []
+    if not faults:
+        return None
+    return int(faults[0]["injection_cycle"])
+
+
+@dataclass(frozen=True, slots=True)
+class GroupBreakdown:
+    """Outcome counts for one group of experiments (a location or a
+    time bin)."""
+
+    group: str
+    total: int
+    detected: int
+    escaped: int
+    latent: int
+    overwritten: int
+
+    @property
+    def effective(self) -> int:
+        return self.detected + self.escaped
+
+    def coverage(self) -> Proportion:
+        return proportion(self.detected, self.effective)
+
+
+def _aggregate(
+    pairs: list[tuple[str, Classification]]
+) -> list[GroupBreakdown]:
+    groups: dict[str, list[Classification]] = defaultdict(list)
+    for group, classification in pairs:
+        groups[group].append(classification)
+    breakdowns = []
+    for group in sorted(groups):
+        members = groups[group]
+        counts = {
+            category: sum(1 for m in members if m.category == category)
+            for category in ("detected", "escaped", "latent", "overwritten")
+        }
+        breakdowns.append(
+            GroupBreakdown(
+                group=group,
+                total=len(members),
+                detected=counts["detected"],
+                escaped=counts["escaped"],
+                latent=counts["latent"],
+                overwritten=counts["overwritten"],
+            )
+        )
+    return breakdowns
+
+
+def per_location_breakdown(
+    db: GoofiDatabase, campaign_name: str
+) -> list[GroupBreakdown]:
+    """Outcome mix per injected location element (register, cache line,
+    memory word, ...)."""
+    classification = classify_campaign(db, campaign_name)
+    by_name = {c.experiment_name: c for c in classification.classifications}
+    pairs: list[tuple[str, Classification]] = []
+    for record in db.iter_experiments(campaign_name):
+        verdict = by_name.get(record.experiment_name)
+        if verdict is None:
+            continue
+        group = _first_fault_location(record)
+        if group is not None:
+            pairs.append((group, verdict))
+    return _aggregate(pairs)
+
+
+def per_group_breakdown(
+    db: GoofiDatabase, campaign_name: str
+) -> list[GroupBreakdown]:
+    """Outcome mix per location *group* (``regs``, ``ctrl``, ``icache``,
+    ``dcache``, ``pins``, ``memory``) — the granularity at which the
+    paper's analysis examples speak."""
+    pairs: list[tuple[str, Classification]] = []
+    classification = classify_campaign(db, campaign_name)
+    by_name = {c.experiment_name: c for c in classification.classifications}
+    for record in db.iter_experiments(campaign_name):
+        verdict = by_name.get(record.experiment_name)
+        if verdict is None:
+            continue
+        key = _first_fault_location(record)
+        if key is None:
+            continue
+        if key.startswith("memory:"):
+            group = "memory"
+        else:
+            _chain, _, element = key.partition(":")
+            group = element.split(".")[0]
+        pairs.append((group, verdict))
+    return _aggregate(pairs)
+
+
+def per_time_breakdown(
+    db: GoofiDatabase, campaign_name: str, bins: int = 10
+) -> list[GroupBreakdown]:
+    """Outcome mix across the injection-time axis, in equal cycle bins."""
+    classification = classify_campaign(db, campaign_name)
+    by_name = {c.experiment_name: c for c in classification.classifications}
+    cycles: list[tuple[int, Classification]] = []
+    for record in db.iter_experiments(campaign_name):
+        verdict = by_name.get(record.experiment_name)
+        if verdict is None:
+            continue
+        cycle = _first_fault_cycle(record)
+        if cycle is not None:
+            cycles.append((cycle, verdict))
+    if not cycles:
+        return []
+    top = max(cycle for cycle, _ in cycles) + 1
+    width = max(1, -(-top // bins))  # ceil
+    pairs = [
+        (f"[{(c // width) * width:6d}, {((c // width) + 1) * width:6d})", verdict)
+        for c, verdict in cycles
+    ]
+    return _aggregate(pairs)

@@ -1,0 +1,137 @@
+"""Error-propagation analysis over detail-mode execution traces.
+
+"The detail mode operation is used to produce an execution trace,
+allowing the error propagation to be analysed in detail."  Given a
+reference experiment and a faulty experiment both logged in detail mode
+(state after each machine instruction), this module computes:
+
+* the *first divergence*: the earliest logged step at which any observed
+  location differs from the reference;
+* the *infection timeline*: how many locations are erroneous at each
+  step, and which locations become newly infected when;
+* a *propagation graph* (networkx DiGraph): an edge ``a -> b`` records
+  that location ``b`` became infected at a step where ``a`` was already
+  infected — the observable skeleton of the error's spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..core.errors import AnalysisError
+from ..db import ExperimentRecord
+from .classify import state_difference
+
+
+@dataclass(frozen=True, slots=True)
+class TimelinePoint:
+    """Infection status at one logged step."""
+
+    cycle: int
+    infected: tuple[str, ...]
+    newly_infected: tuple[str, ...]
+
+    @property
+    def infected_count(self) -> int:
+        return len(self.infected)
+
+
+@dataclass(slots=True)
+class PropagationAnalysis:
+    """The full propagation picture of one detail-mode experiment."""
+
+    experiment_name: str
+    timeline: list[TimelinePoint] = field(default_factory=list)
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    @property
+    def first_divergence(self) -> int | None:
+        """Cycle of the first logged difference, ``None`` if none."""
+        for point in self.timeline:
+            if point.infected:
+                return point.cycle
+        return None
+
+    @property
+    def peak_infection(self) -> int:
+        return max((p.infected_count for p in self.timeline), default=0)
+
+    @property
+    def final_infection(self) -> int:
+        return self.timeline[-1].infected_count if self.timeline else 0
+
+    @property
+    def ever_infected(self) -> set[str]:
+        infected: set[str] = set()
+        for point in self.timeline:
+            infected.update(point.newly_infected)
+        return infected
+
+    def cleared(self) -> bool:
+        """True when the error appeared and then vanished (overwritten
+        during the run)."""
+        return bool(self.ever_infected) and self.final_infection == 0
+
+
+def _steps_of(record: ExperimentRecord) -> list[dict]:
+    steps = record.state_vector.get("steps")
+    if not steps:
+        raise AnalysisError(
+            f"experiment {record.experiment_name!r} has no detail-mode steps; "
+            f"re-run it with rerun_experiment_detailed or logging_mode='detail'"
+        )
+    return steps
+
+
+def analyze_propagation(
+    reference: ExperimentRecord, experiment: ExperimentRecord
+) -> PropagationAnalysis:
+    """Compare two detail-mode step logs instruction for instruction.
+
+    Steps are aligned by *cycle number*: each logged step is the state
+    after the instruction executed at that cycle, and the cycle counter
+    advances one per instruction in both runs.  A faulty experiment's
+    log may start later than the reference's (injection happens mid-run
+    and the states before it are the reference's by construction) and
+    may end earlier (the fault crashed the run) — only the common cycles
+    are compared.
+    """
+    ref_by_cycle = {s["cycle"]: s["state"] for s in _steps_of(reference)}
+    exp_steps = _steps_of(experiment)
+    analysis = PropagationAnalysis(experiment_name=experiment.experiment_name)
+    previously_infected: set[str] = set()
+    for exp_step in exp_steps:
+        ref_state = ref_by_cycle.get(exp_step["cycle"])
+        if ref_state is None:
+            continue
+        infected = set(state_difference(ref_state, exp_step["state"]))
+        newly = infected - previously_infected
+        analysis.timeline.append(
+            TimelinePoint(
+                cycle=exp_step["cycle"],
+                infected=tuple(sorted(infected)),
+                newly_infected=tuple(sorted(newly)),
+            )
+        )
+        for new_location in newly:
+            analysis.graph.add_node(new_location)
+            for source in previously_infected & infected:
+                analysis.graph.add_edge(source, new_location, cycle=exp_step["cycle"])
+        previously_infected = infected
+    return analysis
+
+
+def propagation_summary(analysis: PropagationAnalysis) -> dict:
+    """JSON-able digest used by reports and the detail-mode example."""
+    return {
+        "experiment": analysis.experiment_name,
+        "first_divergence": analysis.first_divergence,
+        "peak_infection": analysis.peak_infection,
+        "final_infection": analysis.final_infection,
+        "ever_infected": sorted(analysis.ever_infected),
+        "cleared": analysis.cleared(),
+        "graph_nodes": analysis.graph.number_of_nodes(),
+        "graph_edges": analysis.graph.number_of_edges(),
+    }

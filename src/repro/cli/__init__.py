@@ -1,0 +1,1 @@
+"""The ``goofi`` command-line interface — the GUI replacement."""

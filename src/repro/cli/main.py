@@ -1,0 +1,491 @@
+"""The ``goofi`` command line — the paper's GUI, headless.
+
+Every window of the original tool maps to a subcommand:
+
+* Figure 5 (target configuration)  → ``goofi target describe/list``
+* Figure 6 (campaign definition)   → ``goofi campaign create/show/merge``
+* Figure 7 (progress window)       → ``goofi run`` (live progress line)
+* analysis menu                    → ``goofi analyze``, ``goofi autogen``,
+                                     ``goofi rerun`` (detail-mode re-run)
+
+All state lives in the GOOFI SQLite database given with ``--db``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .. import (
+    CampaignConfig,
+    GoofiSession,
+    IntermittentBitFlip,
+    StuckAt,
+    Termination,
+    TransientBitFlip,
+    console_observer,
+)
+from ..analysis import (
+    campaign_report,
+    generate_analysis_script,
+    generate_analysis_sql,
+    run_generated_sql,
+)
+from ..core import ProgressReporter, registered_targets, registered_techniques
+from ..core.errors import GoofiError
+from ..db import DatabaseError
+
+
+def _add_db_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db",
+        default="goofi.db",
+        help="GOOFI database file (default: goofi.db)",
+    )
+
+
+def _session(args: argparse.Namespace, with_progress: bool = False) -> GoofiSession:
+    progress = ProgressReporter(observers=[console_observer]) if with_progress else None
+    return GoofiSession(args.db, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# target
+# ----------------------------------------------------------------------
+def cmd_target_list(args: argparse.Namespace) -> int:
+    for name in registered_targets():
+        print(name)
+    return 0
+
+
+def cmd_target_describe(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        record = session.db.load_target(args.target)
+        if args.json:
+            print(json.dumps(record.config, indent=2))
+            return 0
+        print(f"target      : {record.target_name}")
+        print(f"test card   : {record.test_card_name}")
+        print(f"techniques  : {', '.join(record.config.get('techniques', []))}")
+        print(f"fault models: {', '.join(record.config.get('fault_models', []))}")
+        print(f"workloads   : {', '.join(record.config.get('workloads', []))}")
+        print("scan chains :")
+        for chain, elements in record.config.get("scan_chains", {}).items():
+            width = sum(e["width"] for e in elements)
+            writable = sum(1 for e in elements if e["writable"])
+            print(
+                f"  {chain:<10} {len(elements)} elements, {width} bits, "
+                f"{writable} writable elements"
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# campaign
+# ----------------------------------------------------------------------
+def _parse_fault_model(args: argparse.Namespace):
+    if args.model == "transient":
+        return TransientBitFlip()
+    if args.model == "stuck_at_0":
+        return StuckAt(0)
+    if args.model == "stuck_at_1":
+        return StuckAt(1)
+    if args.model == "intermittent":
+        return IntermittentBitFlip(duration=args.intermittent_duration)
+    raise GoofiError(f"unknown fault model {args.model!r}")
+
+
+def cmd_campaign_create(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        termination = (
+            Termination(max_cycles=args.max_cycles, max_iterations=args.max_iterations)
+            if args.max_cycles
+            else session.default_termination(
+                args.workload, max_iterations=args.max_iterations or 200
+            )
+        )
+        observation = session.default_observation(args.workload)
+        environment = None
+        if args.environment:
+            session.target.init_test_card()
+            session.target.load_workload(args.workload)
+            program = session.target.card.loaded_workload  # type: ignore[attr-defined]
+            environment = {
+                "name": args.environment,
+                "params": {
+                    "sensor_addr": program.symbol("sensor"),
+                    "actuator_addr": program.symbol("actuator"),
+                },
+            }
+        task_switch_address = None
+        if args.time_strategy == "task_switch":
+            session.target.init_test_card()
+            session.target.load_workload(args.workload)
+            program = session.target.card.loaded_workload  # type: ignore[attr-defined]
+            task_switch_address = program.symbol(args.task_switch_symbol)
+        config = CampaignConfig(
+            name=args.name,
+            target=args.target,
+            technique=args.technique,
+            workload=args.workload,
+            location_patterns=tuple(args.locations.split(",")),
+            num_experiments=args.experiments,
+            termination=termination,
+            observation=observation,
+            fault_model=_parse_fault_model(args),
+            flips_per_experiment=args.flips,
+            multiplicity_model="adjacent" if args.mbu else "independent",
+            time_strategy=args.time_strategy,
+            task_switch_address=task_switch_address,
+            logging_mode=args.logging,
+            seed=args.seed,
+            use_preinjection_analysis=args.preinjection,
+            environment=environment,
+        )
+        session.setup_campaign(config)
+        print(f"campaign {args.name!r} stored in {args.db}")
+    return 0
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        for name in session.db.list_campaigns():
+            record = session.db.load_campaign(name)
+            count = session.db.count_experiments(name)
+            print(f"{name:<30} {record.status:<12} {count:>6} experiments logged")
+    return 0
+
+
+def cmd_campaign_show(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        record = session.db.load_campaign(args.name)
+        print(json.dumps(record.config, indent=2))
+    return 0
+
+
+def cmd_campaign_merge(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        merged = session.merge_into_campaign(args.names.split(","), args.new_name)
+        print(
+            f"merged {args.names} into {merged.name!r} "
+            f"({merged.num_experiments} experiments, "
+            f"{len(merged.location_patterns)} location patterns)"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# run / analyze / rerun / autogen
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    with _session(args, with_progress=not args.quiet) as session:
+        result = session.run_campaign(args.campaign, resume=args.resume)
+        status = "aborted" if result.aborted else "completed"
+        rate = (
+            result.experiments_run / result.elapsed_seconds
+            if result.elapsed_seconds
+            else float("inf")
+        )
+        print(
+            f"campaign {result.campaign_name!r} {status}: "
+            f"{result.experiments_run}/{result.experiments_planned} experiments "
+            f"in {result.elapsed_seconds:.1f}s ({rate:.1f}/s)"
+        )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        if args.sql:
+            sql = generate_analysis_sql(args.campaign)
+            for rows in run_generated_sql(session.db, sql):
+                for row in rows:
+                    print("\t".join(str(column) for column in row))
+                print()
+            return 0
+        if args.summary:
+            print(json.dumps(session.classify(args.campaign).summary(), indent=2))
+            return 0
+        if args.sensitivity:
+            from ..analysis import bit_sensitivity, format_sensitivity_map
+
+            table = bit_sensitivity(session.db, args.campaign)
+            print(format_sensitivity_map(table))
+            return 0
+        if args.latency:
+            from ..analysis import detection_latencies, format_latency_report
+
+            statistics = detection_latencies(session.db, args.campaign)
+            print(
+                format_latency_report(
+                    statistics,
+                    f"Detection latency for campaign {args.campaign!r} (cycles):",
+                )
+            )
+            return 0
+        print(campaign_report(session.db, args.campaign))
+        if args.fault_rate is not None:
+            from ..analysis import format_dependability_report, model_from_campaign
+
+            model = model_from_campaign(
+                session.classify(args.campaign), fault_rate=args.fault_rate
+            )
+            print()
+            print(format_dependability_report(model, args.mission_hours))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from ..analysis import export_csv, export_csv_file
+
+    with _session(args) as session:
+        if args.out:
+            count = export_csv_file(session.db, args.campaign, args.out)
+            print(f"wrote {count} experiment rows to {args.out}")
+        else:
+            print(export_csv(session.db, args.campaign), end="")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from ..analysis import compare_campaigns, format_comparison
+
+    with _session(args) as session:
+        comparison = compare_campaigns(
+            session.db,
+            args.campaign_a,
+            args.campaign_b,
+            require_identical_faults=not args.loose,
+        )
+        print(format_comparison(comparison))
+    return 0
+
+
+def cmd_campaign_plan(args: argparse.Namespace) -> int:
+    """Preview the first experiments of a campaign's (deterministic)
+    plan without injecting anything."""
+    from ..core.campaign import PlanGenerator
+
+    with _session(args) as session:
+        config = session.algorithms.read_campaign_data(args.name)
+        trace = session.algorithms.make_reference_run(config)
+        plan = PlanGenerator(
+            config, session.target.location_space(), trace
+        ).generate()
+        print(
+            f"campaign {args.name!r}: {len(plan)} experiments planned "
+            f"(reference run: {trace.duration} cycles); first {args.limit}:"
+        )
+        for spec in plan[: args.limit]:
+            for fault in spec.faults:
+                cycle = fault.trigger.resolve(trace)
+                print(
+                    f"  {spec.name}  {fault.location.label():<32} "
+                    f"cycle {cycle:>7}  {fault.model.name}"
+                )
+    return 0
+
+
+def cmd_rerun(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        record = session.algorithms.rerun_experiment_detailed(args.experiment)
+        steps = len(record.state_vector.get("steps", []))
+        print(
+            f"re-ran {args.experiment!r} in detail mode as "
+            f"{record.experiment_name!r} ({steps} logged steps, parent "
+            f"tracked via parentExperiment)"
+        )
+    return 0
+
+
+def cmd_autogen(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    sql_path = out_dir / f"analyze_{args.campaign}.sql"
+    py_path = out_dir / f"analyze_{args.campaign}.py"
+    sql_path.write_text(generate_analysis_sql(args.campaign))
+    py_path.write_text(generate_analysis_script(args.campaign))
+    print(f"wrote {sql_path} and {py_path}")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from ..workloads import is_loop_workload, workload_names
+
+    for name in workload_names():
+        kind = "loop" if is_loop_workload(name) else "self-terminating"
+        print(f"{name:<24} {kind}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="goofi",
+        description="GOOFI: generic object-oriented fault injection (DSN 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    target = sub.add_parser("target", help="target-system configuration")
+    target_sub = target.add_subparsers(dest="target_command", required=True)
+    t_list = target_sub.add_parser("list", help="registered target systems")
+    t_list.set_defaults(func=cmd_target_list)
+    t_desc = target_sub.add_parser("describe", help="show a target's configuration")
+    _add_db_argument(t_desc)
+    t_desc.add_argument("--target", default="thor-rd-sim")
+    t_desc.add_argument("--json", action="store_true")
+    t_desc.set_defaults(func=cmd_target_describe)
+
+    workloads = sub.add_parser("workloads", help="list available workloads")
+    workloads.set_defaults(func=cmd_workloads)
+
+    campaign = sub.add_parser("campaign", help="campaign set-up phase")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    create = campaign_sub.add_parser("create", help="define and store a campaign")
+    _add_db_argument(create)
+    create.add_argument("--name", required=True)
+    create.add_argument("--target", default="thor-rd-sim")
+    create.add_argument(
+        "--technique", default="scifi", choices=sorted(registered_techniques()) or None
+    )
+    create.add_argument("--workload", required=True)
+    create.add_argument(
+        "--locations",
+        default="internal:regs.*",
+        help="comma-separated location patterns (e.g. internal:regs.*,memory:data)",
+    )
+    create.add_argument("--experiments", type=int, default=100)
+    create.add_argument(
+        "--model",
+        default="transient",
+        choices=["transient", "stuck_at_0", "stuck_at_1", "intermittent"],
+    )
+    create.add_argument("--intermittent-duration", type=int, default=500)
+    create.add_argument("--flips", type=int, default=1, help="bit flips per experiment")
+    create.add_argument(
+        "--mbu", action="store_true",
+        help="place multi-flips as one multiple-bit upset (adjacent bits, "
+             "same instant) instead of independent flips",
+    )
+    create.add_argument(
+        "--time-strategy",
+        default="uniform",
+        choices=["uniform", "branch", "call", "data_access", "clock", "task_switch"],
+    )
+    create.add_argument(
+        "--task-switch-symbol", default="task_switch",
+        help="workload symbol of the dispatcher instruction "
+             "(task_switch strategy)",
+    )
+    create.add_argument("--logging", default="normal", choices=["normal", "detail"])
+    create.add_argument("--seed", type=int, default=1)
+    create.add_argument("--max-cycles", type=int, default=0, help="0 = derive from workload")
+    create.add_argument("--max-iterations", type=int, default=None)
+    create.add_argument(
+        "--preinjection", action="store_true", help="enable pre-injection liveness analysis"
+    )
+    create.add_argument(
+        "--environment", default=None, help="environment simulator name (e.g. dc_motor)"
+    )
+    create.set_defaults(func=cmd_campaign_create)
+
+    c_list = campaign_sub.add_parser("list", help="stored campaigns")
+    _add_db_argument(c_list)
+    c_list.set_defaults(func=cmd_campaign_list)
+
+    show = campaign_sub.add_parser("show", help="show a stored campaign configuration")
+    _add_db_argument(show)
+    show.add_argument("name")
+    show.set_defaults(func=cmd_campaign_show)
+
+    merge = campaign_sub.add_parser("merge", help="merge stored campaigns into a new one")
+    _add_db_argument(merge)
+    merge.add_argument("--names", required=True, help="comma-separated campaign names")
+    merge.add_argument("--new-name", required=True)
+    merge.set_defaults(func=cmd_campaign_merge)
+
+    plan = campaign_sub.add_parser(
+        "plan", help="preview a campaign's deterministic experiment plan"
+    )
+    _add_db_argument(plan)
+    plan.add_argument("name")
+    plan.add_argument("--limit", type=int, default=10)
+    plan.set_defaults(func=cmd_campaign_plan)
+
+    run = sub.add_parser("run", help="fault-injection phase")
+    _add_db_argument(run)
+    run.add_argument("campaign")
+    run.add_argument("--quiet", action="store_true")
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign, keeping logged experiments",
+    )
+    run.set_defaults(func=cmd_run)
+
+    analyze = sub.add_parser("analyze", help="analysis phase")
+    _add_db_argument(analyze)
+    analyze.add_argument("campaign")
+    analyze.add_argument("--summary", action="store_true", help="JSON summary")
+    analyze.add_argument("--sql", action="store_true", help="run the generated SQL analysis")
+    analyze.add_argument(
+        "--latency", action="store_true", help="detection-latency distribution"
+    )
+    analyze.add_argument(
+        "--sensitivity", action="store_true",
+        help="per-location, per-bit fault-sensitivity heat map",
+    )
+    analyze.add_argument(
+        "--fault-rate", type=float, default=None,
+        help="faults/hour: also print the analytical reliability/availability model",
+    )
+    analyze.add_argument("--mission-hours", type=float, default=1000.0)
+    analyze.set_defaults(func=cmd_analyze)
+
+    export = sub.add_parser("export", help="flat CSV export of a campaign")
+    _add_db_argument(export)
+    export.add_argument("campaign")
+    export.add_argument("--out", default=None, help="CSV path (default: stdout)")
+    export.set_defaults(func=cmd_export)
+
+    compare = sub.add_parser(
+        "compare", help="paired comparison of two same-seed campaigns"
+    )
+    _add_db_argument(compare)
+    compare.add_argument("campaign_a")
+    compare.add_argument("campaign_b")
+    compare.add_argument(
+        "--loose", action="store_true",
+        help="allow differing fault lists (cross-target comparisons)",
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    rerun = sub.add_parser("rerun", help="re-run an experiment in detail mode")
+    _add_db_argument(rerun)
+    rerun.add_argument("experiment")
+    rerun.set_defaults(func=cmd_rerun)
+
+    autogen = sub.add_parser("autogen", help="generate analysis software for a campaign")
+    _add_db_argument(autogen)
+    autogen.add_argument("campaign")
+    autogen.add_argument("--out", default=".", help="output directory")
+    autogen.set_defaults(func=cmd_autogen)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (GoofiError, DatabaseError) as exc:
+        print(f"goofi: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

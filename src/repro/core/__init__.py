@@ -1,0 +1,81 @@
+"""GOOFI core: generic fault-injection algorithms, the target-interface
+framework, campaign management, fault models, triggers, locations, and
+the pre-injection analysis."""
+
+from .algorithms import (
+    CampaignResult,
+    FaultInjectionAlgorithms,
+    register_target_system,
+    store_campaign,
+)
+from .campaign import (
+    LOGGING_DETAIL,
+    LOGGING_NORMAL,
+    TECHNIQUE_PINLEVEL,
+    TECHNIQUE_SCIFI,
+    TECHNIQUE_SWIFI_PRERUNTIME,
+    TECHNIQUE_SWIFI_RUNTIME,
+    TIME_BRANCH,
+    TIME_CALL,
+    TIME_CLOCK,
+    TIME_DATA_ACCESS,
+    TIME_UNIFORM,
+    CampaignConfig,
+    ExperimentSpec,
+    PlanGenerator,
+    PlannedFault,
+    experiment_name,
+    merge_campaigns,
+)
+from .errors import (
+    AnalysisError,
+    CampaignAborted,
+    ConfigurationError,
+    GoofiError,
+    TargetError,
+)
+from .faultmodels import (
+    FaultModel,
+    IntermittentBitFlip,
+    StuckAt,
+    TransientBitFlip,
+    model_from_dict,
+)
+from .framework import (
+    ObservationSpec,
+    TargetSystemInterface,
+    Termination,
+    TerminationInfo,
+)
+from .locations import (
+    Location,
+    LocationSelection,
+    LocationSpace,
+    MemoryRegionInfo,
+    ScanElementInfo,
+)
+from .plugins import (
+    create_environment,
+    create_target,
+    register_environment,
+    register_target,
+    register_technique,
+    registered_environments,
+    registered_targets,
+    registered_techniques,
+)
+from .preinjection import LivenessAnalysis, PreInjectionFilter
+from .progress import ProgressEvent, ProgressReporter, console_observer
+from .triggers import (
+    BranchTrigger,
+    BreakpointTrigger,
+    CallTrigger,
+    ClockTrigger,
+    DataAccessTrigger,
+    ReferenceTrace,
+    TimeTrigger,
+    Trigger,
+    trigger_from_dict,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

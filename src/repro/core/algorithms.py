@@ -1,0 +1,516 @@
+"""The fault-injection algorithms (paper Figure 2).
+
+``FaultInjectionAlgorithms`` holds the generic campaign algorithms,
+written exclusively against the abstract building blocks of
+:class:`repro.core.framework.TargetSystemInterface` — the paper's
+central design idea: "By combining different abstract methods we can
+define algorithms for fault injection techniques such as SCIFI, SWIFI
+or pin level fault injection."
+
+Three techniques are implemented:
+
+``fault_injector_scifi``
+    The paper's main algorithm, step for step: read campaign data, make
+    a reference run, then per experiment: init test card, load workload,
+    write memory, run workload, wait for breakpoint, read scan chain,
+    inject fault, write scan chain, wait for termination, read memory,
+    read scan chain.
+``fault_injector_swifi_preruntime``
+    "Faults are injected into the program and data areas of the target
+    system before it starts to execute": flip memory-image bits through
+    the host link, then run to termination.
+``fault_injector_swifi_runtime``
+    The future-work runtime SWIFI, realised debugger-style: stop at the
+    trigger, corrupt memory or an architecturally visible register, and
+    resume.
+
+Each experiment's outcome is logged to the ``LoggedSystemState`` table;
+"in normal mode, the system state is logged only when the termination
+condition is fulfilled.  In detail mode the system state is logged as
+frequently as the target system allows, typically after the execution
+of each machine instruction."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db import (
+    CampaignRecord,
+    ExperimentRecord,
+    GoofiDatabase,
+    TargetSystemRecord,
+    reference_name,
+)
+from .campaign import (
+    LOGGING_DETAIL,
+    TECHNIQUE_PINLEVEL,
+    TECHNIQUE_SCIFI,
+    TECHNIQUE_SWIFI_PRERUNTIME,
+    TECHNIQUE_SWIFI_RUNTIME,
+    CampaignConfig,
+    ExperimentSpec,
+    PlanGenerator,
+    PlannedFault,
+)
+from .errors import ConfigurationError, TargetError
+from .faultmodels import is_transient
+from .framework import (
+    TargetSystemInterface,
+    TerminationInfo,
+)
+from .locations import KIND_MEMORY, KIND_SCAN
+from .plugins import create_environment, technique_method
+from .progress import ProgressReporter
+from .triggers import ReferenceTrace
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Summary returned by a campaign run (details live in the DB)."""
+
+    campaign_name: str
+    experiments_run: int
+    experiments_planned: int
+    aborted: bool
+    elapsed_seconds: float
+
+
+class FaultInjectionAlgorithms:
+    """Generic fault-injection campaign algorithms.
+
+    The constructor takes the three things every algorithm needs: a
+    target-system interface, the GOOFI database, and (optionally) a
+    progress reporter for the monitoring/pause/end controls.
+    """
+
+    def __init__(
+        self,
+        target: TargetSystemInterface,
+        db: GoofiDatabase,
+        progress: ProgressReporter | None = None,
+    ) -> None:
+        self.target = target
+        self.db = db
+        self.progress = progress or ProgressReporter()
+        #: Filled by :meth:`make_reference_run`.
+        self.reference_trace: ReferenceTrace | None = None
+
+    # ------------------------------------------------------------------
+    # Campaign entry points
+    # ------------------------------------------------------------------
+    def run_campaign(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+        """Run the campaign's technique-specific algorithm (dispatched
+        through the technique registry).
+
+        ``resume=True`` continues an interrupted campaign: already
+        logged experiments are kept and skipped (the seeded plan is
+        deterministic, so the remaining experiments are exactly the ones
+        that would have run).  This is the 'restart' button of the
+        paper's progress window surviving a host restart.
+        """
+        config = self.read_campaign_data(campaign_name)
+        method_name = technique_method(config.technique)
+        method = getattr(self, method_name, None)
+        if method is None:
+            raise ConfigurationError(
+                f"technique {config.technique!r} maps to unknown algorithm "
+                f"{method_name!r}"
+            )
+        return method(campaign_name, resume=resume)
+
+    def fault_injector_scifi(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+        """The SCIFI algorithm of Figure 2."""
+        config = self.read_campaign_data(campaign_name)
+        if config.technique != TECHNIQUE_SCIFI:
+            raise ConfigurationError(
+                f"campaign {campaign_name!r} is configured for "
+                f"{config.technique!r}, not SCIFI"
+            )
+        return self._campaign_loop(config, self._run_scifi_experiment, resume=resume)
+
+    def fault_injector_pinlevel(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+        """Pin-level fault injection (paper §2.1).
+
+        Built from the same abstract building blocks as SCIFI — the
+        read/invert/write cycle simply targets the *boundary* scan
+        chain's pin cells, emulating a probe forcing a pin value.  The
+        plan generator restricts the location space accordingly; the
+        per-experiment body is byte-for-byte the SCIFI inner loop, which
+        is exactly the reuse the paper's design argument promises.
+        """
+        config = self.read_campaign_data(campaign_name)
+        if config.technique != TECHNIQUE_PINLEVEL:
+            raise ConfigurationError(
+                f"campaign {campaign_name!r} is configured for "
+                f"{config.technique!r}, not pin-level injection"
+            )
+        return self._campaign_loop(config, self._run_scifi_experiment, resume=resume)
+
+    def fault_injector_swifi_preruntime(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+        """Pre-runtime SWIFI: corrupt the memory image, then run."""
+        config = self.read_campaign_data(campaign_name)
+        if config.technique != TECHNIQUE_SWIFI_PRERUNTIME:
+            raise ConfigurationError(
+                f"campaign {campaign_name!r} is configured for "
+                f"{config.technique!r}, not pre-runtime SWIFI"
+            )
+        return self._campaign_loop(config, self._run_swifi_preruntime_experiment, resume=resume)
+
+    def fault_injector_swifi_runtime(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+        """Runtime SWIFI (future-work extension)."""
+        config = self.read_campaign_data(campaign_name)
+        if config.technique != TECHNIQUE_SWIFI_RUNTIME:
+            raise ConfigurationError(
+                f"campaign {campaign_name!r} is configured for "
+                f"{config.technique!r}, not runtime SWIFI"
+            )
+        return self._campaign_loop(config, self._run_swifi_runtime_experiment, resume=resume)
+
+    # ------------------------------------------------------------------
+    # Shared campaign skeleton
+    # ------------------------------------------------------------------
+    def read_campaign_data(self, campaign_name: str) -> CampaignConfig:
+        """``readCampaignData``: load the configuration from the DB."""
+        record = self.db.load_campaign(campaign_name)
+        config = CampaignConfig.from_dict(record.config)
+        if config.target != self.target.target_name:
+            raise ConfigurationError(
+                f"campaign {campaign_name!r} targets {config.target!r} but the "
+                f"attached interface is {self.target.target_name!r}"
+            )
+        return config
+
+    def make_reference_run(self, config: CampaignConfig) -> ReferenceTrace:
+        """``makeReferenceRun``: execute the workload fault-free, record
+        the trace, and log the fault-free state to the database."""
+        self._prepare_target(config)
+        info, trace = self.target.record_trace(config.termination)
+        if info.outcome != "workload_end":
+            raise ConfigurationError(
+                f"reference run of workload {config.workload!r} did not finish "
+                f"cleanly (outcome {info.outcome!r}); fix the campaign's "
+                f"termination conditions before injecting faults"
+            )
+        final_state = self.target.capture_state(config.observation)
+        state_vector: dict = {"termination": info.to_dict(), "final": final_state}
+        if config.logging_mode == LOGGING_DETAIL:
+            # Detail mode compares per-instruction states against the
+            # reference, so the reference itself needs a stepped run.
+            self._prepare_target(config)
+            self.target.run_workload()
+            _, steps = self._detailed_run(config)
+            state_vector["steps"] = steps
+        record = ExperimentRecord(
+            experiment_name=reference_name(config.name),
+            campaign_name=config.name,
+            experiment_data={"technique": "reference", "workload": config.workload},
+            state_vector=state_vector,
+        )
+        self.db.replace_experiment(record)
+        self.reference_trace = trace
+        return trace
+
+    def _campaign_loop(
+        self, config: CampaignConfig, run_experiment, resume: bool = False
+    ) -> CampaignResult:
+        if resume:
+            already_logged = {
+                record.experiment_name
+                for record in self.db.iter_experiments(config.name)
+            }
+        else:
+            # A fresh run of a campaign replaces its previously logged
+            # results (re-runs with other parameters belong in a new or
+            # merged campaign).
+            already_logged = set()
+            self.db.delete_campaign_experiments(config.name)
+        trace = self.make_reference_run(config)
+        plan = PlanGenerator(config, self.target.location_space(), trace).generate()
+        remaining = [spec for spec in plan if spec.name not in already_logged]
+        progress = self.progress
+        progress.start(config.name, len(remaining))
+        self.db.set_campaign_status(config.name, "running")
+        completed = 0
+        aborted = False
+        pending: list[ExperimentRecord] = []
+        for spec in remaining:
+            if progress.abort_requested:
+                aborted = True
+                break
+            record = run_experiment(config, spec, trace)
+            pending.append(record)
+            if len(pending) >= 64:
+                self.db.save_experiments(pending)
+                pending = []
+            completed += 1
+            outcome = record.state_vector["termination"]["outcome"]
+            progress.experiment_done(spec.name, outcome)
+        if pending:
+            self.db.save_experiments(pending)
+        progress.finish()
+        self.db.set_campaign_status(config.name, "aborted" if aborted else "completed")
+        return CampaignResult(
+            campaign_name=config.name,
+            experiments_run=completed,
+            experiments_planned=len(remaining),
+            aborted=aborted,
+            elapsed_seconds=progress.elapsed_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Experiment bodies
+    # ------------------------------------------------------------------
+    def _prepare_target(self, config: CampaignConfig) -> None:
+        """initTestCard + loadWorkload + environment attachment — the
+        common preamble of every experiment and of the reference run."""
+        target = self.target
+        target.init_test_card()
+        environment = None
+        if config.environment is not None:
+            environment = create_environment(
+                config.environment["name"], config.environment.get("params")
+            )
+        target.set_environment(environment)
+        target.load_workload(config.workload)
+
+    def _run_scifi_experiment(
+        self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
+    ) -> ExperimentRecord:
+        """One SCIFI experiment: the inner loop of Figure 2."""
+        target = self.target
+        self._prepare_target(config)
+        target.run_workload()
+
+        applied: list[dict] = []
+        ended_early: TerminationInfo | None = None
+        for cycle, fault in self._injection_schedule(spec, trace):
+            ended_early = target.wait_for_breakpoint(cycle)
+            if ended_early is not None:
+                applied.append(self._fault_entry(fault, cycle, applied_flag=False))
+                continue
+            self._apply_scan_fault(fault, cycle, spec.seed)
+            applied.append(self._fault_entry(fault, cycle, applied_flag=True))
+
+        return self._finish_experiment(config, spec, applied, ended_early)
+
+    def _run_swifi_preruntime_experiment(
+        self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
+    ) -> ExperimentRecord:
+        """One pre-runtime SWIFI experiment: corrupt the image, run."""
+        target = self.target
+        self._prepare_target(config)
+        applied: list[dict] = []
+        for fault in spec.faults:
+            location = fault.location
+            if location.kind != KIND_MEMORY:
+                raise ConfigurationError(
+                    f"pre-runtime SWIFI cannot inject into {location.label()}"
+                )
+            word = target.read_memory(location.address, 1)[0]
+            target.write_memory(location.address, [word ^ (1 << location.bit)])
+            applied.append(self._fault_entry(fault, 0, applied_flag=True))
+        target.run_workload()
+        return self._finish_experiment(config, spec, applied, None)
+
+    def _run_swifi_runtime_experiment(
+        self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
+    ) -> ExperimentRecord:
+        """One runtime SWIFI experiment: stop at the trigger and corrupt
+        memory (or an architecturally visible register) via the host
+        debugger link, then resume."""
+        target = self.target
+        self._prepare_target(config)
+        target.run_workload()
+
+        applied: list[dict] = []
+        ended_early: TerminationInfo | None = None
+        for cycle, fault in self._injection_schedule(spec, trace):
+            ended_early = target.wait_for_breakpoint(cycle)
+            if ended_early is not None:
+                applied.append(self._fault_entry(fault, cycle, applied_flag=False))
+                continue
+            location = fault.location
+            if location.kind == KIND_MEMORY:
+                word = target.read_memory(location.address, 1)[0]
+                target.write_memory(location.address, [word ^ (1 << location.bit)])
+            elif location.element.startswith("regs."):
+                self._apply_scan_fault(fault, cycle, spec.seed)
+            else:
+                raise ConfigurationError(
+                    f"runtime SWIFI reaches memory and registers only, "
+                    f"not {location.label()}"
+                )
+            applied.append(self._fault_entry(fault, cycle, applied_flag=True))
+
+        return self._finish_experiment(config, spec, applied, ended_early)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _injection_schedule(
+        spec: ExperimentSpec, trace: ReferenceTrace
+    ) -> list[tuple[int, PlannedFault]]:
+        """Resolve every fault's trigger against the reference trace and
+        order the injections by time."""
+        schedule = [(fault.trigger.resolve(trace), fault) for fault in spec.faults]
+        schedule.sort(key=lambda item: item[0])
+        return schedule
+
+    def _apply_scan_fault(self, fault: PlannedFault, cycle: int, seed: int) -> None:
+        """readScanChain / injectFault / writeScanChain for transients;
+        overlay installation for permanent and intermittent models."""
+        location = fault.location
+        if location.kind != KIND_SCAN:
+            raise TargetError(f"scan injection got {location.label()}")
+        if is_transient(fault.model):
+            self.target.read_scan_chain(location.chain)
+            self.target.inject_fault(location)
+            self.target.write_scan_chain(location.chain)
+        else:
+            self.target.install_fault_overlay(location, fault.model, seed)
+
+    @staticmethod
+    def _fault_entry(fault: PlannedFault, cycle: int, applied_flag: bool) -> dict:
+        entry = fault.to_dict()
+        entry["injection_cycle"] = cycle
+        entry["applied"] = applied_flag
+        return entry
+
+    def _finish_experiment(
+        self,
+        config: CampaignConfig,
+        spec: ExperimentSpec,
+        applied: list[dict],
+        ended_early: TerminationInfo | None,
+    ) -> ExperimentRecord:
+        """waitForTermination + readMemory + readScanChain: run to the
+        end and log the observed state."""
+        if ended_early is not None:
+            info = ended_early
+            steps: list[dict] | None = None
+        elif config.logging_mode == LOGGING_DETAIL:
+            info, steps = self._detailed_run(config)
+        else:
+            info = self.target.wait_for_termination(config.termination)
+            steps = None
+        final_state = self.target.capture_state(config.observation)
+        state_vector: dict = {"termination": info.to_dict(), "final": final_state}
+        if steps is not None:
+            state_vector["steps"] = steps
+        return ExperimentRecord(
+            experiment_name=spec.name,
+            campaign_name=config.name,
+            experiment_data={
+                "technique": config.technique,
+                "index": spec.index,
+                "seed": spec.seed,
+                "faults": applied,
+            },
+            state_vector=state_vector,
+        )
+
+    def _detailed_run(self, config: CampaignConfig) -> tuple[TerminationInfo, list[dict]]:
+        """Detail mode: single-step to termination, logging the system
+        state every ``detail_period`` instructions."""
+        target = self.target
+        steps: list[dict] = []
+        period = config.detail_period
+        executed = 0
+        while True:
+            info = target.single_step(config.termination)
+            executed += 1
+            if executed % period == 0 or info is not None:
+                steps.append(
+                    {
+                        "cycle": target.current_cycle(),
+                        "state": target.capture_state(config.observation),
+                    }
+                )
+            if info is not None:
+                return info, steps
+
+    # ------------------------------------------------------------------
+    # Re-run support (parentExperiment workflow)
+    # ------------------------------------------------------------------
+    def rerun_experiment_detailed(
+        self, experiment_name_to_rerun: str, new_experiment_name: str | None = None
+    ) -> ExperimentRecord:
+        """Re-run a logged experiment in detail mode, logging the state
+        after each machine instruction, and store it with
+        ``parentExperiment`` pointing at the original — the paper's
+        E1/E2 investigation workflow (§2.3).
+        """
+        parent = self.db.load_experiment(experiment_name_to_rerun)
+        config = self.read_campaign_data(parent.campaign_name)
+        detail_config = CampaignConfig.from_dict(
+            {**config.to_dict(), "logging_mode": LOGGING_DETAIL, "detail_period": 1}
+        )
+        technique = parent.experiment_data["technique"]
+        if technique == "reference":
+            # Re-running the fault-free reference in detail mode gives
+            # the per-instruction baseline that propagation analysis
+            # diffs faulty re-runs against.
+            technique = config.technique
+            faults = []
+        else:
+            faults = [
+                PlannedFault.from_dict(entry)
+                for entry in parent.experiment_data["faults"]
+            ]
+        spec = ExperimentSpec(
+            name=new_experiment_name or f"{experiment_name_to_rerun}/detail",
+            index=int(parent.experiment_data.get("index", 0)),
+            faults=tuple(faults),
+            seed=int(parent.experiment_data.get("seed", detail_config.seed)),
+        )
+        trace = self.reference_trace
+        if trace is None:
+            self._prepare_target(detail_config)
+            _, trace = self.target.record_trace(detail_config.termination)
+            self.reference_trace = trace
+        runners = {
+            TECHNIQUE_SCIFI: self._run_scifi_experiment,
+            TECHNIQUE_PINLEVEL: self._run_scifi_experiment,
+            TECHNIQUE_SWIFI_PRERUNTIME: self._run_swifi_preruntime_experiment,
+            TECHNIQUE_SWIFI_RUNTIME: self._run_swifi_runtime_experiment,
+        }
+        try:
+            runner = runners[technique]
+        except KeyError:
+            raise ConfigurationError(f"cannot re-run technique {technique!r}") from None
+        record = runner(detail_config, spec, trace)
+        record = ExperimentRecord(
+            experiment_name=spec.name,
+            campaign_name=record.campaign_name,
+            experiment_data=record.experiment_data,
+            state_vector=record.state_vector,
+            parent_experiment=parent.experiment_name,
+        )
+        self.db.save_experiment(record)
+        return record
+
+
+def register_target_system(db: GoofiDatabase, target: TargetSystemInterface) -> None:
+    """Configuration phase: store the target's description in
+    ``TargetSystemData`` (what the paper's Figure 5 GUI does)."""
+    db.save_target(
+        TargetSystemRecord(
+            target_name=target.target_name,
+            test_card_name=target.test_card_name,
+            config=target.describe(),
+        )
+    )
+
+
+def store_campaign(db: GoofiDatabase, config: CampaignConfig) -> None:
+    """Set-up phase: store a campaign configuration in ``CampaignData``."""
+    db.save_campaign(
+        CampaignRecord(
+            campaign_name=config.name,
+            target_name=config.target,
+            test_card_name="",
+            config=config.to_dict(),
+        )
+    )

@@ -1,0 +1,25 @@
+"""Exception hierarchy of the GOOFI core layers."""
+
+from __future__ import annotations
+
+
+class GoofiError(Exception):
+    """Base class for all tool-level errors."""
+
+
+class ConfigurationError(GoofiError):
+    """A campaign or target configuration is inconsistent or incomplete."""
+
+
+class TargetError(GoofiError):
+    """The target-system interface failed an operation (e.g. a scan
+    chain or workload the target does not have)."""
+
+
+class CampaignAborted(GoofiError):
+    """A campaign run was ended early through the progress controller
+    (the paper's progress window offers pause / restart / end)."""
+
+
+class AnalysisError(GoofiError):
+    """The analysis phase could not interpret logged data."""

@@ -1,0 +1,105 @@
+"""Fault models.
+
+"The tool currently supports the bit-flip fault model" — plus, from the
+paper's future-extensions list, "additional fault models such as
+intermittent and permanent faults".  All three are implemented:
+
+:class:`TransientBitFlip`
+    The location's bit is inverted once, at the trigger time.  Multiple-
+    bit transient faults ("single or multiple transient bit-flip
+    faults") are experiments carrying several transient flips.
+:class:`StuckAt`
+    A permanent fault: from the trigger time to the end of the run the
+    bit is forced to 0 or 1 after every executed instruction.
+:class:`IntermittentBitFlip`
+    During an activity window starting at the trigger time, the bit is
+    re-inverted at random instants with a per-cycle activation
+    probability.
+
+Transient flips are performed by the fault-injection algorithm itself
+through the scan chains (read → invert → write back).  Permanent and
+intermittent faults need the fault to *stay* applied while the workload
+runs, which hardware scan chains cannot do; the simulated target
+provides a fault-overlay hook for them
+(:meth:`repro.core.framework.TargetSystemInterface.install_fault_overlay`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+MODEL_TRANSIENT = "transient_bitflip"
+MODEL_STUCK_AT = "stuck_at"
+MODEL_INTERMITTENT = "intermittent_bitflip"
+
+
+@dataclass(frozen=True, slots=True)
+class TransientBitFlip:
+    """Invert the target bit once at the trigger time."""
+
+    name = MODEL_TRANSIENT
+
+    def to_dict(self) -> dict:
+        return {"model": self.name}
+
+
+@dataclass(frozen=True, slots=True)
+class StuckAt:
+    """Force the target bit to ``value`` from the trigger time onwards."""
+
+    value: int
+
+    name = MODEL_STUCK_AT
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ConfigurationError(f"stuck-at value must be 0 or 1, not {self.value}")
+
+    def to_dict(self) -> dict:
+        return {"model": self.name, "value": self.value}
+
+
+@dataclass(frozen=True, slots=True)
+class IntermittentBitFlip:
+    """Randomly re-invert the target bit during an activity window.
+
+    ``duration`` is the window length in cycles from the trigger time;
+    ``activity`` is the per-cycle probability of a flip while active.
+    """
+
+    duration: int
+    activity: float = 0.05
+
+    name = MODEL_INTERMITTENT
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("intermittent fault duration must be positive")
+        if not 0.0 < self.activity <= 1.0:
+            raise ConfigurationError("intermittent activity must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        return {"model": self.name, "duration": self.duration, "activity": self.activity}
+
+
+FaultModel = TransientBitFlip | StuckAt | IntermittentBitFlip
+
+
+def model_from_dict(data: dict) -> FaultModel:
+    """Deserialise a fault model stored in campaign/experiment data."""
+    name = data.get("model")
+    if name == MODEL_TRANSIENT:
+        return TransientBitFlip()
+    if name == MODEL_STUCK_AT:
+        return StuckAt(value=int(data["value"]))
+    if name == MODEL_INTERMITTENT:
+        return IntermittentBitFlip(
+            duration=int(data["duration"]), activity=float(data.get("activity", 0.05))
+        )
+    raise ConfigurationError(f"unknown fault model {name!r}")
+
+
+def is_transient(model: FaultModel) -> bool:
+    return isinstance(model, TransientBitFlip)

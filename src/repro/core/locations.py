@@ -1,0 +1,300 @@
+"""Fault-injection locations and the hierarchical location space.
+
+The paper's set-up phase presents "the fault injection locations from a
+hierarchical list of possible locations" (Figure 6): scan chains contain
+groups (register file, control registers, cache arrays, pins), groups
+contain named elements, elements contain bits.  Memory areas are
+locations too — that is where pre-runtime SWIFI injects.
+
+A :class:`Location` pins one *bit*: the atomic unit the bit-flip fault
+model operates on.  A :class:`LocationSpace` describes everything a
+target offers and supports glob-style selection, which is how campaigns
+say "all register bits" (``internal:regs.*``) or "the data area"
+(``memory:data``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+#: Location kinds.
+KIND_SCAN = "scan"
+KIND_MEMORY = "memory"
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """One injectable (or observable) bit in the target system.
+
+    Scan locations name a chain element bit::
+
+        Location(kind="scan", chain="internal", element="regs.R3", bit=7)
+
+    Memory locations name an address bit::
+
+        Location(kind="memory", address=0x4010, bit=31)
+    """
+
+    kind: str
+    bit: int
+    chain: str = ""
+    element: str = ""
+    address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_SCAN, KIND_MEMORY):
+            raise ConfigurationError(f"unknown location kind {self.kind!r}")
+        if self.bit < 0:
+            raise ConfigurationError(f"negative bit index {self.bit}")
+        if self.kind == KIND_SCAN and (not self.chain or not self.element):
+            raise ConfigurationError("scan locations need a chain and element name")
+
+    def label(self) -> str:
+        """Human- and database-friendly spelling, e.g.
+        ``internal:regs.R3[7]`` or ``memory:0x4010[31]``."""
+        if self.kind == KIND_SCAN:
+            return f"{self.chain}:{self.element}[{self.bit}]"
+        return f"memory:0x{self.address:04X}[{self.bit}]"
+
+    @property
+    def element_key(self) -> str:
+        """Key identifying the containing element (ignoring the bit)."""
+        if self.kind == KIND_SCAN:
+            return f"{self.chain}:{self.element}"
+        return f"memory:0x{self.address:04X}"
+
+    def to_dict(self) -> dict:
+        if self.kind == KIND_SCAN:
+            return {"kind": self.kind, "chain": self.chain, "element": self.element, "bit": self.bit}
+        return {"kind": self.kind, "address": self.address, "bit": self.bit}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Location":
+        if data["kind"] == KIND_SCAN:
+            return cls(
+                kind=KIND_SCAN,
+                chain=data["chain"],
+                element=data["element"],
+                bit=int(data["bit"]),
+            )
+        return cls(kind=KIND_MEMORY, address=int(data["address"]), bit=int(data["bit"]))
+
+    @classmethod
+    def parse(cls, label: str) -> "Location":
+        """Inverse of :meth:`label`."""
+        body, _, bit_part = label.rpartition("[")
+        if not bit_part.endswith("]"):
+            raise ConfigurationError(f"bad location label {label!r}")
+        bit = int(bit_part[:-1])
+        prefix, _, rest = body.partition(":")
+        if prefix == "memory":
+            return cls(kind=KIND_MEMORY, address=int(rest, 0), bit=bit)
+        return cls(kind=KIND_SCAN, chain=prefix, element=rest, bit=bit)
+
+
+@dataclass(frozen=True, slots=True)
+class ScanElementInfo:
+    """Description of a scan element within a location space."""
+
+    chain: str
+    name: str
+    width: int
+    writable: bool
+
+    @property
+    def key(self) -> str:
+        return f"{self.chain}:{self.name}"
+
+    @property
+    def group(self) -> str:
+        """Hierarchy group: the prefix before the first '.', e.g.
+        ``regs``, ``ctrl``, ``icache``, ``pins``."""
+        return self.name.split(".")[0]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryRegionInfo:
+    """A named, injectable memory region (program/data area)."""
+
+    name: str  # "program" | "data" | custom
+    base: int
+    limit: int  # exclusive
+    word_bits: int = 32
+
+    @property
+    def words(self) -> int:
+        return self.limit - self.base
+
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.word_bits
+
+
+@dataclass(slots=True)
+class LocationSpace:
+    """Everything a target offers for injection and observation.
+
+    Built from the target's ``TargetSystemData`` configuration; the
+    campaign set-up phase selects subsets of it with glob patterns:
+
+    * ``"<chain>:<element-glob>"`` — scan elements, e.g.
+      ``internal:regs.*`` or ``internal:icache.line*.data``;
+    * ``"memory:<region-name>"`` — a whole memory region.
+    """
+
+    scan_elements: list[ScanElementInfo] = field(default_factory=list)
+    memory_regions: list[MemoryRegionInfo] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction / serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_target_config(cls, config: dict) -> "LocationSpace":
+        """Build from the ``configJson`` stored in ``TargetSystemData``
+        (the dict produced by :meth:`to_config`)."""
+        scan = [
+            ScanElementInfo(
+                chain=entry["chain"],
+                name=entry["name"],
+                width=int(entry["width"]),
+                writable=bool(entry["writable"]),
+            )
+            for entry in config.get("scan_elements", [])
+        ]
+        regions = [
+            MemoryRegionInfo(
+                name=entry["name"],
+                base=int(entry["base"]),
+                limit=int(entry["limit"]),
+                word_bits=int(entry.get("word_bits", 32)),
+            )
+            for entry in config.get("memory_regions", [])
+        ]
+        return cls(scan_elements=scan, memory_regions=regions)
+
+    def to_config(self) -> dict:
+        return {
+            "scan_elements": [
+                {
+                    "chain": e.chain,
+                    "name": e.name,
+                    "width": e.width,
+                    "writable": e.writable,
+                }
+                for e in self.scan_elements
+            ],
+            "memory_regions": [
+                {"name": r.name, "base": r.base, "limit": r.limit, "word_bits": r.word_bits}
+                for r in self.memory_regions
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def element(self, chain: str, name: str) -> ScanElementInfo:
+        for info in self.scan_elements:
+            if info.chain == chain and info.name == name:
+                return info
+        raise ConfigurationError(f"no scan element {chain}:{name} in location space")
+
+    def region(self, name: str) -> MemoryRegionInfo:
+        for info in self.memory_regions:
+            if info.name == name:
+                return info
+        raise ConfigurationError(f"no memory region {name!r} in location space")
+
+    def groups(self, chain: str) -> dict[str, list[ScanElementInfo]]:
+        """The hierarchical view of one chain: group -> elements
+        (the paper's Figure 6 tree)."""
+        tree: dict[str, list[ScanElementInfo]] = {}
+        for info in self.scan_elements:
+            if info.chain == chain:
+                tree.setdefault(info.group, []).append(info)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self, patterns: list[str], writable_only: bool = True) -> "LocationSelection":
+        """Resolve glob patterns to a concrete selection of injectable
+        bits.  Raises :class:`ConfigurationError` when a pattern matches
+        nothing — silently empty selections hide configuration typos.
+        """
+        elements: list[ScanElementInfo] = []
+        regions: list[MemoryRegionInfo] = []
+        seen_elements: set[str] = set()
+        seen_regions: set[str] = set()
+        for pattern in patterns:
+            prefix, _, rest = pattern.partition(":")
+            matched = False
+            if prefix == "memory":
+                for info in self.memory_regions:
+                    if fnmatch.fnmatchcase(info.name, rest):
+                        matched = True
+                        if info.name not in seen_regions:
+                            seen_regions.add(info.name)
+                            regions.append(info)
+            else:
+                for info in self.scan_elements:
+                    if info.chain != prefix:
+                        continue
+                    if writable_only and not info.writable:
+                        continue
+                    if fnmatch.fnmatchcase(info.name, rest):
+                        matched = True
+                        if info.key not in seen_elements:
+                            seen_elements.add(info.key)
+                            elements.append(info)
+            if not matched:
+                raise ConfigurationError(f"location pattern {pattern!r} matched nothing")
+        return LocationSelection(elements=elements, regions=regions)
+
+
+@dataclass(slots=True)
+class LocationSelection:
+    """A resolved set of injectable bits, uniformly samplable.
+
+    Sampling is uniform over *bits*, matching the flat bit-flip space a
+    scan-chain injector sees: a 32-bit register contributes 32 candidate
+    faults, a 1-bit parity cell contributes one.
+    """
+
+    elements: list[ScanElementInfo]
+    regions: list[MemoryRegionInfo]
+
+    def total_bits(self) -> int:
+        scan_bits = sum(e.width for e in self.elements)
+        memory_bits = sum(r.total_bits for r in self.regions)
+        return scan_bits + memory_bits
+
+    def bit_at(self, index: int) -> Location:
+        """The ``index``-th bit of the selection (scan elements first,
+        then memory regions, in selection order)."""
+        if index < 0:
+            raise ConfigurationError(f"negative bit index {index}")
+        remaining = index
+        for info in self.elements:
+            if remaining < info.width:
+                return Location(
+                    kind=KIND_SCAN, chain=info.chain, element=info.name, bit=remaining
+                )
+            remaining -= info.width
+        for region in self.regions:
+            if remaining < region.total_bits:
+                word, bit = divmod(remaining, region.word_bits)
+                return Location(kind=KIND_MEMORY, address=region.base + word, bit=bit)
+            remaining -= region.total_bits
+        raise ConfigurationError(
+            f"bit index {index} out of range (selection has {self.total_bits()} bits)"
+        )
+
+    def sample(self, rng) -> Location:
+        """Draw one location uniformly at random over all bits."""
+        total = self.total_bits()
+        if total == 0:
+            raise ConfigurationError("cannot sample from an empty location selection")
+        return self.bit_at(int(rng.integers(total)))

@@ -1,0 +1,241 @@
+"""Pre-injection liveness analysis (paper §4, future extensions).
+
+"The purpose of this analysis is to determine when registers and other
+fault injection locations hold live data.  Injecting a fault into a
+location that does not hold live data serves no purpose, since the
+fault will be overwritten."
+
+Given the reference trace, a location is *live at cycle t* when the
+first access at or after ``t`` is a **read**: the corrupted value would
+be consumed.  If the next access is a write (or the location is never
+accessed again), a fault injected at ``t`` is overwritten or stays
+dormant — a wasted experiment.
+
+The analysis covers the locations whose data flow the trace captures:
+the general registers (``internal:regs.Rn``) and memory words.  Control
+state (PC, PSW, IR, ...) and cache arrays are conservatively treated as
+always-live, since a corruption there can act immediately.
+
+This is the idea the GOOFI group later expanded into optimised
+fault-injection ("injection into live registers only"); here it powers
+the plan filter used by campaign generation and the E5 efficiency
+benchmark.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+from .locations import KIND_MEMORY, KIND_SCAN, Location, LocationSelection
+from .triggers import ReferenceTrace
+
+
+@dataclass(frozen=True, slots=True)
+class LiveInterval:
+    """A half-open cycle interval ``[start, end)`` during which a fault
+    would be consumed by the read that closes the interval at ``end``."""
+
+    start: int
+    end: int
+
+    def __contains__(self, cycle: int) -> bool:
+        return self.start <= cycle < self.end
+
+
+def _live_intervals(events: list[tuple[int, str]]) -> list[LiveInterval]:
+    """Live intervals from a chronological (cycle, kind) event list.
+
+    An injection at cycle ``t`` happens *before* the instruction of
+    cycle ``t`` executes, so an access at exactly ``t`` is the first
+    access "after" the fault.  A read at cycle ``c`` therefore makes
+    ``(previous_access, c]`` live — expressed half-open on injection
+    cycles as ``[prev + 1, c + 1)``.  The location is also live from
+    cycle 0 up to a leading read (initial data loaded before start).
+    """
+    intervals: list[LiveInterval] = []
+    previous = -1
+    for cycle, kind in events:
+        if kind == "read":
+            start = previous + 1
+            if start <= cycle:
+                if intervals and intervals[-1].end == start:
+                    intervals[-1] = LiveInterval(intervals[-1].start, cycle + 1)
+                else:
+                    intervals.append(LiveInterval(start, cycle + 1))
+        previous = cycle
+    # Merge adjacent reads with no intervening write: handled above via
+    # interval extension when start == last.end.
+    return intervals
+
+
+@dataclass(slots=True)
+class LivenessAnalysis:
+    """Per-location liveness derived from one reference trace."""
+
+    trace: ReferenceTrace
+    #: Location element keys treated as always-live (control state).
+    always_live_prefixes: tuple[str, ...] = (
+        "ctrl.",
+        "icache.",
+        "dcache.",
+        "pins.",
+    )
+    _register_intervals: dict[int, list[LiveInterval]] = field(default_factory=dict)
+    _memory_intervals: dict[int, list[LiveInterval]] = field(default_factory=dict)
+    _memory_indexed: bool = False
+
+    # ------------------------------------------------------------------
+    def register_intervals(self, register: int) -> list[LiveInterval]:
+        if register not in self._register_intervals:
+            events = self.trace.reg_events(register)
+            self._register_intervals[register] = _live_intervals(events)
+        return self._register_intervals[register]
+
+    def memory_intervals(self, address: int) -> list[LiveInterval]:
+        if not self._memory_indexed:
+            per_address: dict[int, list[tuple[int, str]]] = {}
+            for cycle, kind, addr in self.trace.mem_accesses:
+                per_address.setdefault(addr, []).append((cycle, kind))
+            self._memory_intervals = {
+                addr: _live_intervals(events)
+                for addr, events in per_address.items()
+            }
+            self._memory_indexed = True
+        return self._memory_intervals.get(address, [])
+
+    def accessed_addresses(self) -> list[int]:
+        """Memory addresses the reference run touched (the only ones
+        that can have live intervals)."""
+        self.memory_intervals(0)  # force the index
+        return list(self._memory_intervals)
+
+    # ------------------------------------------------------------------
+    def intervals_for(self, location: Location) -> list[LiveInterval] | None:
+        """Live intervals of a location, or ``None`` when the analysis
+        cannot reason about it (always-live fallback)."""
+        if location.kind == KIND_MEMORY:
+            return self.memory_intervals(location.address)
+        if location.kind == KIND_SCAN:
+            element = location.element
+            if element.startswith("regs.R"):
+                return self.register_intervals(int(element.removeprefix("regs.R")))
+            for prefix in self.always_live_prefixes:
+                if element.startswith(prefix):
+                    return None
+        return None
+
+    def is_live(self, location: Location, cycle: int) -> bool:
+        """Would a fault at ``cycle`` in ``location`` be consumed?
+
+        Unanalysable (control/cache/pin) locations report live — the
+        filter must never *add* spurious experiments, only skip provably
+        wasted ones.
+        """
+        intervals = self.intervals_for(location)
+        if intervals is None:
+            return True
+        index = bisect_left([iv.end for iv in intervals], cycle + 1)
+        return index < len(intervals) and cycle in intervals[index]
+
+    def live_fraction(self, location: Location, window: tuple[int, int]) -> float:
+        """Fraction of the injection window during which the location is
+        live (the paper's efficiency argument, quantified)."""
+        lo, hi = window
+        if hi <= lo:
+            raise ConfigurationError(f"empty window {window}")
+        intervals = self.intervals_for(location)
+        if intervals is None:
+            return 1.0
+        covered = 0
+        for interval in intervals:
+            covered += max(0, min(interval.end, hi) - max(interval.start, lo))
+        return covered / (hi - lo)
+
+
+@dataclass(slots=True)
+class PreInjectionFilter:
+    """Samples (location, cycle) pairs that pass the liveness test.
+
+    ``max_attempts_per_sample`` bounds rejection sampling; when a
+    selection is almost entirely dead in the window the filter falls
+    back to direct interval sampling per location.
+    """
+
+    analysis: LivenessAnalysis
+    max_attempts_per_sample: int = 200
+
+    def sample(
+        self,
+        selection: LocationSelection,
+        window: tuple[int, int],
+        rng,
+    ) -> tuple[Location, int]:
+        lo, hi = window
+        for _ in range(self.max_attempts_per_sample):
+            location = selection.sample(rng)
+            cycle = int(rng.integers(lo, hi))
+            if self.analysis.is_live(location, cycle):
+                return location, cycle
+        # Rejection sampling failed: enumerate every element of the
+        # selection deterministically and sample within the live windows
+        # of those that have any (weighted by window length).
+        candidates: list[tuple[Location, list[tuple[int, int]], int]] = []
+        for info in selection.elements:
+            location = Location(
+                kind=KIND_SCAN,
+                chain=info.chain,
+                element=info.name,
+                bit=int(rng.integers(info.width)),
+            )
+            windows = self._clamped_windows(location, lo, hi)
+            if windows is None:
+                return location, int(rng.integers(lo, hi))
+            if windows:
+                total = sum(end - start for start, end in windows)
+                candidates.append((location, windows, total))
+        for region in selection.regions:
+            # Only addresses the reference run ever read can be live.
+            for address in sorted(self.analysis.accessed_addresses()):
+                if not region.base <= address < region.limit:
+                    continue
+                location = Location(
+                    kind=KIND_MEMORY,
+                    address=address,
+                    bit=int(rng.integers(region.word_bits)),
+                )
+                windows = self._clamped_windows(location, lo, hi)
+                if windows:
+                    total = sum(end - start for start, end in windows)
+                    candidates.append((location, windows, total))
+        if not candidates:
+            raise ConfigurationError(
+                "pre-injection analysis found no live (location, time) pair; "
+                "widen the injection window or the location selection"
+            )
+        grand_total = sum(total for _loc, _win, total in candidates)
+        offset = int(rng.integers(grand_total))
+        for location, windows, total in candidates:
+            if offset >= total:
+                offset -= total
+                continue
+            for start, end in windows:
+                if offset < end - start:
+                    return location, start + offset
+                offset -= end - start
+        raise AssertionError("weighted window sampling fell through")  # pragma: no cover
+
+    def _clamped_windows(
+        self, location: Location, lo: int, hi: int
+    ) -> list[tuple[int, int]] | None:
+        """Live windows of ``location`` clamped to [lo, hi); ``None``
+        when the analysis treats the location as always-live."""
+        intervals = self.analysis.intervals_for(location)
+        if intervals is None:
+            return None
+        return [
+            (max(iv.start, lo), min(iv.end, hi))
+            for iv in intervals
+            if min(iv.end, hi) > max(iv.start, lo)
+        ]

@@ -1,0 +1,117 @@
+"""Campaign progress monitoring and control.
+
+The paper's progress window (Figure 7) lets the user watch "the number
+of faults injected" and "pause, restart or end the campaign".  This is
+the headless equivalent: a :class:`ProgressReporter` the campaign loop
+notifies after every experiment, with a control knob the observer can
+flip to pause or abort.  The CLI and the examples attach simple
+callbacks; tests attach recording observers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """Snapshot sent to observers after each experiment."""
+
+    campaign_name: str
+    completed: int
+    total: int
+    experiment_name: str
+    outcome: str
+    elapsed_seconds: float
+
+    @property
+    def fraction(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+
+@dataclass(slots=True)
+class ProgressReporter:
+    """Mutable campaign progress state with observer callbacks.
+
+    The campaign loop calls :meth:`start`, then :meth:`experiment_done`
+    per experiment (which blocks while paused and raises through the
+    runner when ended), then :meth:`finish`.
+    """
+
+    observers: list[Callable[[ProgressEvent], None]] = field(default_factory=list)
+    poll_interval: float = 0.01
+
+    campaign_name: str = ""
+    total: int = 0
+    completed: int = 0
+    _paused: bool = False
+    _abort_requested: bool = False
+    _started_at: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Control (the pause / restart / end buttons)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    def end(self) -> None:
+        """Request the campaign to stop after the current experiment."""
+        self._abort_requested = True
+        self._paused = False
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def abort_requested(self) -> bool:
+        return self._abort_requested
+
+    # ------------------------------------------------------------------
+    # Campaign-loop side
+    # ------------------------------------------------------------------
+    def start(self, campaign_name: str, total: int) -> None:
+        self.campaign_name = campaign_name
+        self.total = total
+        self.completed = 0
+        self._abort_requested = False
+        self._paused = False
+        self._started_at = time.monotonic()
+
+    def experiment_done(self, experiment_name: str, outcome: str) -> None:
+        """Record one finished experiment and notify observers.  Blocks
+        while paused (unless an end request arrives)."""
+        self.completed += 1
+        event = ProgressEvent(
+            campaign_name=self.campaign_name,
+            completed=self.completed,
+            total=self.total,
+            experiment_name=experiment_name,
+            outcome=outcome,
+            elapsed_seconds=time.monotonic() - self._started_at,
+        )
+        for observer in self.observers:
+            observer(event)
+        while self._paused and not self._abort_requested:
+            time.sleep(self.poll_interval)
+
+    def finish(self) -> None:
+        self._paused = False
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return time.monotonic() - self._started_at if self._started_at else 0.0
+
+
+def console_observer(event: ProgressEvent) -> None:
+    """A ready-made observer printing one line per experiment block."""
+    if event.completed == event.total or event.completed % 50 == 0:
+        print(
+            f"[{event.campaign_name}] {event.completed}/{event.total} "
+            f"experiments ({event.fraction:.0%}), last outcome: {event.outcome}"
+        )

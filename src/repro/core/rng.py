@@ -1,0 +1,25 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic choice in a campaign (fault locations, injection times,
+intermittent-fault activations) derives from the campaign seed, so a
+campaign re-run with the same seed produces the same experiment plan —
+the property that makes the ``parentExperiment`` re-run workflow of the
+paper (re-running experiment E1 as E2 in detail mode) reproduce the same
+fault.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def campaign_rng(seed: int) -> np.random.Generator:
+    """The plan-generation stream of a campaign."""
+    return np.random.default_rng(seed)
+
+
+def experiment_seed(campaign_seed: int, index: int) -> int:
+    """A stable per-experiment sub-seed (for intermittent fault
+    activations and any other in-run randomness)."""
+    mixed = np.random.SeedSequence([campaign_seed, index]).generate_state(1)[0]
+    return int(mixed)

@@ -1,0 +1,18 @@
+"""GOOFI database layer: SQLite storage with the paper's three tables
+(``TargetSystemData``, ``CampaignData``, ``LoggedSystemState``)."""
+
+from .database import DatabaseError, GoofiDatabase
+from .models import CampaignRecord, ExperimentRecord, TargetSystemRecord, utc_now
+from .schema import REFERENCE_EXPERIMENT, SCHEMA_VERSION, reference_name
+
+__all__ = [
+    "CampaignRecord",
+    "DatabaseError",
+    "ExperimentRecord",
+    "GoofiDatabase",
+    "REFERENCE_EXPERIMENT",
+    "SCHEMA_VERSION",
+    "TargetSystemRecord",
+    "reference_name",
+    "utc_now",
+]

@@ -1,0 +1,264 @@
+"""The GOOFI database: a SQLite wrapper with the paper's three tables.
+
+"All data used by the tool is stored in a portable SQL-database" — this
+module is the lowest layer of the architecture (Figure 1), the only
+place SQL is spoken.  Foreign keys are always enforced; everything above
+works with the row dataclasses of :mod:`repro.db.models`.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+from .models import CampaignRecord, ExperimentRecord, TargetSystemRecord
+from .schema import CREATE_TABLES, SCHEMA_VERSION
+
+
+class DatabaseError(Exception):
+    """A constraint or usage error at the database layer."""
+
+
+class GoofiDatabase:
+    """Connection to one GOOFI database file (or ``:memory:``).
+
+    The object is a context manager::
+
+        with GoofiDatabase("campaigns.db") as db:
+            db.save_target(record)
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(CREATE_TABLES)
+        cur = self._conn.execute("SELECT version FROM SchemaInfo")
+        row = cur.fetchone()
+        if row is None:
+            self._conn.execute("INSERT INTO SchemaInfo (version) VALUES (?)", (SCHEMA_VERSION,))
+            self._conn.commit()
+        elif row[0] != SCHEMA_VERSION:
+            raise DatabaseError(
+                f"database schema version {row[0]} != supported {SCHEMA_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "GoofiDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """Group several writes into one transaction (campaign runs use
+        this to batch experiment logging)."""
+        try:
+            yield self._conn
+            self._conn.commit()
+        except Exception:
+            self._conn.rollback()
+            raise
+
+    # ------------------------------------------------------------------
+    # TargetSystemData
+    # ------------------------------------------------------------------
+    def save_target(self, record: TargetSystemRecord) -> None:
+        """Insert or replace a target-system configuration."""
+        with self.transaction() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO TargetSystemData "
+                "(targetName, testCardName, description, configJson, createdAt) "
+                "VALUES (?, ?, ?, ?, ?)",
+                record.to_row(),
+            )
+
+    def load_target(self, target_name: str) -> TargetSystemRecord:
+        cur = self._conn.execute(
+            "SELECT targetName, testCardName, description, configJson, createdAt "
+            "FROM TargetSystemData WHERE targetName = ?",
+            (target_name,),
+        )
+        row = cur.fetchone()
+        if row is None:
+            raise DatabaseError(f"no target system {target_name!r} in database")
+        return TargetSystemRecord.from_row(row)
+
+    def list_targets(self) -> list[str]:
+        cur = self._conn.execute("SELECT targetName FROM TargetSystemData ORDER BY targetName")
+        return [row[0] for row in cur.fetchall()]
+
+    # ------------------------------------------------------------------
+    # CampaignData
+    # ------------------------------------------------------------------
+    def save_campaign(self, record: CampaignRecord) -> None:
+        try:
+            with self.transaction() as conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO CampaignData "
+                    "(campaignName, targetName, testCardName, configJson, status, createdAt) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    record.to_row(),
+                )
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(
+                f"campaign {record.campaign_name!r} references unknown target "
+                f"{record.target_name!r}"
+            ) from exc
+
+    def load_campaign(self, campaign_name: str) -> CampaignRecord:
+        cur = self._conn.execute(
+            "SELECT campaignName, targetName, testCardName, configJson, status, createdAt "
+            "FROM CampaignData WHERE campaignName = ?",
+            (campaign_name,),
+        )
+        row = cur.fetchone()
+        if row is None:
+            raise DatabaseError(f"no campaign {campaign_name!r} in database")
+        return CampaignRecord.from_row(row)
+
+    def list_campaigns(self, target_name: str | None = None) -> list[str]:
+        if target_name is None:
+            cur = self._conn.execute("SELECT campaignName FROM CampaignData ORDER BY campaignName")
+        else:
+            cur = self._conn.execute(
+                "SELECT campaignName FROM CampaignData WHERE targetName = ? "
+                "ORDER BY campaignName",
+                (target_name,),
+            )
+        return [row[0] for row in cur.fetchall()]
+
+    def set_campaign_status(self, campaign_name: str, status: str) -> None:
+        with self.transaction() as conn:
+            cur = conn.execute(
+                "UPDATE CampaignData SET status = ? WHERE campaignName = ?",
+                (status, campaign_name),
+            )
+            if cur.rowcount == 0:
+                raise DatabaseError(f"no campaign {campaign_name!r} in database")
+
+    # ------------------------------------------------------------------
+    # LoggedSystemState
+    # ------------------------------------------------------------------
+    def save_experiment(self, record: ExperimentRecord) -> None:
+        try:
+            with self.transaction() as conn:
+                self._insert_experiment(conn, record)
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(
+                f"experiment {record.experiment_name!r} violates a constraint "
+                f"(duplicate name, or unknown campaign/parent): {exc}"
+            ) from exc
+
+    def save_experiments(self, records: list[ExperimentRecord]) -> None:
+        """Batch insert — one transaction for a whole campaign chunk."""
+        try:
+            with self.transaction() as conn:
+                for record in records:
+                    self._insert_experiment(conn, record)
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(f"batch experiment insert failed: {exc}") from exc
+
+    @staticmethod
+    def _insert_experiment(conn: sqlite3.Connection, record: ExperimentRecord) -> None:
+        conn.execute(
+            "INSERT INTO LoggedSystemState "
+            "(experimentName, parentExperiment, campaignName, experimentData, "
+            " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?)",
+            record.to_row(),
+        )
+
+    def replace_experiment(self, record: ExperimentRecord) -> None:
+        """Insert or overwrite one experiment row.  Used for rows with
+        well-known names that are regenerated on re-runs (the campaign
+        reference run)."""
+        try:
+            with self.transaction() as conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO LoggedSystemState "
+                    "(experimentName, parentExperiment, campaignName, experimentData, "
+                    " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?)",
+                    record.to_row(),
+                )
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(
+                f"experiment {record.experiment_name!r} violates a constraint: {exc}"
+            ) from exc
+
+    def delete_campaign_experiments(self, campaign_name: str) -> int:
+        """Drop all logged experiments of a campaign (a fresh run of the
+        same campaign replaces its old results).  Returns the number of
+        rows removed."""
+        with self.transaction() as conn:
+            cur = conn.execute(
+                "DELETE FROM LoggedSystemState WHERE campaignName = ?",
+                (campaign_name,),
+            )
+            return cur.rowcount
+
+    def load_experiment(self, experiment_name: str) -> ExperimentRecord:
+        cur = self._conn.execute(
+            "SELECT experimentName, parentExperiment, campaignName, experimentData, "
+            "stateVector, createdAt FROM LoggedSystemState WHERE experimentName = ?",
+            (experiment_name,),
+        )
+        row = cur.fetchone()
+        if row is None:
+            raise DatabaseError(f"no experiment {experiment_name!r} in database")
+        return ExperimentRecord.from_row(row)
+
+    def iter_experiments(self, campaign_name: str) -> Iterator[ExperimentRecord]:
+        """Stream every logged experiment of a campaign, in insertion
+        order (analysis-phase workhorse)."""
+        cur = self._conn.execute(
+            "SELECT experimentName, parentExperiment, campaignName, experimentData, "
+            "stateVector, createdAt FROM LoggedSystemState WHERE campaignName = ? "
+            "ORDER BY rowid",
+            (campaign_name,),
+        )
+        for row in cur:
+            yield ExperimentRecord.from_row(row)
+
+    def count_experiments(self, campaign_name: str) -> int:
+        cur = self._conn.execute(
+            "SELECT COUNT(*) FROM LoggedSystemState WHERE campaignName = ?",
+            (campaign_name,),
+        )
+        return int(cur.fetchone()[0])
+
+    def children_of(self, experiment_name: str) -> list[ExperimentRecord]:
+        """Experiments re-run from ``experiment_name`` (detail-mode
+        investigations tracking their parent, per the paper's E1/E2
+        example)."""
+        cur = self._conn.execute(
+            "SELECT experimentName, parentExperiment, campaignName, experimentData, "
+            "stateVector, createdAt FROM LoggedSystemState WHERE parentExperiment = ? "
+            "ORDER BY rowid",
+            (experiment_name,),
+        )
+        return [ExperimentRecord.from_row(row) for row in cur.fetchall()]
+
+    def delete_campaign(self, campaign_name: str) -> None:
+        """Remove a campaign and its logged experiments."""
+        with self.transaction() as conn:
+            conn.execute(
+                "DELETE FROM LoggedSystemState WHERE campaignName = ?", (campaign_name,)
+            )
+            conn.execute("DELETE FROM CampaignData WHERE campaignName = ?", (campaign_name,))
+
+    # ------------------------------------------------------------------
+    def execute_sql(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """Raw read-only query hook for user-written analysis scripts
+        ("the user must write tailor made scripts or programs that query
+        the database for the required information")."""
+        lowered = sql.lstrip().lower()
+        if not lowered.startswith("select"):
+            raise DatabaseError("execute_sql only accepts SELECT statements")
+        cur = self._conn.execute(sql, params)
+        return cur.fetchall()

@@ -1,0 +1,125 @@
+"""Row dataclasses for the GOOFI database tables.
+
+Each class mirrors one table of :mod:`repro.db.schema` and knows how to
+convert itself to and from the stored representation.  The structured
+payloads (``config``, ``experiment_data``, ``state_vector``) are plain
+dictionaries serialised as JSON — the layer above
+(:mod:`repro.core.campaign`, :mod:`repro.analysis`) gives them meaning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+
+def utc_now() -> str:
+    """Timestamp format used in all ``createdAt`` columns."""
+    return datetime.now(timezone.utc).isoformat()
+
+
+@dataclass(slots=True)
+class TargetSystemRecord:
+    """One row of ``TargetSystemData``."""
+
+    target_name: str
+    test_card_name: str
+    config: dict
+    description: str = ""
+    created_at: str = field(default_factory=utc_now)
+
+    def to_row(self) -> tuple:
+        return (
+            self.target_name,
+            self.test_card_name,
+            self.description,
+            json.dumps(self.config, sort_keys=True),
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "TargetSystemRecord":
+        name, card, description, config_json, created = row
+        return cls(
+            target_name=name,
+            test_card_name=card,
+            config=json.loads(config_json),
+            description=description,
+            created_at=created,
+        )
+
+
+@dataclass(slots=True)
+class CampaignRecord:
+    """One row of ``CampaignData``."""
+
+    campaign_name: str
+    target_name: str
+    config: dict
+    test_card_name: str = ""
+    status: str = "configured"
+    created_at: str = field(default_factory=utc_now)
+
+    def to_row(self) -> tuple:
+        return (
+            self.campaign_name,
+            self.target_name,
+            self.test_card_name,
+            json.dumps(self.config, sort_keys=True),
+            self.status,
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "CampaignRecord":
+        name, target, card, config_json, status, created = row
+        return cls(
+            campaign_name=name,
+            target_name=target,
+            config=json.loads(config_json),
+            test_card_name=card,
+            status=status,
+            created_at=created,
+        )
+
+
+@dataclass(slots=True)
+class ExperimentRecord:
+    """One row of ``LoggedSystemState``.
+
+    ``experiment_data`` holds "information about the experiment such as
+    the fault injection location"; ``state_vector`` holds "the logged
+    system state information from the fault injection experiment" —
+    either a single final state (normal mode) or a list of per-
+    instruction states (detail mode).
+    """
+
+    experiment_name: str
+    campaign_name: str
+    experiment_data: dict
+    state_vector: dict
+    parent_experiment: str | None = None
+    created_at: str = field(default_factory=utc_now)
+
+    def to_row(self) -> tuple:
+        return (
+            self.experiment_name,
+            self.parent_experiment,
+            self.campaign_name,
+            json.dumps(self.experiment_data, sort_keys=True),
+            json.dumps(self.state_vector, sort_keys=True),
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "ExperimentRecord":
+        name, parent, campaign, data_json, state_json, created = row
+        return cls(
+            experiment_name=name,
+            campaign_name=campaign,
+            experiment_data=json.loads(data_json),
+            state_vector=json.loads(state_json),
+            parent_experiment=parent,
+            created_at=created,
+        )

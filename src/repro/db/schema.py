@@ -1,0 +1,76 @@
+"""SQL schema of the GOOFI database (paper Figure 4).
+
+Three tables, related through foreign keys exactly as the paper draws
+them:
+
+* ``TargetSystemData`` — "all information about the target system
+  required for setting up new fault injection campaigns" (scan-chain
+  layout, memory map, available workloads and fault models).
+* ``CampaignData`` — "all the information needed to conduct a campaign"
+  (referencing its target system), entered in the set-up phase.
+* ``LoggedSystemState`` — "the system state during and after an
+  experiment"; one row per experiment, carrying ``experimentData`` (what
+  was injected, where and when) and ``stateVector`` (the logged target
+  state).  ``parentExperiment`` is a self-referencing foreign key used
+  when an experiment is re-run in detail mode to investigate an
+  interesting result: the re-run names its parent so the original
+  campaign data can be tracked.
+
+"Through the foreign keys, we prevent inconsistencies in the database
+and minimize the information stored in the tables" — SQLite enforces
+them with ``PRAGMA foreign_keys = ON``, which
+:class:`repro.db.database.GoofiDatabase` always sets.
+
+Structured configuration lives in JSON columns: the tool is written
+against a generic schema, so target- and technique-specific data must
+not require DDL changes (the paper's core genericity requirement).
+"""
+
+from __future__ import annotations
+
+SCHEMA_VERSION = 1
+
+CREATE_TABLES = """
+CREATE TABLE IF NOT EXISTS SchemaInfo (
+    version INTEGER NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS TargetSystemData (
+    targetName   TEXT PRIMARY KEY,
+    testCardName TEXT NOT NULL,
+    description  TEXT NOT NULL DEFAULT '',
+    configJson   TEXT NOT NULL,
+    createdAt    TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS CampaignData (
+    campaignName TEXT PRIMARY KEY,
+    targetName   TEXT NOT NULL REFERENCES TargetSystemData(targetName),
+    testCardName TEXT NOT NULL DEFAULT '',
+    configJson   TEXT NOT NULL,
+    status       TEXT NOT NULL DEFAULT 'configured',
+    createdAt    TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS LoggedSystemState (
+    experimentName   TEXT PRIMARY KEY,
+    parentExperiment TEXT REFERENCES LoggedSystemState(experimentName),
+    campaignName     TEXT NOT NULL REFERENCES CampaignData(campaignName),
+    experimentData   TEXT NOT NULL,
+    stateVector      TEXT NOT NULL,
+    createdAt        TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_logged_campaign
+    ON LoggedSystemState(campaignName);
+CREATE INDEX IF NOT EXISTS idx_logged_parent
+    ON LoggedSystemState(parentExperiment);
+"""
+
+#: Name of the fault-free reference experiment within every campaign.
+REFERENCE_EXPERIMENT = "__reference__"
+
+
+def reference_name(campaign_name: str) -> str:
+    """Database key of a campaign's reference (fault-free) run."""
+    return f"{campaign_name}/{REFERENCE_EXPERIMENT}"

@@ -1,0 +1,146 @@
+"""High-level facade: the four-phase GOOFI workflow in one object.
+
+The paper's workflow is configuration → set-up → fault injection →
+analysis (§3).  :class:`GoofiSession` walks those phases with a few
+method calls, which is what the quickstart example and the CLI use::
+
+    from repro import GoofiSession, CampaignConfig, ...
+
+    session = GoofiSession("campaigns.db")           # configuration
+    config = session.simple_campaign(...)            # set-up
+    session.setup_campaign(config)
+    result = session.run_campaign(config.name)       # fault injection
+    print(session.report(config.name))               # analysis
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .analysis import CampaignClassification, campaign_report, classify_campaign
+from .core import (
+    CampaignConfig,
+    CampaignResult,
+    FaultInjectionAlgorithms,
+    ObservationSpec,
+    ProgressReporter,
+    TargetSystemInterface,
+    Termination,
+    create_target,
+    merge_campaigns,
+    register_target_system,
+    store_campaign,
+)
+from .db import GoofiDatabase
+from .targets.thor.interface import TARGET_NAME
+from .workloads import is_loop_workload
+
+
+class GoofiSession:
+    """One host-side GOOFI session: a database, a target, and the
+    fault-injection algorithms bound together."""
+
+    def __init__(
+        self,
+        db_path: str | Path = ":memory:",
+        target_name: str = TARGET_NAME,
+        target: TargetSystemInterface | None = None,
+        progress: ProgressReporter | None = None,
+    ) -> None:
+        self.db = GoofiDatabase(db_path)
+        self.target = target if target is not None else create_target(target_name)
+        self.progress = progress or ProgressReporter()
+        self.algorithms = FaultInjectionAlgorithms(self.target, self.db, self.progress)
+        # Configuration phase: make the target known to the database.
+        register_target_system(self.db, self.target)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "GoofiSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Set-up phase
+    # ------------------------------------------------------------------
+    def default_observation(self, workload: str) -> ObservationSpec:
+        """A sensible observation selection for a workload: the target's
+        working-state scan group, the workload's data area, and the
+        output log.
+
+        The working-state group is whichever the target offers: the
+        register file on a register machine, the control pointers on a
+        stack machine (whose cell arrays are too transient to compare
+        meaningfully), falling back to all writable non-array internal
+        elements.
+        """
+        self.target.init_test_card()
+        self.target.load_workload(workload)
+        space = self.target.location_space()
+        data = space.region("data")
+        groups = space.groups("internal")
+        if "regs" in groups:
+            observed = groups["regs"]
+        elif "ctrl" in groups:
+            observed = [e for e in groups["ctrl"] if e.writable]
+        else:
+            observed = [
+                e
+                for elements in groups.values()
+                for e in elements
+                if e.writable
+            ]
+        return ObservationSpec(
+            scan_elements=tuple(f"internal:{e.name}" for e in observed),
+            memory_ranges=((data.base, data.words),),
+            include_outputs=True,
+        )
+
+    def default_termination(
+        self, workload: str, slack_factor: float = 4.0, max_iterations: int = 200
+    ) -> Termination:
+        """A watchdog budget derived from the workload's fault-free
+        duration (the usual way time-out values are chosen)."""
+        self.target.init_test_card()
+        self.target.load_workload(workload)
+        probe = Termination(
+            max_cycles=2_000_000,
+            max_iterations=max_iterations if is_loop_workload(workload) else None,
+        )
+        info, _trace = self.target.record_trace(probe)
+        return Termination(
+            max_cycles=max(100, int(info.cycle * slack_factor)),
+            max_iterations=probe.max_iterations,
+        )
+
+    def setup_campaign(self, config: CampaignConfig) -> None:
+        """Store a campaign configuration (``CampaignData`` row)."""
+        store_campaign(self.db, config)
+
+    def merge_into_campaign(self, names: list[str], new_name: str) -> CampaignConfig:
+        """Merge stored campaigns into a new stored campaign (§3.2)."""
+        configs = [
+            CampaignConfig.from_dict(self.db.load_campaign(name).config) for name in names
+        ]
+        merged = merge_campaigns(configs, new_name)
+        self.setup_campaign(merged)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Fault-injection phase
+    # ------------------------------------------------------------------
+    def run_campaign(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+        return self.algorithms.run_campaign(campaign_name, resume=resume)
+
+    # ------------------------------------------------------------------
+    # Analysis phase
+    # ------------------------------------------------------------------
+    def classify(self, campaign_name: str) -> CampaignClassification:
+        return classify_campaign(self.db, campaign_name)
+
+    def report(self, campaign_name: str) -> str:
+        return campaign_report(self.db, campaign_name)

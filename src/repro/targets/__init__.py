@@ -1,0 +1,5 @@
+"""Target systems: the systems under test GOOFI injects faults into.
+
+One subpackage per target; currently :mod:`repro.targets.thor`, the
+simulated THOR-RD-like microprocessor with scan-chain test logic.
+"""

@@ -1,0 +1,122 @@
+"""Generic scan-chain modelling shared by all simulated targets.
+
+A scan chain is an ordered sequence of named *elements*, each a bit
+field backed by getter/setter closures into a target's state.  Reading
+the chain shifts out one long bit vector; writing shifts one back in.
+Read-only elements (capture-only scan cells) are skipped on writes.
+
+Bit-vector convention: element 0 occupies the most significant bits of
+the chain value; within an element, bit 0 is the least significant bit
+of the field.  The chain's total width and per-element offsets are the
+target-system data GOOFI stores in the ``TargetSystemData`` table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(slots=True)
+class ScanElement:
+    """One named bit field on a scan chain."""
+
+    name: str
+    width: int
+    getter: Callable[[], int]
+    setter: Callable[[int], None] | None = None  # None == read-only
+
+    @property
+    def writable(self) -> bool:
+        return self.setter is not None
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+class ScanChain:
+    """An ordered collection of scan elements with shift-in/shift-out
+    access and per-element addressing."""
+
+    def __init__(self, name: str, elements: list[ScanElement]) -> None:
+        self.name = name
+        self.elements = list(elements)
+        self._by_name = {e.name: e for e in self.elements}
+        if len(self._by_name) != len(self.elements):
+            raise ValueError(f"duplicate element names in scan chain {name!r}")
+        self.width = sum(e.width for e in self.elements)
+        # Offset of each element's bit 0, counted from the chain LSB.
+        self._offsets: dict[str, int] = {}
+        position = self.width
+        for element in self.elements:
+            position -= element.width
+            self._offsets[element.name] = position
+
+    # ------------------------------------------------------------------
+    def element(self, name: str) -> ScanElement:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no element {name!r} on scan chain {self.name!r}") from None
+
+    def element_names(self) -> list[str]:
+        return [e.name for e in self.elements]
+
+    def writable_elements(self) -> list[ScanElement]:
+        return [e for e in self.elements if e.writable]
+
+    def offset(self, name: str) -> int:
+        """Bit offset (from chain LSB) of element ``name``'s bit 0."""
+        return self._offsets[name]
+
+    def bit_position(self, name: str, bit: int) -> int:
+        """Absolute chain-bit position of ``bit`` within element ``name``."""
+        element = self.element(name)
+        if not 0 <= bit < element.width:
+            raise ValueError(f"bit {bit} out of range for {name} (width {element.width})")
+        return self._offsets[name] + bit
+
+    # ------------------------------------------------------------------
+    def read(self) -> int:
+        """Shift the chain out: capture every element into one bit vector."""
+        value = 0
+        for element in self.elements:
+            value = (value << element.width) | (element.getter() & element.mask)
+        return value
+
+    def write(self, value: int) -> None:
+        """Shift a bit vector in: update every writable element.
+
+        Read-only elements are skipped, mirroring capture-only scan
+        cells.  Bits beyond the chain width are ignored.
+        """
+        for element in self.elements:
+            offset = self._offsets[element.name]
+            if element.setter is not None:
+                element.setter((value >> offset) & element.mask)
+
+    def read_element(self, name: str) -> int:
+        return self.element(name).getter()
+
+    def write_element(self, name: str, value: int) -> None:
+        element = self.element(name)
+        if element.setter is None:
+            raise PermissionError(f"scan element {name!r} is read-only")
+        element.setter(value & element.mask)
+
+    def describe(self) -> list[dict]:
+        """Serialisable description of the chain layout — the content the
+        user enters in the paper's target-configuration GUI (Figure 5),
+        stored in ``TargetSystemData``."""
+        return [
+            {
+                "name": e.name,
+                "width": e.width,
+                "offset": self._offsets[e.name],
+                "writable": e.writable,
+            }
+            for e in self.elements
+        ]
+
+

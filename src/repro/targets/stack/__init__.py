@@ -1,0 +1,16 @@
+"""THOR-SM: a simulated stack-machine target (second built-in target).
+
+The real Thor is a stack-oriented processor; THOR-SM carries that
+architecture class into the reproduction: parity-protected data and
+return stacks, a tiny stack ISA, scan-chain access to every stack cell
+and pointer, and a debug-port host link — all behind the same
+``TargetSystemInterface`` the register-machine target implements.
+"""
+
+from .assembler import SAssemblerError, StackProgram, s_assemble
+from .interface import TARGET_NAME, StackTargetInterface, create_stack_target
+from .isa import SIllegalOpcode, SInstruction, SOp, s_decode, s_encode
+from .machine import DATA_BASE, MEMORY_WORDS, StackMachine
+from .workloads import STACK_SOURCES, s_expected_output, s_load
+
+__all__ = [name for name in dir() if not name.startswith("_")]

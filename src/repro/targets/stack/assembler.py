@@ -1,0 +1,160 @@
+"""Line assembler for THOR-SM stack-machine workloads.
+
+Syntax (one instruction per line)::
+
+    ; comment
+    _start:
+        PUSHI 0          ; operands: number, label, or =label (same thing)
+    loop:
+        LOAD  counter
+        BZ    done
+        ...
+        BR    loop
+    done:
+        OUT   1
+        HALT
+    .data
+    counter: .word 10
+    buf:     .space 4
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .isa import OPERAND_OPS, SInstruction, SOp, s_encode
+from .machine import DATA_BASE, PROGRAM_BASE
+
+
+class SAssemblerError(ValueError):
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass(slots=True)
+class StackProgram:
+    """An assembled THOR-SM image."""
+
+    program: list[int]
+    data: list[int]
+    program_base: int = PROGRAM_BASE
+    data_base: int = DATA_BASE
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry_point: int = PROGRAM_BASE
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"stack workload has no symbol {name!r}") from None
+
+
+def _number(token: str) -> int | None:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def s_assemble(source: str) -> StackProgram:
+    symbols: dict[str, int] = {}
+    pending: list[tuple[int, int, SOp, str | None]] = []  # (line, addr, op, operand)
+    data_items: list[tuple[int, str, list[str], int]] = []
+    section = "text"
+    pc = PROGRAM_BASE
+    dc = DATA_BASE
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^(\w+)\s*:\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2).strip()
+            if label in symbols:
+                raise SAssemblerError(f"duplicate label {label!r}", line_number)
+            symbols[label] = pc if section == "text" else dc
+        if not line:
+            continue
+        if line.startswith("."):
+            head, _, rest = line.partition(" ")
+            args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+            directive = head.lower()
+            if directive == ".data":
+                section = "data"
+            elif directive == ".text":
+                section = "text"
+            elif directive == ".word":
+                if section != "data":
+                    raise SAssemblerError(".word only in .data", line_number)
+                data_items.append((dc, ".word", args, line_number))
+                dc += len(args)
+            elif directive == ".space":
+                count = _number(args[0]) if args else None
+                if count is None or count < 0:
+                    raise SAssemblerError(".space needs a size", line_number)
+                data_items.append((dc, ".space", args, line_number))
+                dc += count
+            else:
+                raise SAssemblerError(f"unknown directive {directive}", line_number)
+            continue
+        if section != "text":
+            raise SAssemblerError("instructions only in .text", line_number)
+        head, _, rest = line.partition(" ")
+        try:
+            op = SOp[head.strip().upper()]
+        except KeyError:
+            raise SAssemblerError(f"unknown mnemonic {head!r}", line_number) from None
+        operand_token = rest.strip() or None
+        if op in OPERAND_OPS and operand_token is None:
+            raise SAssemblerError(f"{op.name} needs an operand", line_number)
+        if op not in OPERAND_OPS and operand_token is not None:
+            raise SAssemblerError(f"{op.name} takes no operand", line_number)
+        pending.append((line_number, pc, op, operand_token))
+        pc += 1
+
+    def resolve(token: str, line_number: int) -> int:
+        token = token.removeprefix("=").strip()
+        value = _number(token)
+        if value is None:
+            value = symbols.get(token)
+        if value is None:
+            raise SAssemblerError(f"unknown symbol {token!r}", line_number)
+        if not -32768 <= value <= 0xFFFF:
+            raise SAssemblerError(f"operand {value} out of 16-bit range", line_number)
+        return value & 0xFFFF
+
+    program_words: dict[int, int] = {}
+    for line_number, address, op, operand_token in pending:
+        operand = resolve(operand_token, line_number) if operand_token else 0
+        program_words[address] = s_encode(SInstruction(op, operand))
+
+    data_words: dict[int, int] = {}
+    for address, directive, args, line_number in data_items:
+        if directive == ".word":
+            for i, arg in enumerate(args):
+                value = _number(arg)
+                if value is None:
+                    value = symbols.get(arg)
+                if value is None:
+                    raise SAssemblerError(f"bad .word value {arg!r}", line_number)
+                data_words[address + i] = value & 0xFFFFFFFF
+        else:
+            for i in range(_number(args[0]) or 0):
+                data_words[address + i] = 0
+
+    def pack(words: dict[int, int], base: int) -> list[int]:
+        if not words:
+            return []
+        return [words.get(a, 0) for a in range(base, max(words) + 1)]
+
+    return StackProgram(
+        program=pack(program_words, PROGRAM_BASE),
+        data=pack(data_words, DATA_BASE),
+        symbols=symbols,
+        entry_point=symbols.get("_start", PROGRAM_BASE),
+    )

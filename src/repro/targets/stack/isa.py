@@ -1,0 +1,110 @@
+"""Instruction set of THOR-SM, the stack-machine target.
+
+The real Thor is a stack-oriented processor executing Ada; THOR-SM is
+this reproduction's stack-architecture target, demonstrating that the
+GOOFI core is target-agnostic (the paper's future work item "runtime
+and pre-runtime SWIFI support for other microprocessors", and §2.2's
+porting story).
+
+Encoding: one 32-bit word per instruction — opcode in bits 31..24, an
+unsigned 16-bit operand in bits 15..0 (address, immediate, or port).
+
+Conditional jumps are spelled ``BZ``/``BNZ``/``BR`` (not ``J*``) so the
+generic branch trigger — which recognises branch events by the ``B``
+mnemonic prefix recorded in reference traces — works unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+WORD_MASK = 0xFFFFFFFF
+
+#: Data-stack and return-stack depths (scan-visible cells).
+DATA_STACK_CELLS = 16
+RETURN_STACK_CELLS = 8
+
+
+class SOp(enum.IntEnum):
+    """THOR-SM opcodes (persistent values; stored in memory images)."""
+
+    NOP = 0x00
+    HALT = 0x01
+    ITER = 0x02
+
+    PUSHI = 0x10  # push zero-extended imm16
+    PUSHIH = 0x11  # tos |= imm16 << 16 (build 32-bit constants)
+    LOAD = 0x12  # push mem[imm16]
+    STORE = 0x13  # mem[imm16] = pop
+    LOADI = 0x14  # addr = pop; push mem[addr]
+    STOREI = 0x15  # addr = pop; value = pop; mem[addr] = value
+    DUP = 0x16
+    DROP = 0x17
+    SWAP = 0x18
+    OVER = 0x19
+
+    ADD = 0x20  # b = pop; a = pop; push a + b
+    SUB = 0x21
+    MUL = 0x22
+    DIV = 0x23  # signed, C-style truncation; detect on /0
+    AND = 0x24
+    OR = 0x25
+    XOR = 0x26
+    NOT = 0x27  # unary: push ~pop
+    NEG = 0x28
+    LT = 0x29  # push 1 if a < b (signed) else 0
+    EQ = 0x2A
+
+    BR = 0x30  # unconditional jump
+    BZ = 0x31  # pop; jump if zero
+    BNZ = 0x32  # pop; jump if non-zero
+    CALL = 0x33
+    RET = 0x34
+
+    IN = 0x40  # push input port imm16
+    OUT = 0x41  # port imm16 = pop
+
+
+#: Opcodes carrying a 16-bit operand.
+OPERAND_OPS = frozenset(
+    {
+        SOp.PUSHI,
+        SOp.PUSHIH,
+        SOp.LOAD,
+        SOp.STORE,
+        SOp.BR,
+        SOp.BZ,
+        SOp.BNZ,
+        SOp.CALL,
+        SOp.IN,
+        SOp.OUT,
+    }
+)
+
+_VALID = frozenset(int(op) for op in SOp)
+
+
+class SIllegalOpcode(ValueError):
+    """Undefined opcode byte — mapped onto the illegal-opcode EDM."""
+
+    def __init__(self, word: int) -> None:
+        super().__init__(f"illegal THOR-SM opcode 0x{(word >> 24) & 0xFF:02X}")
+        self.word = word
+
+
+@dataclass(frozen=True, slots=True)
+class SInstruction:
+    op: SOp
+    operand: int = 0
+
+
+def s_encode(inst: SInstruction) -> int:
+    return ((int(inst.op) & 0xFF) << 24) | (inst.operand & 0xFFFF)
+
+
+def s_decode(word: int) -> SInstruction:
+    opcode = (word >> 24) & 0xFF
+    if opcode not in _VALID:
+        raise SIllegalOpcode(word)
+    return SInstruction(op=SOp(opcode), operand=word & 0xFFFF)

@@ -1,0 +1,331 @@
+"""Execution core of THOR-SM, the stack-machine target.
+
+Architecture: a 16-cell data stack and an 8-cell return stack — both
+*parity protected per cell* (the stack-architecture analogue of the
+Thor RD's parity-protected caches) — a 16-bit PC, 4 Ki words of memory
+split into program and data areas, and I/O port latches.
+
+Error-detection mechanisms:
+
+* ``dstack_parity`` / ``rstack_parity`` — a pop or stack-top read whose
+  cell parity mismatches (a scan-injected or overlay corruption);
+* ``stack_bounds`` — data/return stack overflow or underflow;
+* ``illegal_opcode`` — undefined opcode byte;
+* ``mem_violation`` — access outside memory, or a runtime store into
+  the program area;
+* ``arithmetic`` — division by zero.
+
+Detections are plain dicts (mechanism / cycle / pc / detail) — the
+format :class:`repro.core.framework.TerminationInfo` carries — so this
+target has no dependency on any other target's EDM types.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .isa import (
+    DATA_STACK_CELLS,
+    RETURN_STACK_CELLS,
+    WORD_MASK,
+    SIllegalOpcode,
+    SInstruction,
+    SOp,
+    s_decode,
+)
+
+MEMORY_WORDS = 4096
+PROGRAM_BASE = 0
+DATA_BASE = 1024
+
+_SIGN = 0x80000000
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - 0x100000000 if value & _SIGN else value
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+class _Detected(Exception):
+    """Internal control flow: an EDM fired."""
+
+    def __init__(self, mechanism: str, detail: str) -> None:
+        super().__init__(detail)
+        self.mechanism = mechanism
+        self.detail = detail
+
+
+class StackMachine:
+    """The simulated stack processor (host view: its debug port)."""
+
+    def __init__(self) -> None:
+        self.memory = [0] * MEMORY_WORDS
+        self.program_limit = DATA_BASE  # stores below this are violations
+        self.dstack = [0] * DATA_STACK_CELLS
+        self.dparity = [0] * DATA_STACK_CELLS
+        self.dsp = 0  # next free data-stack cell
+        self.rstack = [0] * RETURN_STACK_CELLS
+        self.rparity = [0] * RETURN_STACK_CELLS
+        self.rsp = 0
+        self.pc = 0
+        self.cycle = 0
+        self.iteration = 0
+        self.halted = False
+        self.detection: dict | None = None
+        self.input_ports: dict[int, int] = {}
+        self.output_ports: dict[int, int] = {}
+        self.output_log: list[tuple[int, int, int]] = []
+        self.trace_hook: Callable[[int, int, str], None] | None = None
+        self.mem_hook: Callable[[int, str, int], None] | None = None
+        self.post_step_hooks: list[Callable[["StackMachine"], None]] = []
+
+    # ------------------------------------------------------------------
+    def reset(self, entry_point: int = 0) -> None:
+        # In-place clears: the scan chains hold references to these
+        # lists (they are the machine's physical cells).
+        self.dstack[:] = [0] * DATA_STACK_CELLS
+        self.dparity[:] = [0] * DATA_STACK_CELLS
+        self.dsp = 0
+        self.rstack[:] = [0] * RETURN_STACK_CELLS
+        self.rparity[:] = [0] * RETURN_STACK_CELLS
+        self.rsp = 0
+        self.pc = entry_point
+        self.cycle = 0
+        self.iteration = 0
+        self.halted = False
+        self.detection = None
+        self.input_ports.clear()
+        self.output_ports.clear()
+        self.output_log.clear()
+        self.post_step_hooks.clear()
+
+    def clear_memory(self) -> None:
+        self.memory[:] = [0] * MEMORY_WORDS
+
+    # ------------------------------------------------------------------
+    # Stack primitives (parity maintained on write, checked on read)
+    # ------------------------------------------------------------------
+    def _dpush(self, value: int) -> None:
+        if self.dsp >= DATA_STACK_CELLS:
+            raise _Detected("stack_bounds", "data stack overflow")
+        value &= WORD_MASK
+        self.dstack[self.dsp] = value
+        self.dparity[self.dsp] = _parity(value)
+        self.dsp += 1
+
+    def _dpop(self) -> int:
+        if self.dsp <= 0:
+            raise _Detected("stack_bounds", "data stack underflow")
+        self.dsp -= 1
+        value = self.dstack[self.dsp]
+        if _parity(value) != self.dparity[self.dsp]:
+            raise _Detected(
+                "dstack_parity", f"data-stack cell {self.dsp} parity mismatch"
+            )
+        return value
+
+    def _rpush(self, value: int) -> None:
+        if self.rsp >= RETURN_STACK_CELLS:
+            raise _Detected("stack_bounds", "return stack overflow")
+        value &= WORD_MASK
+        self.rstack[self.rsp] = value
+        self.rparity[self.rsp] = _parity(value)
+        self.rsp += 1
+
+    def _rpop(self) -> int:
+        if self.rsp <= 0:
+            raise _Detected("stack_bounds", "return stack underflow")
+        self.rsp -= 1
+        value = self.rstack[self.rsp]
+        if _parity(value) != self.rparity[self.rsp]:
+            raise _Detected(
+                "rstack_parity", f"return-stack cell {self.rsp} parity mismatch"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _mem_read(self, address: int) -> int:
+        if not 0 <= address < MEMORY_WORDS:
+            raise _Detected("mem_violation", f"read at 0x{address:04X}")
+        if self.mem_hook is not None:
+            self.mem_hook(self.cycle, "read", address)
+        return self.memory[address]
+
+    def _mem_write(self, address: int, value: int) -> None:
+        if not 0 <= address < MEMORY_WORDS:
+            raise _Detected("mem_violation", f"write at 0x{address:04X}")
+        if address < self.program_limit:
+            raise _Detected("mem_violation", f"write into program area 0x{address:04X}")
+        if self.mem_hook is not None:
+            self.mem_hook(self.cycle, "write", address)
+        self.memory[address] = value & WORD_MASK
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _raise_detection(self, mechanism: str, detail: str) -> None:
+        self.detection = {
+            "mechanism": mechanism,
+            "cycle": self.cycle,
+            "pc": self.pc,
+            "detail": detail,
+        }
+        self.halted = True
+
+    def step(self) -> str | None:
+        """Execute one instruction.  Returns ``"halted"``, ``"detected"``
+        or ``"iteration"`` when the instruction ended/paused the run."""
+        if self.halted:
+            return "detected" if self.detection else "halted"
+        pc = self.pc
+        if not 0 <= pc < self.program_limit:
+            self._raise_detection("mem_violation", f"fetch at 0x{pc:04X}")
+            return "detected"
+        try:
+            inst = s_decode(self.memory[pc])
+        except SIllegalOpcode as exc:
+            self._raise_detection("illegal_opcode", str(exc))
+            return "detected"
+        if self.trace_hook is not None:
+            self.trace_hook(self.cycle, pc, inst.op.name)
+        try:
+            outcome = self._execute(inst)
+        except _Detected as exc:
+            self._raise_detection(exc.mechanism, exc.detail)
+            return "detected"
+        self.cycle += 1
+        if self.post_step_hooks:
+            for hook in self.post_step_hooks:
+                hook(self)
+        return outcome
+
+    def _execute(self, inst: SInstruction) -> str | None:
+        op = inst.op
+        operand = inst.operand
+        next_pc = (self.pc + 1) & 0xFFFF
+
+        if op is SOp.NOP:
+            pass
+        elif op is SOp.HALT:
+            self.halted = True
+            self.pc = next_pc
+            return "halted"
+        elif op is SOp.ITER:
+            self.iteration += 1
+            self.pc = next_pc
+            return "iteration"
+        elif op is SOp.PUSHI:
+            self._dpush(operand)
+        elif op is SOp.PUSHIH:
+            value = self._dpop()
+            self._dpush((value & 0xFFFF) | (operand << 16))
+        elif op is SOp.LOAD:
+            self._dpush(self._mem_read(operand))
+        elif op is SOp.STORE:
+            self._mem_write(operand, self._dpop())
+        elif op is SOp.LOADI:
+            self._dpush(self._mem_read(self._dpop() & 0xFFFF))
+        elif op is SOp.STOREI:
+            address = self._dpop() & 0xFFFF
+            self._mem_write(address, self._dpop())
+        elif op is SOp.DUP:
+            value = self._dpop()
+            self._dpush(value)
+            self._dpush(value)
+        elif op is SOp.DROP:
+            self._dpop()
+        elif op is SOp.SWAP:
+            b = self._dpop()
+            a = self._dpop()
+            self._dpush(b)
+            self._dpush(a)
+        elif op is SOp.OVER:
+            b = self._dpop()
+            a = self._dpop()
+            self._dpush(a)
+            self._dpush(b)
+            self._dpush(a)
+        elif op in (SOp.ADD, SOp.SUB, SOp.MUL, SOp.DIV, SOp.AND, SOp.OR,
+                    SOp.XOR, SOp.LT, SOp.EQ):
+            b = self._dpop()
+            a = self._dpop()
+            self._dpush(self._binary(op, a, b))
+        elif op is SOp.NOT:
+            self._dpush(~self._dpop())
+        elif op is SOp.NEG:
+            self._dpush(-self._dpop())
+        elif op is SOp.BR:
+            self.pc = operand
+            return None
+        elif op is SOp.BZ:
+            if self._dpop() == 0:
+                self.pc = operand
+                return None
+        elif op is SOp.BNZ:
+            if self._dpop() != 0:
+                self.pc = operand
+                return None
+        elif op is SOp.CALL:
+            self._rpush(next_pc)
+            self.pc = operand
+            return None
+        elif op is SOp.RET:
+            self.pc = self._rpop() & 0xFFFF
+            return None
+        elif op is SOp.IN:
+            self._dpush(self.input_ports.get(operand, 0))
+        elif op is SOp.OUT:
+            value = self._dpop()
+            self.output_ports[operand] = value
+            self.output_log.append((self.cycle, operand, value))
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(op)
+        self.pc = next_pc
+        return None
+
+    @staticmethod
+    def _binary(op: SOp, a: int, b: int) -> int:
+        if op is SOp.ADD:
+            return a + b
+        if op is SOp.SUB:
+            return a - b
+        if op is SOp.MUL:
+            return _signed(a) * _signed(b)
+        if op is SOp.DIV:
+            if _signed(b) == 0:
+                raise _Detected("arithmetic", "DIV by zero")
+            return int(_signed(a) / _signed(b))
+        if op is SOp.AND:
+            return a & b
+        if op is SOp.OR:
+            return a | b
+        if op is SOp.XOR:
+            return a ^ b
+        if op is SOp.LT:
+            return 1 if _signed(a) < _signed(b) else 0
+        if op is SOp.EQ:
+            return 1 if a == b else 0
+        raise AssertionError(op)  # pragma: no cover
+
+    def run(self, max_cycles: int, stop_at_cycle: int | None = None) -> str:
+        """Run to a terminal condition; mirrors the Thor CPU contract.
+
+        Returns one of ``"halted"``, ``"detected"``, ``"cycle_limit"``,
+        ``"cycle_break"``, ``"iteration"``.
+        """
+        while True:
+            if self.halted:
+                return "detected" if self.detection else "halted"
+            if stop_at_cycle is not None and self.cycle >= stop_at_cycle:
+                return "cycle_break"
+            if self.cycle >= max_cycles:
+                return "cycle_limit"
+            outcome = self.step()
+            if outcome is not None:
+                return outcome

@@ -1,0 +1,143 @@
+"""Workloads for the THOR-SM stack-machine target.
+
+Small, deterministic programs with golden outputs computed
+independently in Python — same contract as the Thor workload library.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .assembler import StackProgram, s_assemble
+
+S_SUMVEC = """
+; Sum a 12-word vector, report on port 1.
+_start:
+loop:
+    LOAD i
+    PUSHI 12
+    LT
+    BZ done
+    LOAD i
+    PUSHI =vec
+    ADD
+    LOADI
+    LOAD sum
+    ADD
+    STORE sum
+    LOAD i
+    PUSHI 1
+    ADD
+    STORE i
+    BR loop
+done:
+    LOAD sum
+    OUT 1
+    HALT
+.data
+i:   .word 0
+sum: .word 0
+vec: .word 5, 8, 13, 2, 7, 1, 9, 4, 11, 3, 10, 6
+"""
+
+S_SUMVEC_DATA = [5, 8, 13, 2, 7, 1, 9, 4, 11, 3, 10, 6]
+
+
+S_FIB = """
+; 24 Fibonacci iterations on memory cells a/b.
+_start:
+loop:
+    LOAD n
+    BZ done
+    LOAD a
+    LOAD b
+    ADD
+    LOAD b
+    STORE a
+    STORE b
+    LOAD n
+    PUSHI 1
+    SUB
+    STORE n
+    BR loop
+done:
+    LOAD a
+    OUT 1
+    HALT
+.data
+a: .word 0
+b: .word 1
+n: .word 24
+"""
+
+
+S_CHECKSUM = """
+; Table checksum through a subroutine (exercises the return stack).
+_start:
+loop:
+    LOAD j
+    PUSHI 8
+    LT
+    BZ fin
+    CALL accum
+    LOAD j
+    PUSHI 1
+    ADD
+    STORE j
+    BR loop
+fin:
+    LOAD acc
+    OUT 1
+    HALT
+accum:
+    LOAD j
+    PUSHI =tbl
+    ADD
+    LOADI
+    LOAD acc
+    XOR
+    LOAD j
+    ADD
+    STORE acc
+    RET
+.data
+j:   .word 0
+acc: .word 0
+tbl: .word 0x1234, 0x00FF, 0xABCD, 42, 7, 99, 0xF0F0, 3
+"""
+
+S_CHECKSUM_TABLE = [0x1234, 0x00FF, 0xABCD, 42, 7, 99, 0xF0F0, 3]
+
+
+STACK_SOURCES: dict[str, str] = {
+    "s_sumvec": S_SUMVEC,
+    "s_fib": S_FIB,
+    "s_checksum": S_CHECKSUM,
+}
+
+
+@lru_cache(maxsize=None)
+def s_load(name: str) -> StackProgram:
+    try:
+        source = STACK_SOURCES[name]
+    except KeyError:
+        known = ", ".join(sorted(STACK_SOURCES))
+        raise KeyError(f"unknown stack workload {name!r}; available: {known}") from None
+    return s_assemble(source)
+
+
+def s_expected_output(name: str) -> int:
+    """Golden port-1 result, computed independently."""
+    if name == "s_sumvec":
+        return sum(S_SUMVEC_DATA)
+    if name == "s_fib":
+        a, b = 0, 1
+        for _ in range(24):
+            a, b = b, (a + b)
+        return a
+    if name == "s_checksum":
+        acc = 0
+        for j, value in enumerate(S_CHECKSUM_TABLE):
+            acc = ((acc ^ value) + j) & 0xFFFFFFFF
+        return acc
+    raise KeyError(f"no expected output for stack workload {name!r}")

@@ -1,0 +1,18 @@
+"""THOR-RD-sim: a simulated radiation-hardened microprocessor target.
+
+The stand-in for the paper's Thor RD: a deterministic 32-bit processor
+with parity-protected caches, hardware error-detection mechanisms,
+boundary/internal scan chains, and a test-card host link.
+"""
+
+from .assembler import Assembler, AssemblerError, Program, assemble
+from .cache import Cache, CacheParityError, parity_bit
+from .cpu import StopReason, ThorCPU, to_signed, to_word
+from .edm import DetectionEvent, Mechanism
+from .interface import TARGET_NAME, ThorTargetInterface, create_thor_target
+from .isa import Instruction, Op, decode, encode
+from .memory import Memory, MemoryMap, MemoryViolation
+from .scanchain import ScanChain, ScanElement, build_scan_chains
+from .testcard import RunResult, TerminationCondition, TestCard
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,399 @@
+"""Two-pass assembler for THOR-RD-sim assembly.
+
+Workloads in this reproduction (sorting, matrix multiplication, the
+control application of the companion study) are written in a small
+assembly language and assembled into loadable images: a *program area*
+image and a *data area* image, matching the paper's description of the
+target memory that pre-runtime SWIFI mutates.
+
+Syntax overview::
+
+    ; comment                         — ';' or '#' start a comment
+    _start:                           — labels end with ':'
+        LDI  r1, 10                   — immediates: decimal, 0x.., -5
+        LDI  r2, =array               — '=label' puts a label's address
+        LD   r3, [r2+1]               — base+offset addressing
+        ST   r3, [r2-1]
+        LDA  r4, counter              — absolute load/store use a label
+        STA  r4, counter                or a bare address
+        ADD  r1, r1, r3
+        CMPI r1, 0
+        BNE  loop
+        CALL sub                      — call/return use the stack
+        OUT  r1, 1                    — write result port 1
+        HALT
+    .data                             — switch to the data area
+    array:   .word 5, 3, 8, -2        — initialised words
+    buf:     .space 16                — zero-filled block
+    counter: .word 0
+
+Registers are ``r0``..``r15``; ``sp`` aliases ``r14`` and ``lr`` aliases
+``r15``.  Everything is case-insensitive except label names.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .isa import FORMATS, Format, Instruction, Op, encode
+from .memory import DATA_BASE, PROGRAM_BASE
+
+_REG_ALIASES = {"sp": 14, "lr": 15}
+_MEM_OPERAND = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(\w+))?\s*\]$")
+
+
+class AssemblerError(ValueError):
+    """A syntax or semantic error in an assembly source."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+
+
+@dataclass(slots=True)
+class Program:
+    """An assembled workload image.
+
+    ``program`` loads at ``program_base`` and ``data`` at ``data_base``.
+    ``symbols`` maps every label to its absolute address — campaign
+    set-up uses it to name fault-injection and observation locations
+    (e.g. the environment simulator's I/O exchange addresses).
+    """
+
+    program: list[int]
+    data: list[int]
+    program_base: int = PROGRAM_BASE
+    data_base: int = DATA_BASE
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry_point: int = PROGRAM_BASE
+    #: program-address -> source line number (for traces and reports)
+    line_map: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def program_end(self) -> int:
+        return self.program_base + len(self.program)
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + len(self.data)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"workload has no symbol {name!r}") from None
+
+
+@dataclass(slots=True)
+class _Pending:
+    """An instruction waiting for label resolution in pass two."""
+
+    line_number: int
+    line: str
+    address: int
+    op: Op
+    operands: list[str]
+
+
+def _parse_register(token: str, line_number: int, line: str) -> int:
+    token = token.strip().lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < 16:
+            return index
+    raise AssemblerError(f"bad register {token!r}", line_number, line)
+
+
+def _parse_number(token: str) -> int | None:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Program` images."""
+
+    def __init__(self, program_base: int = PROGRAM_BASE, data_base: int = DATA_BASE) -> None:
+        self.program_base = program_base
+        self.data_base = data_base
+
+    def assemble(self, source: str) -> Program:
+        symbols: dict[str, int] = {}
+        pending: list[_Pending] = []
+        data_items: list[tuple[int, str, list[str], int, str]] = []
+        # (address, directive, args, line_number, line)
+
+        # ---------------- pass one: layout and symbol collection ------
+        section = "text"
+        pc = self.program_base
+        dc = self.data_base
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].strip()
+            if not line:
+                continue
+            while True:
+                match = re.match(r"^(\w+)\s*:\s*(.*)$", line)
+                if not match:
+                    break
+                label, line = match.group(1), match.group(2).strip()
+                if label in symbols:
+                    raise AssemblerError(f"duplicate label {label!r}", line_number, raw)
+                symbols[label] = pc if section == "text" else dc
+            if not line:
+                continue
+            if line.startswith("."):
+                head, _, rest = line.partition(" ")
+                directive = head.lower()
+                args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+                if directive == ".data":
+                    section = "data"
+                elif directive == ".text":
+                    section = "text"
+                elif directive == ".equ":
+                    # .equ name, value — a named constant in the symbol
+                    # table (usable anywhere a label is).
+                    if len(args) != 2:
+                        raise AssemblerError(".equ needs name, value", line_number, raw)
+                    name, value_token = args
+                    if name in symbols:
+                        raise AssemblerError(
+                            f"duplicate symbol {name!r}", line_number, raw
+                        )
+                    value = _parse_number(value_token)
+                    if value is None:
+                        value = symbols.get(value_token)
+                    if value is None:
+                        raise AssemblerError(
+                            f"bad .equ value {value_token!r}", line_number, raw
+                        )
+                    symbols[name] = value
+                elif directive == ".org":
+                    target = _parse_number(args[0]) if args else None
+                    if target is None:
+                        raise AssemblerError(".org needs an address", line_number, raw)
+                    if section == "text":
+                        pc = target
+                    else:
+                        dc = target
+                elif directive == ".word":
+                    if section != "data":
+                        raise AssemblerError(".word only in .data", line_number, raw)
+                    data_items.append((dc, ".word", args, line_number, raw))
+                    dc += len(args)
+                elif directive == ".space":
+                    if section != "data":
+                        raise AssemblerError(".space only in .data", line_number, raw)
+                    count = _parse_number(args[0]) if args else None
+                    if count is None or count < 0:
+                        raise AssemblerError(".space needs a size", line_number, raw)
+                    data_items.append((dc, ".space", args, line_number, raw))
+                    dc += count
+                else:
+                    raise AssemblerError(f"unknown directive {directive}", line_number, raw)
+                continue
+            if section != "text":
+                raise AssemblerError("instructions only in .text", line_number, raw)
+            op, operands = self._split_instruction(line, line_number, raw)
+            pending.append(_Pending(line_number, raw, pc, op, operands))
+            pc += 1
+
+        # ---------------- pass two: encoding ---------------------------
+        program_words: dict[int, int] = {}
+        line_map: dict[int, int] = {}
+        for item in pending:
+            inst = self._build_instruction(item, symbols)
+            program_words[item.address] = encode(inst)
+            line_map[item.address] = item.line_number
+
+        data_words: dict[int, int] = {}
+        for address, directive, args, line_number, raw in data_items:
+            if directive == ".word":
+                for i, arg in enumerate(args):
+                    value = self._resolve_value(arg, symbols)
+                    if value is None:
+                        raise AssemblerError(f"bad .word value {arg!r}", line_number, raw)
+                    data_words[address + i] = value & 0xFFFFFFFF
+            else:  # .space
+                count = _parse_number(args[0]) or 0
+                for i in range(count):
+                    data_words[address + i] = 0
+
+        program = _pack(program_words, self.program_base)
+        data = _pack(data_words, self.data_base)
+        entry = symbols.get("_start", self.program_base)
+        return Program(
+            program=program,
+            data=data,
+            program_base=self.program_base,
+            data_base=self.data_base,
+            symbols=symbols,
+            entry_point=entry,
+            line_map=line_map,
+        )
+
+    # ------------------------------------------------------------------
+    def _split_instruction(
+        self, line: str, line_number: int, raw: str
+    ) -> tuple[Op, list[str]]:
+        head, _, rest = line.partition(" ")
+        mnemonic = head.strip().upper()
+        try:
+            op = Op[mnemonic]
+        except KeyError:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_number, raw) from None
+        operands = _split_operands(rest)
+        return op, operands
+
+    def _resolve_value(self, token: str, symbols: dict[str, int]) -> int | None:
+        token = token.strip()
+        if token.startswith("="):
+            token = token[1:].strip()
+        number = _parse_number(token)
+        if number is not None:
+            return number
+        return symbols.get(token)
+
+    def _build_instruction(self, item: _Pending, symbols: dict[str, int]) -> Instruction:
+        op, operands = item.op, item.operands
+        fmt = FORMATS[op]
+        ln, raw = item.line_number, item.line
+
+        def need(count: int) -> None:
+            if len(operands) != count:
+                raise AssemblerError(
+                    f"{op.name} expects {count} operand(s), got {len(operands)}", ln, raw
+                )
+
+        def value_of(token: str, *, signed12: bool = False) -> int:
+            value = self._resolve_value(token, symbols)
+            if value is None:
+                raise AssemblerError(f"unknown symbol {token!r}", ln, raw)
+            if signed12 and not -2048 <= value <= 2047:
+                raise AssemblerError(f"offset {value} out of signed-12 range", ln, raw)
+            if not signed12 and not -32768 <= value <= 65535:
+                raise AssemblerError(f"immediate {value} out of 16-bit range", ln, raw)
+            return value
+
+        def mem_operand(token: str) -> tuple[int, int]:
+            match = _MEM_OPERAND.match(token.strip())
+            if not match:
+                raise AssemblerError(f"bad memory operand {token!r}", ln, raw)
+            base = _parse_register(match.group(1), ln, raw)
+            offset = 0
+            if match.group(3) is not None:
+                resolved = self._resolve_value(match.group(3), symbols)
+                if resolved is None:
+                    raise AssemblerError(f"unknown symbol {match.group(3)!r}", ln, raw)
+                offset = -resolved if match.group(2) == "-" else resolved
+            if not -2048 <= offset <= 2047:
+                raise AssemblerError(f"offset {offset} out of signed-12 range", ln, raw)
+            return base, offset
+
+        if fmt is Format.NONE:
+            need(0)
+            return Instruction(op)
+        if fmt is Format.RD_IMM16:
+            need(2)
+            rd = _parse_register(operands[0], ln, raw)
+            return Instruction(op, rd=rd, imm=value_of(operands[1]) & 0xFFFF)
+        if fmt is Format.RS_IMM16:
+            need(2)
+            rs = _parse_register(operands[0], ln, raw)
+            return Instruction(op, rd=rs, imm=value_of(operands[1]) & 0xFFFF)
+        if fmt is Format.RD_RA:
+            need(2)
+            return Instruction(
+                op,
+                rd=_parse_register(operands[0], ln, raw),
+                ra=_parse_register(operands[1], ln, raw),
+            )
+        if fmt is Format.RD_RA_RB:
+            need(3)
+            return Instruction(
+                op,
+                rd=_parse_register(operands[0], ln, raw),
+                ra=_parse_register(operands[1], ln, raw),
+                rb=_parse_register(operands[2], ln, raw),
+            )
+        if fmt is Format.RD_RA_IMM12:
+            # Two instructions share this format with different assembly
+            # spellings: LD rd, [ra+off] and ADDI rd, ra, imm.
+            if op is Op.LD:
+                need(2)
+                rd = _parse_register(operands[0], ln, raw)
+                base, offset = mem_operand(operands[1])
+                return Instruction(op, rd=rd, ra=base, imm=offset)
+            need(3)
+            return Instruction(
+                op,
+                rd=_parse_register(operands[0], ln, raw),
+                ra=_parse_register(operands[1], ln, raw),
+                imm=value_of(operands[2], signed12=True),
+            )
+        if fmt is Format.RS_RA_IMM12:
+            need(2)
+            rs = _parse_register(operands[0], ln, raw)
+            base, offset = mem_operand(operands[1])
+            return Instruction(op, rd=rs, ra=base, imm=offset)
+        if fmt is Format.RA_RB:
+            need(2)
+            return Instruction(
+                op,
+                ra=_parse_register(operands[0], ln, raw),
+                rb=_parse_register(operands[1], ln, raw),
+            )
+        if fmt is Format.RA_IMM12:
+            need(2)
+            return Instruction(
+                op,
+                ra=_parse_register(operands[0], ln, raw),
+                imm=value_of(operands[1], signed12=True),
+            )
+        if fmt is Format.IMM16:
+            need(1)
+            return Instruction(op, imm=value_of(operands[0]) & 0xFFFF)
+        if fmt is Format.RD:
+            need(1)
+            return Instruction(op, rd=_parse_register(operands[0], ln, raw))
+        raise AssemblerError(f"unhandled format {fmt}", ln, raw)  # pragma: no cover
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split an operand string on commas that are outside brackets."""
+    rest = rest.strip()
+    if not rest:
+        return []
+    operands: list[str] = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def _pack(words: dict[int, int], base: int) -> list[int]:
+    """Turn a sparse address->word map into a dense list from ``base``."""
+    if not words:
+        return []
+    top = max(words)
+    return [words.get(addr, 0) for addr in range(base, top + 1)]
+
+
+def assemble(source: str, **kwargs) -> Program:
+    """Convenience wrapper: assemble ``source`` with default bases."""
+    return Assembler(**kwargs).assemble(source)

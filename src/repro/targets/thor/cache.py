@@ -1,0 +1,179 @@
+"""Parity-protected instruction and data caches.
+
+The Thor RD's headline improvement over the original Thor is "parity
+protected instruction and data caches".  That parity logic is the error
+detection mechanism that SCIFI experiments most directly exercise: a
+bit flip injected (through the scan chains) into a cache line's data,
+tag or valid bit is caught the next time the line is read, because the
+stored parity bit no longer matches.  A simultaneous flip of the parity
+bit itself masks the error — exactly the escape path real parity has.
+
+The caches are direct mapped with one 32-bit word per line and
+write-through/write-allocate data handling, which keeps the timing model
+simple (the simulator counts instructions, not stalls) while preserving
+the *detection* behaviour the paper's experiments depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isa import ADDR_BITS, WORD_MASK
+
+
+def parity_bit(value: int) -> int:
+    """Even-parity bit of an arbitrary non-negative integer."""
+    return bin(value).count("1") & 1
+
+
+class CacheParityError(Exception):
+    """A parity mismatch detected on a cache-line read."""
+
+    def __init__(self, cache_name: str, index: int, address: int) -> None:
+        super().__init__(
+            f"{cache_name} parity error on line {index} (address 0x{address:04X})"
+        )
+        self.cache_name = cache_name
+        self.index = index
+        self.address = address
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """One direct-mapped cache line.
+
+    All four fields are state elements reachable from the internal scan
+    chain, so fault injection may corrupt any of them independently.
+    """
+
+    valid: int = 0
+    tag: int = 0
+    data: int = 0
+    parity: int = 0
+
+    def payload(self) -> int:
+        """The bits covered by the parity code (valid, tag and data)."""
+        return (self.valid << 63) | (self.tag << 32) | self.data
+
+    def recompute_parity(self) -> None:
+        self.parity = parity_bit(self.payload())
+
+    def parity_ok(self) -> bool:
+        return parity_bit(self.payload()) == self.parity
+
+
+class Cache:
+    """A direct-mapped, parity-protected cache.
+
+    The cache sits in front of a ``read(address) -> word`` backing
+    callable (main memory).  ``read`` returns the cached word, filling
+    on a miss; ``write`` updates a present line (write-through handled
+    by the caller, which always writes memory too).
+    """
+
+    def __init__(self, name: str, lines: int, read_backing) -> None:
+        if lines <= 0 or lines & (lines - 1):
+            raise ValueError("cache line count must be a positive power of two")
+        self.name = name
+        self.num_lines = lines
+        self._index_bits = lines.bit_length() - 1
+        self._index_mask = lines - 1
+        self._read_backing = read_backing
+        self.lines = [CacheLine() for _ in range(lines)]
+        #: Counters for the analysis phase / benchmarks.
+        self.hits = 0
+        self.misses = 0
+        self.parity_errors = 0
+
+    # ------------------------------------------------------------------
+    def _split(self, address: int) -> tuple[int, int]:
+        index = address & self._index_mask
+        tag = (address >> self._index_bits) & ((1 << ADDR_BITS) - 1)
+        return index, tag
+
+    def read(self, address: int) -> int:
+        """Read a word through the cache, checking parity on a hit.
+
+        Raises :class:`CacheParityError` when the stored parity bit does
+        not cover the line's current contents — the hardware detection
+        event a SCIFI-injected cache fault produces.
+        """
+        index, tag = self._split(address)
+        line = self.lines[index]
+        if line.valid and line.tag == tag:
+            if not line.parity_ok():
+                self.parity_errors += 1
+                raise CacheParityError(self.name, index, address)
+            self.hits += 1
+            return line.data
+        self.misses += 1
+        word = self._read_backing(address) & WORD_MASK
+        line.valid = 1
+        line.tag = tag
+        line.data = word
+        line.recompute_parity()
+        return word
+
+    def write(self, address: int, value: int) -> None:
+        """Write-allocate update of the cached copy (write-through is the
+        caller's job: memory is always written as well)."""
+        index, tag = self._split(address)
+        line = self.lines[index]
+        line.valid = 1
+        line.tag = tag
+        line.data = value & WORD_MASK
+        line.recompute_parity()
+
+    def snoop_invalidate(self, address: int) -> None:
+        """Invalidate the line holding ``address``, if present.
+
+        The test card issues this on host DMA writes so the CPU never
+        reads a stale cached copy of memory the host (environment
+        simulator, SWIFI injector) has just rewritten — the coherence a
+        real DMA-capable test card provides.
+        """
+        index, tag = self._split(address)
+        line = self.lines[index]
+        if line.valid and line.tag == tag:
+            line.valid = 0
+            line.recompute_parity()
+
+    def invalidate(self) -> None:
+        """Flush the cache (target re-initialisation)."""
+        for line in self.lines:
+            line.valid = 0
+            line.tag = 0
+            line.data = 0
+            line.parity = 0
+        self.hits = 0
+        self.misses = 0
+        self.parity_errors = 0
+
+    # ------------------------------------------------------------------
+    # Scan-chain support: the cache's state elements as named bit fields.
+    # ------------------------------------------------------------------
+    def scan_fields(self) -> list[tuple[str, int]]:
+        """(field name, width) pairs describing every scannable element,
+        in scan order."""
+        fields: list[tuple[str, int]] = []
+        tag_bits = ADDR_BITS - self._index_bits
+        for i in range(self.num_lines):
+            fields.append((f"{self.name}.line{i}.valid", 1))
+            fields.append((f"{self.name}.line{i}.tag", tag_bits))
+            fields.append((f"{self.name}.line{i}.data", 32))
+            fields.append((f"{self.name}.line{i}.parity", 1))
+        return fields
+
+    def scan_get(self, field: str) -> int:
+        line, attr = self._locate(field)
+        return getattr(line, attr)
+
+    def scan_set(self, field: str, value: int) -> None:
+        line, attr = self._locate(field)
+        setattr(line, attr, value)
+
+    def _locate(self, field: str) -> tuple[CacheLine, str]:
+        # field is "<cache>.line<i>.<attr>"
+        _, line_part, attr = field.split(".")
+        index = int(line_part.removeprefix("line"))
+        return self.lines[index], attr

@@ -1,0 +1,497 @@
+"""Execution core of the THOR-RD-sim target processor.
+
+A deterministic fetch/decode/execute interpreter with:
+
+* sixteen 32-bit general registers, PC, and a four-flag PSW (Z N C V);
+* instruction and data accesses routed through the parity-protected
+  caches of :mod:`repro.targets.thor.cache`;
+* every hardware fault symptom mapped onto an error-detection mechanism
+  (:mod:`repro.targets.thor.edm`) instead of a Python crash — a fault
+  injected into any state element must produce a *target-visible*
+  outcome;
+* address breakpoints and cycle-precise stops, which is what the SCIFI
+  algorithm's ``waitForBreakpoint`` building block drives;
+* optional observer hooks (instruction trace, memory-access trace,
+  post-step fault overlays) used by detail-mode logging, pre-injection
+  analysis, triggers, and the permanent/intermittent fault models.
+
+One instruction costs one cycle; the cycle counter is the target's
+notion of time (the paper's "points in time the faults should be
+injected").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from .cache import Cache, CacheParityError, parity_bit
+from .edm import DetectionEvent, Mechanism
+from .isa import (
+    BRANCH_OPS,
+    DECODER,
+    NUM_REGISTERS,
+    REG_SP,
+    WORD_MASK,
+    IllegalOpcodeError,
+    Instruction,
+    Op,
+    cached_register_events,
+)
+from .memory import Memory, MemoryMap, MemoryViolation
+
+_SIGN_BIT = 0x80000000
+
+
+def to_signed(value: int) -> int:
+    """Two's-complement interpretation of a 32-bit word."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & _SIGN_BIT else value
+
+
+def to_word(value: int) -> int:
+    return value & WORD_MASK
+
+
+class StopReason(enum.Enum):
+    """Why :meth:`ThorCPU.run` returned control to the host."""
+
+    BREAKPOINT = "breakpoint"  # PC reached an address breakpoint
+    CYCLE_BREAK = "cycle_break"  # requested stop-at-cycle reached
+    HALTED = "halted"  # workload executed HALT (normal end)
+    DETECTED = "detected"  # an EDM fired
+    CYCLE_LIMIT = "cycle_limit"  # host-imposed cycle budget exhausted
+    ITERATION = "iteration"  # workload executed ITER (loop boundary)
+
+
+@dataclass(frozen=True, slots=True)
+class MemAccess:
+    """One data-memory access, reported to the memory-trace hook."""
+
+    cycle: int
+    kind: str  # "read" | "write"
+    address: int
+    value: int
+
+
+class ThorCPU:
+    """The simulated processor.
+
+    The object owns its memory and caches; the test card
+    (:mod:`repro.targets.thor.testcard`) owns the CPU and is the only
+    component the GOOFI host layers talk to.
+    """
+
+    def __init__(
+        self,
+        memory: Memory | None = None,
+        icache_lines: int = 32,
+        dcache_lines: int = 32,
+        trap_on_overflow: bool = False,
+        register_parity: bool = False,
+    ) -> None:
+        self.memory = memory or Memory(MemoryMap())
+        self.icache = Cache("icache", icache_lines, self.memory.fetch)
+        self.dcache = Cache("dcache", dcache_lines, self.memory.read)
+        self.trap_on_overflow = trap_on_overflow
+        #: Optional register-file parity EDM: CPU register writes keep a
+        #: parity bit per register; reads check it.  External changes
+        #: (scan injection, fault overlays) desynchronise the parity and
+        #: are detected on the register's next use.
+        self.register_parity = register_parity
+        self.reg_parity = [0] * NUM_REGISTERS
+
+        self.regs = [0] * NUM_REGISTERS
+        self.pc = 0
+        # PSW flags, kept as separate ints for speed; the scan chain
+        # packs/unpacks them as a 4-bit word.
+        self.flag_z = 0
+        self.flag_n = 0
+        self.flag_c = 0
+        self.flag_v = 0
+        self.ir = 0  # last fetched instruction word
+        self.mar = 0  # memory address register (last data access)
+        self.mdr = 0  # memory data register (last data value)
+
+        self.cycle = 0
+        self.iteration = 0  # count of executed ITER instructions
+        self.halted = False
+        self.detection: DetectionEvent | None = None
+
+        self.breakpoints: set[int] = set()
+        #: Values presented on the input ports (written by the host /
+        #: environment simulator; read by IN).
+        self.input_ports: dict[int, int] = {}
+        #: Last value driven on each output port (pins; boundary-scan
+        #: visible) plus the full output log for result comparison.
+        self.output_ports: dict[int, int] = {}
+        self.output_log: list[tuple[int, int, int]] = []  # (cycle, port, value)
+
+        #: Observer hooks.  ``None`` keeps the hot loop cheap.
+        self.trace_hook: Callable[[int, int, Instruction], None] | None = None
+        self.mem_hook: Callable[[MemAccess], None] | None = None
+        #: Called after every executed instruction; used to implement
+        #: permanent (stuck-at) and intermittent fault overlays.
+        self.post_step_hooks: list[Callable[["ThorCPU"], None]] = []
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def reset(self, entry_point: int = 0) -> None:
+        """Re-initialise the processor (not memory) for a new run."""
+        self.regs = [0] * NUM_REGISTERS
+        self.regs[REG_SP] = self.memory.map.stack_top
+        self.reg_parity = [parity_bit(value) for value in self.regs]
+        self.pc = entry_point
+        self.flag_z = self.flag_n = self.flag_c = self.flag_v = 0
+        self.ir = 0
+        self.mar = 0
+        self.mdr = 0
+        self.cycle = 0
+        self.iteration = 0
+        self.halted = False
+        self.detection = None
+        self.icache.invalidate()
+        self.dcache.invalidate()
+        self.input_ports.clear()
+        self.output_ports.clear()
+        self.output_log.clear()
+        self.post_step_hooks.clear()
+
+    @property
+    def psw(self) -> int:
+        """The four condition flags packed as Z N C V (bit 3 .. bit 0)."""
+        return (self.flag_z << 3) | (self.flag_n << 2) | (self.flag_c << 1) | self.flag_v
+
+    @psw.setter
+    def psw(self, value: int) -> None:
+        self.flag_z = (value >> 3) & 1
+        self.flag_n = (value >> 2) & 1
+        self.flag_c = (value >> 1) & 1
+        self.flag_v = value & 1
+
+    def _detect(self, mechanism: Mechanism, detail: str = "") -> None:
+        """Record an EDM firing and stop the processor."""
+        self.detection = DetectionEvent(
+            mechanism=mechanism, cycle=self.cycle, pc=self.pc, detail=detail
+        )
+        self.halted = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> StopReason | None:
+        """Execute one instruction.
+
+        Returns a :class:`StopReason` when the instruction ended the run
+        (HALT, EDM detection, ITER boundary); ``None`` otherwise.
+        """
+        if self.halted:
+            return StopReason.DETECTED if self.detection else StopReason.HALTED
+
+        pc = self.pc
+        try:
+            word = self.icache.read(pc)
+        except CacheParityError as exc:
+            self._detect(Mechanism.ICACHE_PARITY, str(exc))
+            return StopReason.DETECTED
+        except MemoryViolation as exc:
+            self._detect(Mechanism.MEM_VIOLATION, str(exc))
+            return StopReason.DETECTED
+        self.ir = word
+
+        try:
+            inst = DECODER.decode(word)
+        except IllegalOpcodeError as exc:
+            self._detect(Mechanism.ILLEGAL_OPCODE, str(exc))
+            return StopReason.DETECTED
+
+        if self.trace_hook is not None:
+            self.trace_hook(self.cycle, pc, inst)
+
+        if self.register_parity:
+            reads, writes = cached_register_events(inst)
+            for register in reads:
+                if parity_bit(self.regs[register]) != self.reg_parity[register]:
+                    self._detect(
+                        Mechanism.REG_PARITY,
+                        f"register R{register} parity mismatch",
+                    )
+                    return StopReason.DETECTED
+        else:
+            writes = ()
+
+        try:
+            stop = self._execute(inst)
+        except CacheParityError as exc:
+            self._detect(Mechanism.DCACHE_PARITY, str(exc))
+            return StopReason.DETECTED
+        except MemoryViolation as exc:
+            self._detect(Mechanism.MEM_VIOLATION, str(exc))
+            return StopReason.DETECTED
+
+        for register in writes:
+            self.reg_parity[register] = parity_bit(self.regs[register])
+
+        self.cycle += 1
+        if self.post_step_hooks:
+            for hook in self.post_step_hooks:
+                hook(self)
+        return stop
+
+    def run(
+        self,
+        max_cycles: int,
+        stop_at_cycle: int | None = None,
+    ) -> StopReason:
+        """Run until a breakpoint, stop-cycle, HALT, detection, ITER
+        boundary, or the ``max_cycles`` budget (the watchdog timeout the
+        paper lists as a termination condition).
+
+        Address breakpoints are checked *before* executing the
+        instruction at the breakpoint address, and ``stop_at_cycle``
+        stops before executing the instruction belonging to that cycle —
+        both give the SCIFI algorithm a state "at the point in time when
+        the fault should be injected".
+        """
+        breakpoints = self.breakpoints
+        while True:
+            if self.halted:
+                return StopReason.DETECTED if self.detection else StopReason.HALTED
+            if stop_at_cycle is not None and self.cycle >= stop_at_cycle:
+                return StopReason.CYCLE_BREAK
+            if self.cycle >= max_cycles:
+                return StopReason.CYCLE_LIMIT
+            if breakpoints and self.pc in breakpoints:
+                return StopReason.BREAKPOINT
+            stop = self.step()
+            if stop is not None:
+                return stop
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+    def _data_read(self, address: int) -> int:
+        address &= 0xFFFF
+        value = self.dcache.read(address)
+        self.mar = address
+        self.mdr = value
+        if self.mem_hook is not None:
+            self.mem_hook(MemAccess(self.cycle, "read", address, value))
+        return value
+
+    def _data_write(self, address: int, value: int) -> None:
+        address &= 0xFFFF
+        value &= WORD_MASK
+        self.memory.write(address, value)  # write-through
+        self.dcache.write(address, value)
+        self.mar = address
+        self.mdr = value
+        if self.mem_hook is not None:
+            self.mem_hook(MemAccess(self.cycle, "write", address, value))
+
+    def _set_zn(self, result: int) -> None:
+        self.flag_z = 1 if result == 0 else 0
+        self.flag_n = (result >> 31) & 1
+
+    def _add(self, a: int, b: int) -> int:
+        full = a + b
+        result = full & WORD_MASK
+        self.flag_c = 1 if full > WORD_MASK else 0
+        self.flag_v = 1 if ((a ^ result) & (b ^ result)) >> 31 & 1 else 0
+        self._set_zn(result)
+        return result
+
+    def _sub(self, a: int, b: int) -> int:
+        result = (a - b) & WORD_MASK
+        self.flag_c = 1 if a < b else 0  # borrow
+        self.flag_v = 1 if ((a ^ b) & (a ^ result)) >> 31 & 1 else 0
+        self._set_zn(result)
+        return result
+
+    def _check_stack(self, sp: int) -> None:
+        if not self.memory.map.in_data(sp):
+            raise MemoryViolation("stack", sp)
+
+    def _execute(self, inst: Instruction) -> StopReason | None:
+        op = inst.op
+        regs = self.regs
+        next_pc = (self.pc + 1) & 0xFFFF
+
+        if op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self.halted = True
+            self.pc = next_pc
+            return StopReason.HALTED
+        elif op is Op.LDI:
+            regs[inst.rd] = inst.imm
+        elif op is Op.LDIH:
+            regs[inst.rd] = (regs[inst.rd] & 0xFFFF) | ((inst.imm & 0xFFFF) << 16)
+        elif op is Op.LDA:
+            regs[inst.rd] = self._data_read(inst.imm)
+        elif op is Op.STA:
+            self._data_write(inst.imm, regs[inst.rd])
+        elif op is Op.LD:
+            regs[inst.rd] = self._data_read(regs[inst.ra] + inst.imm)
+        elif op is Op.ST:
+            self._data_write(regs[inst.ra] + inst.imm, regs[inst.rd])
+        elif op is Op.MOV:
+            regs[inst.rd] = regs[inst.ra]
+        elif op is Op.PUSH:
+            sp = (regs[REG_SP] - 1) & WORD_MASK
+            try:
+                self._check_stack(sp & 0xFFFF)
+            except MemoryViolation:
+                self._detect(Mechanism.STACK, f"stack overflow, sp=0x{sp:08X}")
+                return StopReason.DETECTED
+            regs[REG_SP] = sp
+            self._data_write(sp, regs[inst.rd])
+        elif op is Op.POP:
+            sp = regs[REG_SP]
+            try:
+                self._check_stack(sp & 0xFFFF)
+            except MemoryViolation:
+                self._detect(Mechanism.STACK, f"stack underflow, sp=0x{sp:08X}")
+                return StopReason.DETECTED
+            regs[inst.rd] = self._data_read(sp)
+            regs[REG_SP] = (sp + 1) & WORD_MASK
+        elif op is Op.ADD:
+            result = self._add(regs[inst.ra], regs[inst.rb])
+            if self.trap_on_overflow and self.flag_v:
+                self._detect(Mechanism.OVERFLOW, "ADD overflow")
+                return StopReason.DETECTED
+            regs[inst.rd] = result
+        elif op is Op.SUB:
+            result = self._sub(regs[inst.ra], regs[inst.rb])
+            if self.trap_on_overflow and self.flag_v:
+                self._detect(Mechanism.OVERFLOW, "SUB overflow")
+                return StopReason.DETECTED
+            regs[inst.rd] = result
+        elif op is Op.MUL:
+            full = to_signed(regs[inst.ra]) * to_signed(regs[inst.rb])
+            result = full & WORD_MASK
+            self.flag_v = 1 if full != to_signed(result) else 0
+            if self.trap_on_overflow and self.flag_v:
+                self._detect(Mechanism.OVERFLOW, "MUL overflow")
+                return StopReason.DETECTED
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.DIV or op is Op.MOD:
+            divisor = to_signed(regs[inst.rb])
+            if divisor == 0:
+                self._detect(Mechanism.ARITHMETIC, f"{op.name} by zero")
+                return StopReason.DETECTED
+            dividend = to_signed(regs[inst.ra])
+            quotient = int(dividend / divisor)  # C-style truncation
+            remainder = dividend - quotient * divisor
+            result = to_word(quotient if op is Op.DIV else remainder)
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.AND:
+            result = regs[inst.ra] & regs[inst.rb]
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.OR:
+            result = regs[inst.ra] | regs[inst.rb]
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.XOR:
+            result = regs[inst.ra] ^ regs[inst.rb]
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.SHL:
+            shift = regs[inst.rb] & 31
+            result = (regs[inst.ra] << shift) & WORD_MASK
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.SHR:
+            shift = regs[inst.rb] & 31
+            result = regs[inst.ra] >> shift
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.SAR:
+            shift = regs[inst.rb] & 31
+            result = to_word(to_signed(regs[inst.ra]) >> shift)
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.NOT:
+            result = (~regs[inst.ra]) & WORD_MASK
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.NEG:
+            result = (-regs[inst.ra]) & WORD_MASK
+            self._set_zn(result)
+            regs[inst.rd] = result
+        elif op is Op.ADDI:
+            result = self._add(regs[inst.ra], to_word(inst.imm))
+            regs[inst.rd] = result
+        elif op is Op.CMP:
+            self._sub(regs[inst.ra], regs[inst.rb])
+        elif op is Op.CMPI:
+            self._sub(regs[inst.ra], to_word(inst.imm))
+        elif op in BRANCH_OPS:
+            if self._branch_taken(op):
+                self.pc = inst.imm & 0xFFFF
+                return None
+        elif op is Op.CALL:
+            sp = (regs[REG_SP] - 1) & WORD_MASK
+            try:
+                self._check_stack(sp & 0xFFFF)
+            except MemoryViolation:
+                self._detect(Mechanism.STACK, f"call stack overflow, sp=0x{sp:08X}")
+                return StopReason.DETECTED
+            regs[REG_SP] = sp
+            self._data_write(sp, next_pc)
+            self.pc = inst.imm & 0xFFFF
+            return None
+        elif op is Op.RET:
+            sp = regs[REG_SP]
+            try:
+                self._check_stack(sp & 0xFFFF)
+            except MemoryViolation:
+                self._detect(Mechanism.STACK, f"return stack underflow, sp=0x{sp:08X}")
+                return StopReason.DETECTED
+            self.pc = self._data_read(sp) & 0xFFFF
+            regs[REG_SP] = (sp + 1) & WORD_MASK
+            return None
+        elif op is Op.TRAP:
+            self._detect(Mechanism.SOFTWARE_TRAP, f"trap {inst.imm}")
+            return StopReason.DETECTED
+        elif op is Op.ITER:
+            self.iteration += 1
+            self.pc = next_pc
+            return StopReason.ITERATION
+        elif op is Op.IN:
+            regs[inst.rd] = self.input_ports.get(inst.imm, 0) & WORD_MASK
+        elif op is Op.OUT:
+            value = regs[inst.rd]
+            self.output_ports[inst.imm] = value
+            self.output_log.append((self.cycle, inst.imm, value))
+        else:  # pragma: no cover - all opcodes are handled above
+            raise AssertionError(f"unhandled opcode {op!r}")
+
+        self.pc = next_pc
+        return None
+
+    def _branch_taken(self, op: Op) -> bool:
+        if op is Op.BR:
+            return True
+        if op is Op.BEQ:
+            return bool(self.flag_z)
+        if op is Op.BNE:
+            return not self.flag_z
+        if op is Op.BLT:
+            return self.flag_n != self.flag_v
+        if op is Op.BLE:
+            return bool(self.flag_z) or self.flag_n != self.flag_v
+        if op is Op.BGT:
+            return not self.flag_z and self.flag_n == self.flag_v
+        if op is Op.BGE:
+            return self.flag_n == self.flag_v
+        if op is Op.BCS:
+            return bool(self.flag_c)
+        if op is Op.BVS:
+            return bool(self.flag_v)
+        raise AssertionError(f"not a branch: {op!r}")  # pragma: no cover

@@ -1,0 +1,345 @@
+"""Instruction-set architecture of the THOR-RD-sim target processor.
+
+The paper's target is the Thor RD, a radiation-hardened microprocessor
+developed by SAAB Ericsson Space.  Since that processor (and its test
+card) is proprietary hardware, this reproduction substitutes a
+deterministic 32-bit load/store processor with the same *observable*
+surface: a register file, program status word, parity-protected caches,
+scan-chain access to internal state, breakpoints, and a set of hardware
+error-detection mechanisms.  This module defines the instruction set:
+encodings, an instruction table, and an encoder/decoder.
+
+Encoding (one 32-bit word per instruction)::
+
+    bits 31..24   opcode
+    bits 23..20   rd   (destination register, or source for stores)
+    bits 19..16   ra   (first source register / base register)
+    bits 15..12   rb   (second source register)
+    bits 15..0    imm16 (unsigned: addresses, ports, immediates)
+    bits 11..0    imm12 (two's complement signed: offsets)
+
+Only one of ``imm16``/``imm12``/``rb`` is meaningful for a given
+instruction *format*; the decoder extracts the fields the format uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+ADDR_BITS = 16
+ADDR_MASK = 0xFFFF
+NUM_REGISTERS = 16
+
+#: Conventional register roles used by the assembler and workloads.
+REG_SP = 14  # stack pointer
+REG_LR = 15  # link register (scratch; CALL uses the stack)
+
+
+class Format(enum.Enum):
+    """Operand format of an instruction."""
+
+    NONE = "none"  # no operands
+    RD_IMM16 = "rd_imm16"  # rd, #imm16  (LDI, LDIH, LDA, IN)
+    RD_RA = "rd_ra"  # rd, ra      (MOV, NOT, NEG)
+    RD_RA_RB = "rd_ra_rb"  # rd, ra, rb  (three-address ALU)
+    RD_RA_IMM12 = "rd_ra_imm12"  # rd, ra, #simm12 (ADDI, LD)
+    RS_RA_IMM12 = "rs_ra_imm12"  # rs, [ra+simm12] (ST)
+    RS_IMM16 = "rs_imm16"  # rs, #imm16  (STA, OUT)
+    RA_RB = "ra_rb"  # ra, rb      (CMP)
+    RA_IMM12 = "ra_imm12"  # ra, #simm12 (CMPI)
+    IMM16 = "imm16"  # #imm16      (branches, CALL, TRAP)
+    RD = "rd"  # rd          (PUSH, POP)
+
+
+class Op(enum.IntEnum):
+    """Opcodes of THOR-RD-sim.
+
+    The numeric values are part of the target's persistent format: they
+    appear in memory images stored in the GOOFI database, so they must
+    stay stable.
+    """
+
+    NOP = 0x00
+    HALT = 0x01
+    RET = 0x02
+    ITER = 0x03  # iteration boundary: yields to the host / env simulator
+
+    LDI = 0x10  # rd <- imm16
+    LDIH = 0x11  # rd <- (rd & 0xFFFF) | (imm16 << 16)
+    LDA = 0x12  # rd <- mem[imm16]
+    STA = 0x13  # mem[imm16] <- rs
+    LD = 0x14  # rd <- mem[ra + simm12]
+    ST = 0x15  # mem[ra + simm12] <- rs
+    MOV = 0x16  # rd <- ra
+    PUSH = 0x17  # sp -= 1; mem[sp] <- rd
+    POP = 0x18  # rd <- mem[sp]; sp += 1
+
+    ADD = 0x20
+    SUB = 0x21
+    MUL = 0x22
+    DIV = 0x23  # signed division, trap on divide-by-zero
+    MOD = 0x24
+    AND = 0x25
+    OR = 0x26
+    XOR = 0x27
+    SHL = 0x28
+    SHR = 0x29  # logical shift right
+    SAR = 0x2A  # arithmetic shift right
+    NOT = 0x2B
+    NEG = 0x2C
+    ADDI = 0x2D  # rd <- ra + simm12
+    CMP = 0x2E  # flags <- ra - rb
+    CMPI = 0x2F  # flags <- ra - simm12
+
+    BR = 0x30
+    BEQ = 0x31
+    BNE = 0x32
+    BLT = 0x33  # signed <
+    BLE = 0x34
+    BGT = 0x35
+    BGE = 0x36
+    BCS = 0x37  # carry set (unsigned borrow on CMP)
+    BVS = 0x38  # overflow set
+    CALL = 0x39
+    TRAP = 0x3A  # software trap: terminates the run as a detected error
+
+    IN = 0x40  # rd <- input port imm16
+    OUT = 0x41  # output port imm16 <- rs
+
+
+#: Format of each opcode.
+FORMATS: dict[Op, Format] = {
+    Op.NOP: Format.NONE,
+    Op.HALT: Format.NONE,
+    Op.RET: Format.NONE,
+    Op.ITER: Format.NONE,
+    Op.LDI: Format.RD_IMM16,
+    Op.LDIH: Format.RD_IMM16,
+    Op.LDA: Format.RD_IMM16,
+    Op.STA: Format.RS_IMM16,
+    Op.LD: Format.RD_RA_IMM12,
+    Op.ST: Format.RS_RA_IMM12,
+    Op.MOV: Format.RD_RA,
+    Op.PUSH: Format.RD,
+    Op.POP: Format.RD,
+    Op.ADD: Format.RD_RA_RB,
+    Op.SUB: Format.RD_RA_RB,
+    Op.MUL: Format.RD_RA_RB,
+    Op.DIV: Format.RD_RA_RB,
+    Op.MOD: Format.RD_RA_RB,
+    Op.AND: Format.RD_RA_RB,
+    Op.OR: Format.RD_RA_RB,
+    Op.XOR: Format.RD_RA_RB,
+    Op.SHL: Format.RD_RA_RB,
+    Op.SHR: Format.RD_RA_RB,
+    Op.SAR: Format.RD_RA_RB,
+    Op.NOT: Format.RD_RA,
+    Op.NEG: Format.RD_RA,
+    Op.ADDI: Format.RD_RA_IMM12,
+    Op.CMP: Format.RA_RB,
+    Op.CMPI: Format.RA_IMM12,
+    Op.BR: Format.IMM16,
+    Op.BEQ: Format.IMM16,
+    Op.BNE: Format.IMM16,
+    Op.BLT: Format.IMM16,
+    Op.BLE: Format.IMM16,
+    Op.BGT: Format.IMM16,
+    Op.BGE: Format.IMM16,
+    Op.BCS: Format.IMM16,
+    Op.BVS: Format.IMM16,
+    Op.CALL: Format.IMM16,
+    Op.TRAP: Format.IMM16,
+    Op.IN: Format.RD_IMM16,
+    Op.OUT: Format.RS_IMM16,
+}
+
+#: Opcodes that transfer control (used by triggers and pre-injection
+#: analysis to recognise branch / subprogram-call events).
+BRANCH_OPS = frozenset(
+    {Op.BR, Op.BEQ, Op.BNE, Op.BLT, Op.BLE, Op.BGT, Op.BGE, Op.BCS, Op.BVS}
+)
+CALL_OPS = frozenset({Op.CALL})
+
+_VALID_OPCODES = frozenset(int(op) for op in Op)
+
+
+class IllegalOpcodeError(ValueError):
+    """Raised by :func:`decode` when the opcode field is not defined.
+
+    The CPU translates this into the *illegal opcode* error-detection
+    mechanism rather than letting it propagate.
+    """
+
+    def __init__(self, word: int) -> None:
+        super().__init__(f"illegal opcode 0x{(word >> 24) & 0xFF:02X} in word 0x{word:08X}")
+        self.word = word
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``imm`` holds the already sign-extended immediate for signed formats
+    (``imm12``) and the raw unsigned value for ``imm16`` formats.
+    """
+
+    op: Op
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    @property
+    def format(self) -> Format:
+        return FORMATS[self.op]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.op.name} rd={self.rd} ra={self.ra} rb={self.rb} imm={self.imm}"
+
+
+def sign_extend_12(value: int) -> int:
+    """Interpret the low 12 bits of ``value`` as two's complement."""
+    value &= 0xFFF
+    return value - 0x1000 if value & 0x800 else value
+
+
+def encode(inst: Instruction) -> int:
+    """Encode a decoded :class:`Instruction` back into a 32-bit word."""
+    fmt = FORMATS[inst.op]
+    word = (int(inst.op) & 0xFF) << 24
+    if fmt in (Format.RD_IMM16, Format.RS_IMM16):
+        word |= (inst.rd & 0xF) << 20
+        word |= inst.imm & 0xFFFF
+    elif fmt == Format.RD_RA:
+        word |= (inst.rd & 0xF) << 20
+        word |= (inst.ra & 0xF) << 16
+    elif fmt == Format.RD_RA_RB:
+        word |= (inst.rd & 0xF) << 20
+        word |= (inst.ra & 0xF) << 16
+        word |= (inst.rb & 0xF) << 12
+    elif fmt in (Format.RD_RA_IMM12, Format.RS_RA_IMM12):
+        word |= (inst.rd & 0xF) << 20
+        word |= (inst.ra & 0xF) << 16
+        word |= inst.imm & 0xFFF
+    elif fmt == Format.RA_RB:
+        word |= (inst.ra & 0xF) << 16
+        word |= (inst.rb & 0xF) << 12
+    elif fmt == Format.RA_IMM12:
+        word |= (inst.ra & 0xF) << 16
+        word |= inst.imm & 0xFFF
+    elif fmt == Format.IMM16:
+        word |= inst.imm & 0xFFFF
+    elif fmt == Format.RD:
+        word |= (inst.rd & 0xF) << 20
+    # Format.NONE: opcode only.
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`IllegalOpcodeError` for undefined opcodes, which the
+    CPU maps onto the illegal-opcode error-detection mechanism.  This
+    matters for fault injection: a bit flip in the opcode field of a
+    fetched instruction frequently lands outside the defined opcode
+    space and must be *detected*, not crash the simulator.
+    """
+    opcode = (word >> 24) & 0xFF
+    if opcode not in _VALID_OPCODES:
+        raise IllegalOpcodeError(word)
+    op = Op(opcode)
+    fmt = FORMATS[op]
+    rd = (word >> 20) & 0xF
+    ra = (word >> 16) & 0xF
+    rb = (word >> 12) & 0xF
+    if fmt in (Format.RD_IMM16, Format.RS_IMM16, Format.IMM16):
+        imm = word & 0xFFFF
+    elif fmt in (Format.RD_RA_IMM12, Format.RS_RA_IMM12, Format.RA_IMM12):
+        imm = sign_extend_12(word)
+    else:
+        imm = 0
+    return Instruction(op=op, rd=rd, ra=ra, rb=rb, imm=imm)
+
+
+def register_events(inst: Instruction) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Registers (reads, writes) of one instruction, including the
+    implicit stack-pointer traffic of PUSH/POP/CALL/RET.
+
+    This static model drives three things: reference-trace recording
+    (trigger resolution), the pre-injection liveness analysis, and the
+    optional register-file parity EDM of the CPU.
+    """
+    op = inst.op
+    fmt = FORMATS[op]
+    if fmt is Format.NONE:
+        if op is Op.RET:
+            return (REG_SP,), (REG_SP,)
+        return (), ()
+    if fmt is Format.RD_IMM16:
+        if op is Op.LDIH:  # read-modify-write of the low half
+            return (inst.rd,), (inst.rd,)
+        return (), (inst.rd,)
+    if fmt is Format.RS_IMM16:
+        return (inst.rd,), ()
+    if fmt is Format.RD_RA:
+        return (inst.ra,), (inst.rd,)
+    if fmt is Format.RD_RA_RB:
+        return (inst.ra, inst.rb), (inst.rd,)
+    if fmt is Format.RD_RA_IMM12:
+        return (inst.ra,), (inst.rd,)
+    if fmt is Format.RS_RA_IMM12:
+        return (inst.rd, inst.ra), ()
+    if fmt is Format.RA_RB:
+        return (inst.ra, inst.rb), ()
+    if fmt is Format.RA_IMM12:
+        return (inst.ra,), ()
+    if fmt is Format.IMM16:
+        if op is Op.CALL:
+            return (REG_SP,), (REG_SP,)
+        return (), ()
+    if fmt is Format.RD:
+        if op is Op.PUSH:
+            return (inst.rd, REG_SP), (REG_SP,)
+        return (REG_SP,), (inst.rd, REG_SP)  # POP
+    raise AssertionError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+_REGISTER_EVENT_CACHE: dict[Instruction, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+
+
+def cached_register_events(
+    inst: Instruction,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Memoised :func:`register_events` (instructions are hashable)."""
+    events = _REGISTER_EVENT_CACHE.get(inst)
+    if events is None:
+        events = register_events(inst)
+        _REGISTER_EVENT_CACHE[inst] = events
+    return events
+
+
+class _DecodeCache:
+    """Memoising decoder.
+
+    Workloads execute the same instruction words millions of times over
+    a fault-injection campaign; decoding through a dict keyed on the raw
+    word keeps the simulator fast while still re-decoding any word a
+    fault has mutated.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[int, Instruction] = {}
+
+    def decode(self, word: int) -> Instruction:
+        inst = self._cache.get(word)
+        if inst is None:
+            inst = decode(word)
+            self._cache[word] = inst
+        return inst
+
+
+#: Shared process-wide decode cache.  Decoding is pure, so sharing is safe.
+DECODER = _DecodeCache()

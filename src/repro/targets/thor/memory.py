@@ -1,0 +1,133 @@
+"""Main memory of the THOR-RD-sim target.
+
+Memory is word addressed (one 32-bit word per address) with a 16-bit
+address space, split into a *program area* and a *data area* as in the
+paper's pre-runtime SWIFI description ("faults are injected into the
+program and data areas of the target system before it starts to
+execute").  A simple memory-protection unit turns out-of-range accesses
+and runtime writes to the program area into detectable errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isa import ADDR_MASK, WORD_MASK
+
+MEMORY_WORDS = ADDR_MASK + 1
+
+#: Default memory map.  The assembler and workloads use these unless a
+#: target-system configuration overrides them.
+PROGRAM_BASE = 0x0000
+DATA_BASE = 0x4000
+STACK_TOP = 0xFFF0  # initial stack pointer; stack grows downwards
+#: Data addresses at and above this are reserved for the environment
+#: simulator I/O exchange regions.
+ENV_IO_BASE = 0xF000
+
+
+class MemoryViolation(Exception):
+    """An access the memory-protection unit refuses.
+
+    The CPU converts this into the *memory-access violation* EDM.
+    """
+
+    def __init__(self, kind: str, address: int) -> None:
+        super().__init__(f"{kind} violation at address 0x{address & 0xFFFFFFFF:04X}")
+        self.kind = kind
+        self.address = address
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryMap:
+    """Segment boundaries of the target memory.
+
+    ``program_limit`` is the first address *after* the program area; the
+    data area runs from ``data_base`` to the top of memory.
+    """
+
+    program_base: int = PROGRAM_BASE
+    program_limit: int = DATA_BASE
+    data_base: int = DATA_BASE
+    stack_top: int = STACK_TOP
+
+    def in_program(self, address: int) -> bool:
+        return self.program_base <= address < self.program_limit
+
+    def in_data(self, address: int) -> bool:
+        return self.data_base <= address < MEMORY_WORDS
+
+
+class Memory:
+    """Word-addressed RAM with a memory-protection unit.
+
+    Host-side accessors (``host_read``/``host_write``/``load_image``)
+    bypass protection: they model the test-card's direct memory access
+    used to download workloads and to perform pre-runtime SWIFI.  The
+    CPU-side accessors (``read``/``write``/``fetch``) enforce it.
+    """
+
+    def __init__(self, memory_map: MemoryMap | None = None) -> None:
+        self.map = memory_map or MemoryMap()
+        self._words = [0] * MEMORY_WORDS
+        #: When True, runtime writes to the program area raise a
+        #: violation.  Pre-runtime SWIFI happens through the host
+        #: interface, which is never subject to protection.
+        self.protect_program = True
+
+    # ------------------------------------------------------------------
+    # CPU-side access (protected)
+    # ------------------------------------------------------------------
+    def fetch(self, address: int) -> int:
+        """Instruction fetch.  Out-of-program-area fetches are violations."""
+        if not 0 <= address < MEMORY_WORDS:
+            raise MemoryViolation("fetch", address)
+        if not self.map.in_program(address):
+            raise MemoryViolation("fetch", address)
+        return self._words[address]
+
+    def read(self, address: int) -> int:
+        """Data read.  Any in-range address may be read."""
+        if not 0 <= address < MEMORY_WORDS:
+            raise MemoryViolation("read", address)
+        return self._words[address]
+
+    def write(self, address: int, value: int) -> None:
+        """Data write, subject to program-area protection."""
+        if not 0 <= address < MEMORY_WORDS:
+            raise MemoryViolation("write", address)
+        if self.protect_program and self.map.in_program(address):
+            raise MemoryViolation("write", address)
+        self._words[address] = value & WORD_MASK
+
+    # ------------------------------------------------------------------
+    # Host-side access (test card; unprotected)
+    # ------------------------------------------------------------------
+    def host_read(self, address: int) -> int:
+        if not 0 <= address < MEMORY_WORDS:
+            raise MemoryViolation("host read", address)
+        return self._words[address]
+
+    def host_write(self, address: int, value: int) -> None:
+        if not 0 <= address < MEMORY_WORDS:
+            raise MemoryViolation("host write", address)
+        self._words[address] = value & WORD_MASK
+
+    def host_read_block(self, address: int, count: int) -> list[int]:
+        if count < 0 or not 0 <= address <= MEMORY_WORDS - count:
+            raise MemoryViolation("host read", address)
+        return self._words[address : address + count]
+
+    def load_image(self, address: int, words: list[int]) -> None:
+        """Download a block of words (workload image, input data)."""
+        if not 0 <= address <= MEMORY_WORDS - len(words):
+            raise MemoryViolation("host write", address)
+        self._words[address : address + len(words)] = [w & WORD_MASK for w in words]
+
+    def clear(self) -> None:
+        """Zero all of memory (target re-initialisation)."""
+        self._words = [0] * MEMORY_WORDS
+
+    def snapshot(self, address: int = 0, count: int = MEMORY_WORDS) -> tuple[int, ...]:
+        """Immutable copy of a memory region, for state-vector logging."""
+        return tuple(self.host_read_block(address, count))

@@ -1,0 +1,19 @@
+"""Workloads and environment simulators for the simulated target."""
+
+from .control import ControlParameters, protected_source, unprotected_source
+from .envsim import DCMotor, WaterTank, replay_dc_motor
+from .library import is_loop_workload, load, workload_names
+from .programs import expected_output
+
+__all__ = [
+    "ControlParameters",
+    "DCMotor",
+    "WaterTank",
+    "expected_output",
+    "is_loop_workload",
+    "load",
+    "protected_source",
+    "replay_dc_motor",
+    "unprotected_source",
+    "workload_names",
+]

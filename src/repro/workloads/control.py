@@ -1,0 +1,207 @@
+"""The control application (companion study, paper ref [12]).
+
+"So far, GOOFI has been used with the SCIFI technique for a control
+application executing on the Thor microprocessor" — the companion DSN
+2001 paper *Reducing Critical Failures for Control Algorithms Using
+Executable Assertions and Best Effort Recovery*.  This module
+reproduces that workload in miniature: a fixed-point PI(D) speed
+controller running as an infinite loop, exchanging sensor/actuator data
+with an environment simulator at every iteration boundary (the ITER
+instruction), in two variants:
+
+``control_unprotected``
+    The plain control law.  A fault corrupting the controller state or
+    output goes straight to the actuator.
+``control_protected``
+    The same law wrapped in *executable assertions* with *best-effort
+    recovery*: the sensor value is range-checked (out-of-range readings
+    are replaced by the last good value), the integrator is clamped to
+    its physical range (anti-windup doubling as state scrubbing), and
+    the control output is saturated to the actuator limits.  Every
+    assertion firing is counted and reported on output port 2.
+
+Fixed-point format: values are scaled by 2**8; gains are integer
+numerators over 2**8.  All memory traffic uses absolute addressing on
+named data words so campaigns can target (and observe) the controller
+state symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fixed-point scaling of all controller quantities.
+FIXED_POINT_SHIFT = 8
+FIXED_POINT_ONE = 1 << FIXED_POINT_SHIFT
+
+
+@dataclass(frozen=True, slots=True)
+class ControlParameters:
+    """Tunables of the control workload (fixed-point, scaled by 256)."""
+
+    setpoint: int = 100 * FIXED_POINT_ONE  # target speed
+    kp: int = 96  # proportional gain numerator (kp/256)
+    ki: int = 32  # integral gain numerator
+    kd: int = 16  # derivative gain numerator
+    u_max: int = 200 * FIXED_POINT_ONE  # actuator saturation
+    u_min: int = -200 * FIXED_POINT_ONE
+    sensor_max: int = 400 * FIXED_POINT_ONE  # plausible speed range
+    sensor_min: int = -400 * FIXED_POINT_ONE
+    integral_max: int = 1500 * FIXED_POINT_ONE  # anti-windup clamp
+    integral_min: int = -1500 * FIXED_POINT_ONE
+
+
+_COMMON_HEAD = """
+_start:
+    BR loop
+loop:
+    LDA r1, sensor
+"""
+
+_COMPUTE_LAW = """
+    LDA r2, setpoint
+    SUB r3, r2, r1      ; e = setpoint - speed
+    LDA r4, integral
+    ADD r4, r4, r3      ; integral += e
+{integral_guard}
+    STA r4, integral
+    LDA r5, prev_e
+    SUB r6, r3, r5      ; de = e - prev_e
+    STA r3, prev_e
+    LDA r7, kp
+    MUL r7, r7, r3
+    LDA r8, ki
+    MUL r8, r8, r4
+    ADD r7, r7, r8
+    LDA r8, kd
+    MUL r8, r8, r6
+    ADD r7, r7, r8
+    LDI r9, {shift}
+    SAR r7, r7, r9      ; u = (kp*e + ki*I + kd*de) >> shift
+"""
+
+_DATA_SECTION = """
+.data
+sensor:     .word 0
+actuator:   .word 0
+setpoint:   .word {setpoint}
+integral:   .word 0
+prev_e:     .word 0
+kp:         .word {kp}
+ki:         .word {ki}
+kd:         .word {kd}
+u_max:      .word {u_max}
+u_min:      .word {u_min}
+s_max:      .word {sensor_max}
+s_min:      .word {sensor_min}
+i_max:      .word {integral_max}
+i_min:      .word {integral_min}
+good_sensor: .word 0
+viol_count: .word 0
+"""
+
+
+def unprotected_source(params: ControlParameters | None = None) -> str:
+    """The plain PID loop, no assertions."""
+    params = params or ControlParameters()
+    body = (
+        _COMMON_HEAD
+        + _COMPUTE_LAW.format(integral_guard="", shift=FIXED_POINT_SHIFT)
+        + """
+    STA r7, actuator
+    OUT r7, 1
+    ITER
+    BR loop
+"""
+        + _DATA_SECTION.format(**_data_values(params))
+    )
+    return body
+
+
+def protected_source(params: ControlParameters | None = None) -> str:
+    """PID loop with executable assertions and best-effort recovery."""
+    params = params or ControlParameters()
+    sensor_guard = """
+    LDA r10, s_max
+    CMP r1, r10
+    BGT sensor_bad
+    LDA r10, s_min
+    CMP r1, r10
+    BLT sensor_bad
+    STA r1, good_sensor ; reading plausible: remember it
+    BR sensor_ok
+sensor_bad:
+    LDA r1, good_sensor ; best-effort recovery: reuse last good value
+    CALL count_violation
+sensor_ok:
+"""
+    integral_guard = """
+    LDA r10, i_max
+    CMP r4, r10
+    BLE int_high_ok
+    MOV r4, r10         ; clamp runaway integrator
+    CALL count_violation
+int_high_ok:
+    LDA r10, i_min
+    CMP r4, r10
+    BGE int_low_ok
+    MOV r4, r10
+    CALL count_violation
+int_low_ok:
+"""
+    output_guard = """
+    LDA r10, u_max
+    CMP r7, r10
+    BLE u_high_ok
+    MOV r7, r10         ; saturate actuator command
+    CALL count_violation
+u_high_ok:
+    LDA r10, u_min
+    CMP r7, r10
+    BGE u_low_ok
+    MOV r7, r10
+    CALL count_violation
+u_low_ok:
+"""
+    tail = """
+    STA r7, actuator
+    OUT r7, 1
+    LDA r11, viol_count
+    OUT r11, 2
+    ITER
+    BR loop
+count_violation:
+    LDA r11, viol_count
+    ADDI r11, r11, 1
+    STA r11, viol_count
+    RET
+"""
+    return (
+        _COMMON_HEAD
+        + sensor_guard
+        + _COMPUTE_LAW.format(integral_guard=integral_guard, shift=FIXED_POINT_SHIFT)
+        + output_guard
+        + tail
+        + _DATA_SECTION.format(**_data_values(params))
+    )
+
+
+def _data_values(params: ControlParameters) -> dict:
+    return {
+        "setpoint": params.setpoint,
+        "kp": params.kp,
+        "ki": params.ki,
+        "kd": params.kd,
+        "u_max": params.u_max,
+        "u_min": params.u_min,
+        "sensor_max": params.sensor_max,
+        "sensor_min": params.sensor_min,
+        "integral_max": params.integral_max,
+        "integral_min": params.integral_min,
+    }
+
+
+CONTROL_SOURCES: dict[str, str] = {
+    "control_unprotected": unprotected_source(),
+    "control_protected": protected_source(),
+}

@@ -1,0 +1,117 @@
+"""Environment simulators (paper Figure 1, §3.2).
+
+"During each loop iteration, data may be exchanged with a user provided
+environment simulator emulating the target system environment" — the
+user names the simulator program and "the memory locations holding
+output and input data within the target system as well as the points in
+time the data exchange occurs, e.g. when each loop iteration finishes".
+
+An environment simulator is any object with an
+``exchange(target, iteration)`` method; ``target`` offers
+``read_memory(address, count)`` and ``write_memory(address, words)``.
+At every ITER boundary the test card invokes the exchange: the simulator
+reads the workload's *output* location (the actuator command), advances
+its physical model, and writes the workload's *input* location (the
+sensor reading).
+
+Two plant models are provided — a DC motor (speed control, the shape of
+the companion control study) and a water tank (level control).  Both
+use the same 8-bit fixed-point scaling as the control workloads and are
+exactly reproducible offline from a logged actuator sequence, which is
+how the analysis layer decides whether a faulty run violated the safety
+envelope (a *critical failure*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .control import FIXED_POINT_ONE
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def to_signed32(value: int) -> int:
+    value &= _WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_word32(value: int) -> int:
+    return int(value) & _WORD_MASK
+
+
+@dataclass(slots=True)
+class DCMotor:
+    """First-order DC-motor speed model.
+
+    ``speed' = decay * speed + gain * u - load`` per exchange, in
+    fixed-point (scaled by 256).  ``decay``/``gain`` are expressed as
+    numerators over 256 so the offline replay is exact integer
+    arithmetic.  ``critical_speed`` defines the safety envelope used by
+    the critical-failure analysis.
+    """
+
+    sensor_addr: int
+    actuator_addr: int
+    decay: int = 230  # speed retention per step (230/256 ~ 0.9)
+    gain: int = 32  # actuator effectiveness (32/256)
+    load: int = 2 * FIXED_POINT_ONE  # constant load torque
+    critical_speed: int = 350 * FIXED_POINT_ONE
+    speed: int = 0
+    #: (iteration, u, speed) per exchange, for tests and benches.
+    history: list[tuple[int, int, int]] = field(default_factory=list)
+    critical_failure: bool = False
+
+    def step(self, u: int) -> int:
+        """Advance the plant one step with actuator command ``u`` and
+        return the new speed (both fixed-point signed)."""
+        self.speed = (self.decay * self.speed + self.gain * u) // 256 - self.load
+        if abs(self.speed) > self.critical_speed:
+            self.critical_failure = True
+        return self.speed
+
+    def exchange(self, target, iteration: int) -> None:
+        u = to_signed32(target.read_memory(self.actuator_addr, 1)[0])
+        speed = self.step(u)
+        target.write_memory(self.sensor_addr, [to_word32(speed)])
+        self.history.append((iteration, u, speed))
+
+
+@dataclass(slots=True)
+class WaterTank:
+    """Integrating water-tank level model: ``level' = level + inflow(u)
+    - outflow(level)``, clamped at empty; overflow above ``capacity`` is
+    the critical failure."""
+
+    sensor_addr: int
+    actuator_addr: int
+    inflow_gain: int = 16  # per-256 of the valve command
+    outflow_rate: int = 8  # per-256 of the current level
+    capacity: int = 300 * FIXED_POINT_ONE
+    level: int = 50 * FIXED_POINT_ONE
+    history: list[tuple[int, int, int]] = field(default_factory=list)
+    critical_failure: bool = False
+
+    def step(self, u: int) -> int:
+        inflow = (self.inflow_gain * max(0, u)) // 256
+        outflow = (self.outflow_rate * self.level) // 256
+        self.level = max(0, self.level + inflow - outflow)
+        if self.level > self.capacity:
+            self.critical_failure = True
+        return self.level
+
+    def exchange(self, target, iteration: int) -> None:
+        u = to_signed32(target.read_memory(self.actuator_addr, 1)[0])
+        level = self.step(u)
+        target.write_memory(self.sensor_addr, [to_word32(level)])
+        self.history.append((iteration, u, level))
+
+
+def replay_dc_motor(u_sequence: list[int], **params) -> tuple[list[int], bool]:
+    """Offline replay of the DC-motor model over a logged actuator
+    sequence.  Returns the speed trajectory and whether the safety
+    envelope was violated — the critical-failure criterion of the
+    control-application experiments (E6)."""
+    motor = DCMotor(sensor_addr=0, actuator_addr=0, **params)
+    trajectory = [motor.step(to_signed32(u)) for u in u_sequence]
+    return trajectory, motor.critical_failure

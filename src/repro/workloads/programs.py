@@ -1,0 +1,491 @@
+"""Self-terminating benchmark workloads in THOR-RD-sim assembly.
+
+These play the role of the paper's "target system workload": small,
+deterministic programs with a well-defined result that the analysis
+phase can compare against the reference run.  Every program writes its
+result value(s) to output port 1 and leaves its working data in the data
+area, so both the output log and the final memory state carry error
+signatures.
+
+The golden results (``EXPECTED_OUTPUTS``) are computed independently in
+pure Python by :func:`expected_output`, which the test suite uses to
+prove simulator, assembler, and workload agree.
+"""
+
+from __future__ import annotations
+
+BUBBLE_SORT = """
+; Bubble sort of 16 words followed by a position-weighted checksum.
+_start:
+    LDI r1, =array
+    LDI r2, 16          ; n
+outer:
+    CMPI r2, 1
+    BLE  done_sort
+    LDI r3, 0           ; i
+    MOV r4, r2
+    ADDI r4, r4, -1     ; limit = n - 1
+inner:
+    CMP r3, r4
+    BGE end_inner
+    ADD r5, r1, r3
+    LD r6, [r5]
+    LD r7, [r5+1]
+    CMP r6, r7
+    BLE no_swap
+    ST r7, [r5]
+    ST r6, [r5+1]
+no_swap:
+    ADDI r3, r3, 1
+    BR inner
+end_inner:
+    ADDI r2, r2, -1
+    BR outer
+done_sort:
+    LDI r3, 0           ; i
+    LDI r8, 0           ; checksum
+    LDI r2, 16
+chk:
+    CMP r3, r2
+    BGE emit
+    ADD r5, r1, r3
+    LD r6, [r5]
+    ADDI r7, r3, 1
+    MUL r6, r6, r7
+    ADD r8, r8, r6
+    ADDI r3, r3, 1
+    BR chk
+emit:
+    OUT r8, 1
+    HALT
+.data
+array: .word 170, 45, 75, 90, 802, 24, 2, 66, 17, 93, 4, 55, 31, 8, 250, 121
+"""
+
+BUBBLE_SORT_DATA = [170, 45, 75, 90, 802, 24, 2, 66, 17, 93, 4, 55, 31, 8, 250, 121]
+
+
+MATMUL = """
+; 4x4 integer matrix multiply C = A * B, then the sum of C.
+_start:
+    LDI r1, =A
+    LDI r2, =B
+    LDI r3, =C
+    LDI r4, 0           ; i
+row:
+    CMPI r4, 4
+    BGE msum
+    LDI r5, 0           ; j
+col:
+    CMPI r5, 4
+    BGE next_row
+    LDI r6, 0           ; acc
+    LDI r7, 0           ; k
+dot:
+    CMPI r7, 4
+    BGE store_c
+    LDI r8, 4
+    MUL r9, r4, r8
+    ADD r9, r9, r7
+    ADD r9, r9, r1
+    LD r10, [r9]
+    MUL r11, r7, r8
+    ADD r11, r11, r5
+    ADD r11, r11, r2
+    LD r12, [r11]
+    MUL r10, r10, r12
+    ADD r6, r6, r10
+    ADDI r7, r7, 1
+    BR dot
+store_c:
+    LDI r8, 4
+    MUL r9, r4, r8
+    ADD r9, r9, r5
+    ADD r9, r9, r3
+    ST r6, [r9]
+    ADDI r5, r5, 1
+    BR col
+next_row:
+    ADDI r4, r4, 1
+    BR row
+msum:
+    LDI r5, 0
+    LDI r6, 0
+csum:
+    CMPI r5, 16
+    BGE emit
+    ADD r7, r3, r5
+    LD r8, [r7]
+    ADD r6, r6, r8
+    ADDI r5, r5, 1
+    BR csum
+emit:
+    OUT r6, 1
+    HALT
+.data
+A: .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+B: .word 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32
+C: .space 16
+"""
+
+MATMUL_A = [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]]
+MATMUL_B = [[17, 18, 19, 20], [21, 22, 23, 24], [25, 26, 27, 28], [29, 30, 31, 32]]
+
+
+CRC32 = """
+; Bitwise CRC-32 (IEEE polynomial, reflected) over 8 data words.
+_start:
+    LDI r1, 0
+    NOT r1, r1          ; crc = 0xFFFFFFFF
+    LDI r2, 0x8320
+    LDIH r2, 0xEDB8     ; polynomial 0xEDB88320
+    LDI r3, =data
+    LDI r4, 8           ; word count
+    LDI r11, 1
+word_loop:
+    CMPI r4, 0
+    BLE finish
+    LD r5, [r3]
+    XOR r1, r1, r5
+    LDI r6, 32
+bit_loop:
+    CMPI r6, 0
+    BLE next_word
+    AND r7, r1, r11
+    SHR r1, r1, r11
+    CMPI r7, 0
+    BEQ skip_xor
+    XOR r1, r1, r2
+skip_xor:
+    ADDI r6, r6, -1
+    BR bit_loop
+next_word:
+    ADDI r3, r3, 1
+    ADDI r4, r4, -1
+    BR word_loop
+finish:
+    NOT r1, r1
+    OUT r1, 1
+    HALT
+.data
+data: .word 0x12345678, 0xDEADBEEF, 0x0BADF00D, 0xCAFEBABE, 305419896, 42, 0xFFFFFFFF, 0
+"""
+
+CRC32_DATA = [0x12345678, 0xDEADBEEF, 0x0BADF00D, 0xCAFEBABE, 305419896, 42, 0xFFFFFFFF, 0]
+
+
+FIBONACCI = """
+; 24 iterations of the Fibonacci recurrence.
+_start:
+    LDI r1, 0
+    LDI r2, 1
+    LDI r3, 24
+fib:
+    CMPI r3, 0
+    BLE done
+    ADD r4, r1, r2
+    MOV r1, r2
+    MOV r2, r4
+    ADDI r3, r3, -1
+    BR fib
+done:
+    STA r1, fib_out
+    OUT r1, 1
+    HALT
+.data
+fib_out: .word 0
+"""
+
+
+DOTPROD = """
+; Dot product of two 12-vectors using a subroutine per element
+; (exercises CALL/RET, the stack, and the subprogram-call trigger).
+_start:
+    LDI r1, =X
+    LDI r2, =Y
+    LDI r3, 12
+    LDI r4, 0           ; accumulator
+    LDI r5, 0           ; index
+loop:
+    CMP r5, r3
+    BGE done
+    CALL mac
+    ADDI r5, r5, 1
+    BR loop
+done:
+    OUT r4, 1
+    HALT
+mac:
+    ADD r6, r1, r5
+    LD r7, [r6]
+    ADD r6, r2, r5
+    LD r8, [r6]
+    MUL r7, r7, r8
+    ADD r4, r4, r7
+    RET
+.data
+X: .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8
+Y: .word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5
+"""
+
+DOTPROD_X = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8]
+DOTPROD_Y = [2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5]
+
+
+INSERTION_SORT = """
+; Insertion sort of 16 words, then a position-weighted checksum.
+_start:
+    LDI r1, =arr
+    LDI r2, 1           ; i
+outer:
+    CMPI r2, 16
+    BGE checksum
+    ADD r4, r1, r2
+    LD r5, [r4]         ; key
+    MOV r6, r2          ; j
+inner:
+    CMPI r6, 0
+    BLE place
+    ADD r4, r1, r6
+    LD r7, [r4-1]
+    CMP r7, r5
+    BLE place
+    ST r7, [r4]
+    ADDI r6, r6, -1
+    BR inner
+place:
+    ADD r4, r1, r6
+    ST r5, [r4]
+    ADDI r2, r2, 1
+    BR outer
+checksum:
+    LDI r2, 0
+    LDI r8, 0
+chk:
+    CMPI r2, 16
+    BGE emit
+    ADD r4, r1, r2
+    LD r5, [r4]
+    ADDI r6, r2, 1
+    MUL r5, r5, r6
+    ADD r8, r8, r5
+    ADDI r2, r2, 1
+    BR chk
+emit:
+    OUT r8, 1
+    HALT
+.data
+arr: .word 9, 1, 44, 3, 88, 12, 7, 65, 23, 5, 91, 30, 2, 77, 50, 18
+"""
+
+INSERTION_SORT_DATA = [9, 1, 44, 3, 88, 12, 7, 65, 23, 5, 91, 30, 2, 77, 50, 18]
+
+
+SIEVE = """
+; Sieve of Eratosthenes: count the primes up to 100.
+_start:
+    LDI r1, =flags
+    LDI r2, 2           ; p
+outer:
+    MUL r3, r2, r2      ; p*p
+    CMPI r3, 100
+    BGT count
+    ADD r4, r1, r2
+    LD r5, [r4]
+    CMPI r5, 0
+    BNE next_p
+mark:
+    CMPI r3, 100
+    BGT next_p
+    ADD r4, r1, r3
+    LDI r5, 1
+    ST r5, [r4]
+    ADD r3, r3, r2
+    BR mark
+next_p:
+    ADDI r2, r2, 1
+    BR outer
+count:
+    LDI r2, 2
+    LDI r6, 0
+cloop:
+    CMPI r2, 100
+    BGT done
+    ADD r4, r1, r2
+    LD r5, [r4]
+    CMPI r5, 0
+    BNE skip
+    ADDI r6, r6, 1
+skip:
+    ADDI r2, r2, 1
+    BR cloop
+done:
+    OUT r6, 1
+    STA r6, nprimes
+    HALT
+.data
+flags: .space 101
+nprimes: .word 0
+"""
+
+
+ADC_FILTER = """
+; Poll input pin IN0 64 times, average, offset, report.  The input
+; latch is a boundary-scan pin cell: the workload every pin-level
+; injection campaign wants (a consumer of pin state).
+_start:
+    LDI r2, 0           ; sum
+    LDI r3, 64          ; samples
+loop:
+    IN r1, 0
+    ADD r2, r2, r1
+    ADDI r3, r3, -1
+    CMPI r3, 0
+    BGT loop
+    LDI r4, 6
+    SHR r2, r2, r4      ; /64
+    ADDI r2, r2, 100    ; calibration offset
+    OUT r2, 1
+    STA r2, result
+    HALT
+.data
+result: .word 0
+"""
+
+
+TASK_EXECUTIVE = """
+; A miniature cyclic executive: two tasks share the processor under a
+; round-robin dispatcher.  Every dispatch goes through the instruction
+; at `task_switch`, which is the hook the paper's future-work
+; "when task switches occur" trigger attaches to.
+_start:
+    LDI r10, 24         ; total dispatches (12 per task)
+scheduler:
+    CMPI r10, 0
+    BLE done
+task_switch:
+    LDA r11, current    ; 0 -> task A, 1 -> task B
+    CMPI r11, 0
+    BNE run_b
+    CALL task_a
+    LDI r11, 1
+    BR dispatched
+run_b:
+    CALL task_b
+    LDI r11, 0
+dispatched:
+    STA r11, current
+    ADDI r10, r10, -1
+    BR scheduler
+done:
+    LDA r1, sum_a
+    OUT r1, 1
+    LDA r2, acc_b
+    OUT r2, 1
+    HALT
+
+task_a:                 ; accumulates 1 + 2 + ... per activation
+    LDA r1, count_a
+    ADDI r1, r1, 1
+    STA r1, count_a
+    LDA r2, sum_a
+    ADD r2, r2, r1
+    STA r2, sum_a
+    RET
+
+task_b:                 ; xor-rotate signature over its activations
+    LDA r3, acc_b
+    LDA r4, count_b
+    ADDI r4, r4, 1
+    STA r4, count_b
+    XOR r3, r3, r4
+    LDI r5, 3
+    SHL r3, r3, r5
+    LDA r6, mask
+    AND r3, r3, r6
+    STA r3, acc_b
+    RET
+.data
+current: .word 0
+count_a: .word 0
+sum_a:   .word 0
+count_b: .word 0
+acc_b:   .word 0
+mask:    .word 0xFFFF
+"""
+
+
+#: The self-terminating benchmark sources by workload name.
+PROGRAM_SOURCES: dict[str, str] = {
+    "bubble_sort": BUBBLE_SORT,
+    "matmul": MATMUL,
+    "crc32": CRC32,
+    "fibonacci": FIBONACCI,
+    "dotprod": DOTPROD,
+    "insertion_sort": INSERTION_SORT,
+    "sieve": SIEVE,
+    "adc_filter": ADC_FILTER,
+    "task_executive": TASK_EXECUTIVE,
+}
+
+
+def _crc32_reference(words: list[int]) -> int:
+    crc = 0xFFFFFFFF
+    poly = 0xEDB88320
+    for word in words:
+        crc ^= word & 0xFFFFFFFF
+        for _ in range(32):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFFFFFF
+
+
+def _fibonacci_reference(iterations: int) -> int:
+    a, b = 0, 1
+    for _ in range(iterations):
+        a, b = b, a + b
+    return a
+
+
+def expected_output(workload: str) -> int:
+    """The golden port-1 result of a benchmark workload, computed in
+    pure Python (independent of simulator and assembler)."""
+    if workload == "bubble_sort":
+        ordered = sorted(BUBBLE_SORT_DATA)
+        return sum(value * (i + 1) for i, value in enumerate(ordered)) & 0xFFFFFFFF
+    if workload == "matmul":
+        total = 0
+        for i in range(4):
+            for j in range(4):
+                total += sum(MATMUL_A[i][k] * MATMUL_B[k][j] for k in range(4))
+        return total & 0xFFFFFFFF
+    if workload == "crc32":
+        return _crc32_reference(CRC32_DATA)
+    if workload == "fibonacci":
+        return _fibonacci_reference(24) & 0xFFFFFFFF
+    if workload == "dotprod":
+        return sum(x * y for x, y in zip(DOTPROD_X, DOTPROD_Y)) & 0xFFFFFFFF
+    if workload == "insertion_sort":
+        ordered = sorted(INSERTION_SORT_DATA)
+        return sum(value * (i + 1) for i, value in enumerate(ordered)) & 0xFFFFFFFF
+    if workload == "sieve":
+        flags = [False] * 101
+        primes = 0
+        for p in range(2, 101):
+            if not flags[p]:
+                primes += 1
+                for multiple in range(p * p, 101, p):
+                    flags[multiple] = True
+        return primes
+    if workload == "adc_filter":
+        return 100  # 64 samples of the quiescent (0) input, plus offset
+    if workload == "task_executive":
+        # Port 1 carries two values; the golden check compares the last
+        # one (task B's signature); task A's sum is 1+..+12.
+        acc = 0
+        for activation in range(1, 13):
+            acc = ((acc ^ activation) << 3) & 0xFFFF
+        return acc
+    raise KeyError(f"no expected output for workload {workload!r}")

@@ -1,0 +1,131 @@
+"""Architectural layering tests (paper Figure 1 / F1).
+
+The paper's three-layer architecture implies dependency rules this
+reproduction enforces mechanically:
+
+* the target *simulator* modules (cpu, cache, memory, scanchain,
+  testcard, isa, assembler, edm) know nothing about GOOFI — only the
+  per-target *interface* module bridges to the core framework;
+* the analysis phase reads the database only — it never touches a
+  target;
+* the database layer sits at the bottom and imports no other layer;
+* the generic core never imports a concrete target.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def imports_of(module_path: Path) -> set[str]:
+    """Absolute dotted names this module imports (relative imports are
+    resolved against the package layout)."""
+    tree = ast.parse(module_path.read_text())
+    package_parts = module_path.relative_to(SRC.parent).with_suffix("").parts
+    # e.g. ("repro", "targets", "thor", "cpu")
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module:
+                    names.add(node.module)
+            else:
+                base = package_parts[: len(package_parts) - node.level]
+                module = ".".join(base)
+                if node.module:
+                    module = f"{module}.{node.module}" if module else node.module
+                names.add(module)
+    return names
+
+
+def modules_under(*parts: str) -> list[Path]:
+    directory = SRC.joinpath(*parts)
+    return sorted(directory.glob("*.py"))
+
+
+SIMULATOR_MODULES = [
+    path
+    for path in modules_under("targets", "thor")
+    if path.stem not in ("interface", "__init__")
+]
+
+
+class TestLayering:
+    @pytest.mark.parametrize(
+        "module", SIMULATOR_MODULES, ids=lambda p: p.stem
+    )
+    def test_simulator_is_goofi_agnostic(self, module):
+        """The system under test must not depend on the tool that tests
+        it — only the interface module may bridge."""
+        for name in imports_of(module):
+            assert not name.startswith("repro.core"), f"{module.name} imports {name}"
+            assert not name.startswith("repro.db"), f"{module.name} imports {name}"
+            assert not name.startswith("repro.analysis"), f"{module.name} imports {name}"
+            assert not name.startswith("repro.cli"), f"{module.name} imports {name}"
+
+    @pytest.mark.parametrize("module", modules_under("analysis"), ids=lambda p: p.stem)
+    def test_analysis_reads_database_only(self, module):
+        """'The results ... are primarily obtained by analysing the
+        LoggedSystemState table' — no target access from analysis."""
+        for name in imports_of(module):
+            assert not name.startswith("repro.targets"), f"{module.name} imports {name}"
+            assert not name.startswith("repro.workloads"), f"{module.name} imports {name}"
+
+    @pytest.mark.parametrize("module", modules_under("db"), ids=lambda p: p.stem)
+    def test_database_is_bottom_layer(self, module):
+        for name in imports_of(module):
+            assert not name.startswith("repro.core"), f"{module.name} imports {name}"
+            assert not name.startswith("repro.targets"), f"{module.name} imports {name}"
+            assert not name.startswith("repro.analysis"), f"{module.name} imports {name}"
+
+    @pytest.mark.parametrize("module", modules_under("core"), ids=lambda p: p.stem)
+    def test_core_never_imports_concrete_targets(self, module):
+        for name in imports_of(module):
+            assert not name.startswith("repro.targets"), f"{module.name} imports {name}"
+
+    def test_workloads_use_only_the_assembler_side(self):
+        for module in modules_under("workloads"):
+            for name in imports_of(module):
+                assert not name.startswith("repro.core"), f"{module.name} imports {name}"
+                assert not name.startswith("repro.db"), f"{module.name} imports {name}"
+
+
+class TestAbstractSurface:
+    def test_paper_building_blocks_exist(self):
+        """Figure 2's abstract methods (snake_case) are all present on
+        the framework class."""
+        from repro.core.framework import TargetSystemInterface
+
+        for method in (
+            "init_test_card",
+            "load_workload",
+            "run_workload",
+            "wait_for_breakpoint",
+            "write_memory",
+            "read_memory",
+            "read_scan_chain",
+            "inject_fault",
+            "write_scan_chain",
+            "wait_for_termination",
+        ):
+            assert hasattr(TargetSystemInterface, method), method
+
+    def test_thor_interface_implements_everything(self):
+        from repro.targets.thor.interface import ThorTargetInterface
+
+        ThorTargetInterface()  # would raise TypeError on missing methods
+
+    def test_algorithms_only_use_interface_surface(self):
+        """The generic algorithms module must not import the Thor target
+        (it reaches targets only through the plugin registry)."""
+        algorithms = SRC / "core" / "algorithms.py"
+        for name in imports_of(algorithms):
+            assert "thor" not in name

@@ -1,0 +1,302 @@
+"""Tests for the two-pass assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.targets.thor.assembler import Assembler, AssemblerError, assemble
+from repro.targets.thor.isa import Op, decode
+from repro.targets.thor.memory import DATA_BASE
+
+
+class TestBasics:
+    def test_empty_source(self):
+        program = assemble("")
+        assert program.program == []
+        assert program.data == []
+
+    def test_single_instruction(self):
+        program = assemble("HALT")
+        assert len(program.program) == 1
+        assert decode(program.program[0]).op is Op.HALT
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(
+            """
+            ; full-line comment
+            # hash comment
+            NOP   ; trailing comment
+            HALT  # another
+            """
+        )
+        assert [decode(w).op for w in program.program] == [Op.NOP, Op.HALT]
+
+    def test_case_insensitive_mnemonics_and_registers(self):
+        program = assemble("ldi R3, 7\nhalt")
+        inst = decode(program.program[0])
+        assert inst.op is Op.LDI
+        assert inst.rd == 3
+        assert inst.imm == 7
+
+    def test_sp_and_lr_aliases(self):
+        program = assemble("MOV sp, lr\nHALT")
+        inst = decode(program.program[0])
+        assert inst.rd == 14
+        assert inst.ra == 15
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        program = assemble(
+            """
+            BR target
+            NOP
+            target: HALT
+            """
+        )
+        inst = decode(program.program[0])
+        assert inst.imm == 2
+
+    def test_backward_reference(self):
+        program = assemble(
+            """
+            start: NOP
+            BR start
+            """
+        )
+        assert decode(program.program[1]).imm == 0
+
+    def test_entry_point_defaults_to_program_base(self):
+        program = assemble("NOP\nHALT")
+        assert program.entry_point == program.program_base
+
+    def test_start_label_sets_entry_point(self):
+        program = assemble(
+            """
+            NOP
+            _start: HALT
+            """
+        )
+        assert program.entry_point == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("a: NOP\na: HALT")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            assemble("BR nowhere")
+
+    def test_label_on_its_own_line(self):
+        program = assemble(
+            """
+            alone:
+            HALT
+            """
+        )
+        assert program.symbols["alone"] == 0
+
+    def test_multiple_labels_same_address(self):
+        program = assemble("a: b: HALT")
+        assert program.symbols["a"] == program.symbols["b"] == 0
+
+
+class TestDataSection:
+    def test_word_directive(self):
+        program = assemble(
+            """
+            HALT
+            .data
+            values: .word 1, 2, -1, 0xFF
+            """
+        )
+        assert program.data == [1, 2, 0xFFFFFFFF, 0xFF]
+        assert program.symbols["values"] == DATA_BASE
+
+    def test_space_directive_zero_fills(self):
+        program = assemble(
+            """
+            HALT
+            .data
+            buf: .space 3
+            tail: .word 9
+            """
+        )
+        assert program.data == [0, 0, 0, 9]
+        assert program.symbols["tail"] == DATA_BASE + 3
+
+    def test_word_accepts_label_values(self):
+        program = assemble(
+            """
+            HALT
+            .data
+            a: .word 5
+            ptr: .word a
+            """
+        )
+        assert program.data[1] == DATA_BASE
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblerError, match="only in .data"):
+            assemble(".word 1")
+
+    def test_org_in_data_section(self):
+        program = assemble(
+            """
+            HALT
+            .data
+            .org 0x5000
+            far: .word 42
+            """
+        )
+        assert program.symbols["far"] == 0x5000
+        # Data image is dense from data_base up to the farthest word.
+        assert program.data[0x5000 - DATA_BASE] == 42
+
+    def test_equ_defines_constants(self):
+        program = assemble(
+            """
+            .equ LIMIT, 12
+            .equ ALIAS, LIMIT
+            LDI r1, LIMIT
+            CMPI r1, ALIAS
+            HALT
+            """
+        )
+        assert decode(program.program[0]).imm == 12
+        assert decode(program.program[1]).imm == 12
+        assert program.symbols["LIMIT"] == 12
+
+    def test_equ_duplicate_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate symbol"):
+            assemble(".equ X, 1\n.equ X, 2")
+
+    def test_equ_bad_value_rejected(self):
+        with pytest.raises(AssemblerError, match="bad .equ value"):
+            assemble(".equ X, nonsense")
+
+    def test_text_after_data_switches_back(self):
+        program = assemble(
+            """
+            NOP
+            .data
+            x: .word 1
+            .text
+            HALT
+            """
+        )
+        assert [decode(w).op for w in program.program] == [Op.NOP, Op.HALT]
+
+
+class TestOperandForms:
+    def test_memory_operand_with_positive_offset(self):
+        inst = decode(assemble("LD r1, [r2+5]\nHALT").program[0])
+        assert (inst.ra, inst.imm) == (2, 5)
+
+    def test_memory_operand_with_negative_offset(self):
+        inst = decode(assemble("ST r1, [r2-3]\nHALT").program[0])
+        assert (inst.ra, inst.imm) == (2, -3)
+
+    def test_memory_operand_without_offset(self):
+        inst = decode(assemble("LD r1, [r2]\nHALT").program[0])
+        assert (inst.ra, inst.imm) == (2, 0)
+
+    def test_memory_operand_with_symbolic_offset(self):
+        # Symbolic offsets resolve through the symbol table; a text
+        # label's small address doubles as the offset value here.
+        program = assemble(
+            """
+            NOP
+            two: LD r1, [r2+two]
+            HALT
+            """
+        )
+        inst = decode(program.program[1])
+        assert (inst.ra, inst.imm) == (2, 1)
+
+    def test_memory_operand_with_unknown_symbolic_offset(self):
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            assemble("LD r1, [r2+mystery]\nHALT")
+
+    def test_equals_prefix_loads_address(self):
+        program = assemble(
+            """
+            LDI r1, =table
+            HALT
+            .data
+            table: .word 1
+            """
+        )
+        assert decode(program.program[0]).imm == DATA_BASE
+
+    def test_addi_takes_three_operands(self):
+        inst = decode(assemble("ADDI r1, r2, -4\nHALT").program[0])
+        assert (inst.rd, inst.ra, inst.imm) == (1, 2, -4)
+
+    def test_addi_with_two_operands_rejected(self):
+        with pytest.raises(AssemblerError, match="expects 3"):
+            assemble("ADDI r1, 5")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("ADD r1, r2")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError, match="bad register"):
+            assemble("MOV r1, r16")
+
+    def test_offset_out_of_range_rejected(self):
+        with pytest.raises(AssemblerError, match="signed-12"):
+            assemble("LD r1, [r2+5000]\nHALT")
+
+    def test_immediate_out_of_range_rejected(self):
+        with pytest.raises(AssemblerError, match="16-bit"):
+            assemble("LDI r1, 70000")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("FROB r1")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".fnord 1")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("NOP\nNOP\nBOGUS r1")
+        assert excinfo.value.line_number == 3
+
+
+class TestProgramMetadata:
+    def test_line_map_points_at_source_lines(self):
+        program = assemble("NOP\nNOP\nHALT")
+        assert program.line_map == {0: 1, 1: 2, 2: 3}
+
+    def test_symbol_lookup_error(self):
+        program = assemble("HALT")
+        with pytest.raises(KeyError, match="no symbol"):
+            program.symbol("missing")
+
+    def test_program_end_and_data_end(self):
+        program = assemble(
+            """
+            NOP
+            HALT
+            .data
+            x: .word 1, 2
+            """
+        )
+        assert program.program_end == program.program_base + 2
+        assert program.data_end == DATA_BASE + 2
+
+    def test_custom_bases(self):
+        assembler = Assembler(program_base=0x100, data_base=0x8000)
+        program = assembler.assemble(
+            """
+            top: BR top
+            .data
+            v: .word 1
+            """
+        )
+        assert program.symbols["top"] == 0x100
+        assert program.symbols["v"] == 0x8000

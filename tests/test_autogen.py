@@ -1,0 +1,113 @@
+"""Tests for the auto-generated analysis software (future-work feature)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from tests.conftest import make_campaign
+from repro.analysis import (
+    classify_campaign,
+    generate_analysis_script,
+    generate_analysis_sql,
+    run_generated_sql,
+)
+from repro.db import GoofiDatabase
+
+
+class TestGeneratedSql:
+    def test_outcome_counts_match_classifier(self, session):
+        make_campaign(session, "c", workload="bubble_sort", num_experiments=30,
+                      locations=("internal:regs.*", "internal:dcache.*"), seed=9)
+        session.run_campaign("c")
+        sql = generate_analysis_sql("c")
+        results = run_generated_sql(session.db, sql)
+        outcome_counts = dict(results[0])
+        classification = classify_campaign(session.db, "c")
+        assert outcome_counts.get("error_detected", 0) == classification.detected
+        total = sum(outcome_counts.values())
+        assert total == classification.total
+
+    def test_mechanism_counts_match_classifier(self, session):
+        make_campaign(session, "c", workload="bubble_sort", num_experiments=30,
+                      locations=("internal:icache.*",), seed=10)
+        session.run_campaign("c")
+        results = run_generated_sql(session.db, generate_analysis_sql("c"))
+        mechanism_counts = dict(results[1])
+        assert mechanism_counts == classify_campaign(session.db, "c").by_mechanism()
+
+    def test_fully_injected_count(self, session):
+        make_campaign(session, "c", num_experiments=10)
+        session.run_campaign("c")
+        results = run_generated_sql(session.db, generate_analysis_sql("c"))
+        assert results[2] == [(10,)]
+
+    def test_sql_excludes_reference(self, session):
+        make_campaign(session, "c", num_experiments=5)
+        session.run_campaign("c")
+        results = run_generated_sql(session.db, generate_analysis_sql("c"))
+        assert sum(dict(results[0]).values()) == 5
+
+
+class TestGeneratedScript:
+    def test_script_runs_standalone(self, session, tmp_path):
+        """The generated Python program must work with nothing but the
+        standard library and the database file."""
+        db_path = tmp_path / "goofi.db"
+        with GoofiDatabase(db_path) as db:
+            # Re-run a small campaign into the on-disk database.
+            from repro import GoofiSession
+
+            with GoofiSession(db_path) as disk_session:
+                make_campaign(disk_session, "c", num_experiments=12, seed=3)
+                disk_session.run_campaign("c")
+                expected = classify_campaign(disk_session.db, "c")
+        script = tmp_path / "analyze.py"
+        script.write_text(generate_analysis_script("c"))
+        proc = subprocess.run(
+            [sys.executable, str(script), str(db_path)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "12 experiments" in proc.stdout
+        assert f"detected     {expected.detected:6d}" in proc.stdout
+        assert f"overwritten  {expected.overwritten:6d}" in proc.stdout
+
+    def test_script_fails_cleanly_without_reference(self, tmp_path):
+        db_path = tmp_path / "empty.db"
+        GoofiDatabase(db_path).close()
+        script = tmp_path / "analyze.py"
+        script.write_text(generate_analysis_script("ghost"))
+        proc = subprocess.run(
+            [sys.executable, str(script), str(db_path)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode != 0
+        assert "no reference run" in proc.stderr
+
+
+class TestReports:
+    def test_report_sections_present(self, session):
+        from repro.analysis import campaign_report
+
+        make_campaign(session, "c", workload="crc32", num_experiments=25,
+                      locations=("internal:regs.*", "internal:icache.*"), seed=2)
+        session.run_campaign("c")
+        report = campaign_report(session.db, "c")
+        assert "Effective errors" in report
+        assert "Overwritten errors" in report
+        assert "error-detection coverage" in report
+        assert "Outcome mix per location group" in report
+        assert "Outcome mix per injection-time bin" in report
+
+    def test_report_counts_sum(self, session):
+        from repro.analysis import campaign_report
+
+        make_campaign(session, "c", num_experiments=20)
+        session.run_campaign("c")
+        report = campaign_report(session.db, "c")
+        assert "20 experiments" in report

@@ -1,0 +1,117 @@
+"""Tests for paired campaign comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_campaign
+from repro import GoofiSession
+from repro.analysis.compare import (
+    CampaignComparison,
+    PairedOutcome,
+    compare_campaigns,
+    format_comparison,
+)
+from repro.core.errors import AnalysisError
+from repro.targets.thor.interface import ThorTargetInterface
+
+
+class TestComparisonMath:
+    def make(self) -> CampaignComparison:
+        pairs = [
+            PairedOutcome(0, ("f0",), "escaped", "detected"),
+            PairedOutcome(1, ("f1",), "escaped", "escaped"),
+            PairedOutcome(2, ("f2",), "overwritten", "overwritten"),
+            PairedOutcome(3, ("f3",), "latent", "escaped"),
+            PairedOutcome(4, ("f4",), "detected", "detected"),
+        ]
+        return CampaignComparison("a", "b", pairs)
+
+    def test_transitions(self):
+        transitions = self.make().transitions()
+        assert transitions[("escaped", "detected")] == 1
+        assert transitions[("escaped", "escaped")] == 1
+        assert transitions[("latent", "escaped")] == 1
+
+    def test_changed(self):
+        assert [p.index for p in self.make().changed()] == [0, 3]
+
+    def test_improvement_nets_fixed_against_regressed(self):
+        # One escape fixed (index 0), one introduced (index 3) -> net 0.
+        assert self.make().improvement() == 0
+
+    def test_format_contains_matrix_and_summary(self):
+        text = format_comparison(self.make())
+        assert "A \\ B" in text
+        assert "net escaped-errors removed: 0" in text
+        assert "5 paired experiments" in text
+
+
+class TestPairingFromDatabase:
+    def test_same_seed_campaigns_pair_exactly(self, session):
+        make_campaign(session, "a", workload="crc32", num_experiments=20, seed=71)
+        make_campaign(session, "b", workload="crc32", num_experiments=20, seed=71)
+        session.run_campaign("a")
+        session.run_campaign("b")
+        comparison = compare_campaigns(session.db, "a", "b")
+        assert comparison.total == 20
+        # Identical target + seed: all outcomes identical.
+        assert not comparison.changed()
+
+    def test_different_seeds_rejected(self, session):
+        make_campaign(session, "a", num_experiments=10, seed=71)
+        make_campaign(session, "b", num_experiments=10, seed=72)
+        session.run_campaign("a")
+        session.run_campaign("b")
+        with pytest.raises(AnalysisError, match="different fault lists"):
+            compare_campaigns(session.db, "a", "b")
+
+    def test_loose_pairing_allows_different_faults(self, session):
+        make_campaign(session, "a", num_experiments=10, seed=71)
+        make_campaign(session, "b", num_experiments=10, seed=72)
+        session.run_campaign("a")
+        session.run_campaign("b")
+        comparison = compare_campaigns(
+            session.db, "a", "b", require_identical_faults=False
+        )
+        assert comparison.total == 10
+
+    def test_unrun_campaign_rejected(self, session):
+        from repro.db import DatabaseError
+
+        make_campaign(session, "a", num_experiments=5, seed=71)
+        session.run_campaign("a")
+        make_campaign(session, "empty", num_experiments=5, seed=71)
+        # "empty" was configured but never run: no reference row exists.
+        with pytest.raises(DatabaseError, match="no experiment"):
+            compare_campaigns(session.db, "a", "empty")
+
+    def test_self_comparison_is_identity(self, session):
+        make_campaign(session, "a", num_experiments=5, seed=71)
+        session.run_campaign("a")
+        comparison = compare_campaigns(session.db, "a", "a")
+        assert comparison.total == 5
+        assert not comparison.changed()
+        assert comparison.improvement() == 0
+
+    def test_edm_ablation_pairs_show_detected_transitions(self, tmp_path):
+        """The E11 design through the comparison API: same faults, one
+        build with register parity — escapes must transition to
+        detections, never the other way."""
+        db_path = tmp_path / "cmp.db"
+        with GoofiSession(db_path) as session:
+            make_campaign(session, "plain", workload="crc32",
+                          locations=("internal:regs.R1", "internal:regs.R2"),
+                          num_experiments=30, seed=73)
+            session.run_campaign("plain")
+        target = ThorTargetInterface(register_parity=True)
+        with GoofiSession(db_path, target=target) as session:
+            make_campaign(session, "parity", workload="crc32",
+                          locations=("internal:regs.R1", "internal:regs.R2"),
+                          num_experiments=30, seed=73)
+            session.run_campaign("parity")
+            comparison = compare_campaigns(session.db, "plain", "parity")
+            transitions = comparison.transitions()
+            assert transitions.get(("escaped", "detected"), 0) > 0
+            assert transitions.get(("detected", "escaped"), 0) == 0
+            assert comparison.improvement() > 0

@@ -1,0 +1,192 @@
+"""Tests for the analytical dependability model (paper §1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from tests.conftest import make_campaign
+from repro.analysis import (
+    format_dependability_report,
+    model_from_campaign,
+)
+from repro.analysis.classify import (
+    CATEGORY_DETECTED,
+    CATEGORY_ESCAPED,
+    CATEGORY_OVERWRITTEN,
+    CampaignClassification,
+    Classification,
+)
+from repro.analysis.dependability import DependabilityModel
+from repro.analysis.measures import proportion
+from repro.core.errors import AnalysisError
+
+
+def make_classification(detected: int, escaped: int, overwritten: int) -> CampaignClassification:
+    classifications = (
+        [Classification(f"d{i}", CATEGORY_DETECTED, mechanism="m") for i in range(detected)]
+        + [Classification(f"e{i}", CATEGORY_ESCAPED, escape_kind="wrong_output")
+           for i in range(escaped)]
+        + [Classification(f"o{i}", CATEGORY_OVERWRITTEN) for i in range(overwritten)]
+    )
+    return CampaignClassification("camp", classifications)
+
+
+class TestModelMath:
+    def model(self, coverage=0.9, effectiveness_value=0.5, **kwargs) -> DependabilityModel:
+        return DependabilityModel(
+            coverage=proportion(int(coverage * 100), 100),
+            effectiveness=proportion(int(effectiveness_value * 100), 100),
+            fault_rate=kwargs.pop("fault_rate", 0.01),
+            **kwargs,
+        )
+
+    def test_failure_rate_formula(self):
+        model = self.model(coverage=0.9, effectiveness_value=0.5, fault_rate=0.01)
+        # 0.01 * 0.5 * (1 - 0.9) = 5e-4
+        assert model.failure_rate().estimate == pytest.approx(5e-4)
+
+    def test_perfect_coverage_never_fails(self):
+        model = DependabilityModel(
+            coverage=proportion(100, 100),
+            effectiveness=proportion(50, 100),
+            fault_rate=0.01,
+        )
+        assert model.failure_rate().estimate == 0.0
+        assert math.isinf(model.mttf_hours().estimate)
+        assert model.reliability(10_000).estimate == 1.0
+
+    def test_reliability_decreases_with_mission_time(self):
+        model = self.model()
+        assert model.reliability(10).estimate > model.reliability(1000).estimate
+
+    def test_coverage_interval_brackets_prediction(self):
+        model = self.model()
+        reliability = model.reliability(1000)
+        assert reliability.low <= reliability.estimate <= reliability.high
+
+    def test_higher_coverage_means_higher_reliability(self):
+        low_coverage = self.model(coverage=0.5)
+        high_coverage = self.model(coverage=0.99)
+        assert (
+            high_coverage.reliability(1000).estimate
+            > low_coverage.reliability(1000).estimate
+        )
+
+    def test_availability_in_unit_interval(self):
+        model = self.model(repair_rate=0.1)
+        availability = model.availability()
+        assert 0.0 < availability.low <= availability.estimate <= availability.high <= 1.0
+
+    def test_recovery_success_discounts_coverage(self):
+        full = self.model(recovery_success=1.0)
+        partial = self.model(recovery_success=0.5)
+        assert partial.failure_rate().estimate > full.failure_rate().estimate
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            self.model(fault_rate=0)
+        with pytest.raises(AnalysisError):
+            self.model(repair_rate=0)
+        with pytest.raises(AnalysisError):
+            self.model(recovery_success=1.5)
+
+    def test_no_effective_errors_rejected(self):
+        with pytest.raises(AnalysisError, match="no effective errors"):
+            model_from_campaign(make_classification(0, 0, 10), fault_rate=0.01)
+
+
+class TestMonteCarloValidation:
+    def test_reliability_formula_matches_simulation(self):
+        """Simulate the model's own story — Poisson fault arrivals, each
+        effective w.p. e, detected-and-recovered w.p. c — and check the
+        closed-form R(t) against the empirical survival rate."""
+        import numpy as np
+
+        fault_rate = 0.02
+        effectiveness_value = 0.6
+        coverage_value = 0.8
+        mission = 100.0
+        rng = np.random.default_rng(7)
+        trials = 4000
+        survived = 0
+        for _ in range(trials):
+            t = 0.0
+            alive = True
+            while alive:
+                t += rng.exponential(1.0 / fault_rate)
+                if t > mission:
+                    break
+                if rng.random() >= effectiveness_value:
+                    continue  # fault not effective
+                if rng.random() < coverage_value:
+                    continue  # detected and recovered
+                alive = False
+            survived += alive
+        empirical = survived / trials
+
+        model = DependabilityModel(
+            coverage=proportion(int(coverage_value * 1000), 1000),
+            effectiveness=proportion(int(effectiveness_value * 1000), 1000),
+            fault_rate=fault_rate,
+        )
+        predicted = model.reliability(mission).estimate
+        # Binomial standard error at n=4000 is ~0.008; allow 4 sigma.
+        assert abs(empirical - predicted) < 0.035
+
+    def test_availability_formula_matches_simulation(self):
+        """Alternating up/down renewal simulation vs the steady-state
+        availability closed form."""
+        import numpy as np
+
+        fault_rate = 0.05
+        coverage_value = 0.7
+        repair_rate = 0.5
+        rng = np.random.default_rng(11)
+        lambda_fail = fault_rate * 1.0 * (1 - coverage_value)
+        up_time = 0.0
+        down_time = 0.0
+        for _ in range(20_000):
+            up_time += rng.exponential(1.0 / lambda_fail)
+            down_time += rng.exponential(1.0 / repair_rate)
+        empirical = up_time / (up_time + down_time)
+
+        model = DependabilityModel(
+            coverage=proportion(int(coverage_value * 1000), 1000),
+            effectiveness=proportion(1000, 1000),
+            fault_rate=fault_rate,
+            repair_rate=repair_rate,
+        )
+        assert abs(empirical - model.availability().estimate) < 0.01
+
+
+class TestFromCampaign:
+    def test_model_reads_classification(self):
+        classification = make_classification(detected=80, escaped=20, overwritten=100)
+        model = model_from_campaign(classification, fault_rate=0.02)
+        assert model.coverage.estimate == pytest.approx(0.8)
+        assert model.effectiveness.estimate == pytest.approx(0.5)
+
+    def test_report_contains_all_measures(self):
+        classification = make_classification(80, 20, 100)
+        model = model_from_campaign(classification, fault_rate=0.02)
+        report = format_dependability_report(model, mission_hours=1000)
+        for needle in ("coverage", "MTTF", "availability", "failure rate"):
+            assert needle in report
+
+    def test_end_to_end_from_real_campaign(self, session):
+        make_campaign(
+            session,
+            "dep",
+            workload="bubble_sort",
+            locations=("internal:icache.*", "internal:dcache.*"),
+            num_experiments=40,
+            seed=31,
+        )
+        session.run_campaign("dep")
+        model = model_from_campaign(
+            session.classify("dep"), fault_rate=1e-3, repair_rate=0.5
+        )
+        reliability = model.reliability(1000)
+        assert 0.0 < reliability.low <= reliability.high <= 1.0

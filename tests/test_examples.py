@@ -1,0 +1,35 @@
+"""Every example script must stay runnable (they are documentation)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples must narrate what they did"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "control_application",
+        "error_propagation",
+        "porting_new_target",
+    } <= names

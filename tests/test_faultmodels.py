@@ -1,0 +1,59 @@
+"""Tests for the fault models (transient, permanent, intermittent)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.faultmodels import (
+    IntermittentBitFlip,
+    StuckAt,
+    TransientBitFlip,
+    is_transient,
+    model_from_dict,
+)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            TransientBitFlip(),
+            StuckAt(0),
+            StuckAt(1),
+            IntermittentBitFlip(duration=100, activity=0.2),
+        ],
+    )
+    def test_dict_roundtrip(self, model):
+        assert model_from_dict(model.to_dict()) == model
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault model"):
+            model_from_dict({"model": "cosmic_ray"})
+
+    def test_intermittent_default_activity(self):
+        model = model_from_dict({"model": "intermittent_bitflip", "duration": 50})
+        assert model.activity == 0.05
+
+
+class TestValidation:
+    def test_stuck_at_value_must_be_binary(self):
+        with pytest.raises(ConfigurationError):
+            StuckAt(2)
+
+    def test_intermittent_duration_positive(self):
+        with pytest.raises(ConfigurationError):
+            IntermittentBitFlip(duration=0)
+
+    def test_intermittent_activity_range(self):
+        with pytest.raises(ConfigurationError):
+            IntermittentBitFlip(duration=10, activity=0.0)
+        with pytest.raises(ConfigurationError):
+            IntermittentBitFlip(duration=10, activity=1.5)
+
+
+class TestClassification:
+    def test_is_transient(self):
+        assert is_transient(TransientBitFlip())
+        assert not is_transient(StuckAt(1))
+        assert not is_transient(IntermittentBitFlip(duration=5))

@@ -1,0 +1,161 @@
+"""Tests for the framework layer (TargetSystemInterface template)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TargetError
+from repro.core.framework import (
+    ObservationSpec,
+    TargetSystemInterface,
+    Termination,
+    TerminationInfo,
+)
+from repro.core.locations import KIND_MEMORY, KIND_SCAN, Location
+
+
+class MinimalTarget(TargetSystemInterface):
+    """The smallest possible target: two 8-bit scan elements on one
+    chain, everything else unimplemented (the paper's Figure 3 'write
+    your code here' template with only scan access filled in)."""
+
+    target_name = "minimal"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.state = {"a": 0x00, "b": 0x00}
+        self.written: list[tuple[str, int]] = []
+
+    # Only the scan building blocks are real.
+    def _scan_read_raw(self, chain):
+        if chain != "only":
+            raise TargetError("no such chain")
+        return (self.state["a"] << 8) | self.state["b"]
+
+    def _scan_write_raw(self, chain, value):
+        self.state["a"] = (value >> 8) & 0xFF
+        self.state["b"] = value & 0xFF
+        self.written.append((chain, value))
+
+    def scan_bit_position(self, chain, element, bit):
+        return {"a": 8, "b": 0}[element] + bit
+
+    # Unused abstract methods — minimal stubs.
+    def init_test_card(self):  # pragma: no cover - unused
+        pass
+
+    def load_workload(self, workload_id):  # pragma: no cover - unused
+        pass
+
+    def write_memory(self, address, words):  # pragma: no cover - unused
+        pass
+
+    def read_memory(self, address, count):  # pragma: no cover - unused
+        return []
+
+    def run_workload(self):  # pragma: no cover - unused
+        pass
+
+    def wait_for_breakpoint(self, cycle):  # pragma: no cover - unused
+        return None
+
+    def wait_for_termination(self, termination):  # pragma: no cover - unused
+        return TerminationInfo("workload_end", 0)
+
+    def location_space(self):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def available_workloads(self):  # pragma: no cover - unused
+        return []
+
+    def describe(self):  # pragma: no cover - unused
+        return {}
+
+    def single_step(self, termination):  # pragma: no cover - unused
+        return None
+
+    def current_cycle(self):  # pragma: no cover - unused
+        return 0
+
+    def capture_state(self, observation):  # pragma: no cover - unused
+        return {}
+
+    def record_trace(self, termination):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def install_fault_overlay(self, location, model, seed):  # pragma: no cover
+        raise NotImplementedError
+
+    def set_environment(self, env):  # pragma: no cover - unused
+        pass
+
+
+class TestScanBufferProtocol:
+    def test_read_inject_write_flips_one_bit(self):
+        target = MinimalTarget()
+        target.state["a"] = 0b0000_0001
+        target.read_scan_chain("only")
+        target.inject_fault(
+            Location(kind=KIND_SCAN, chain="only", element="a", bit=3)
+        )
+        target.write_scan_chain("only")
+        assert target.state["a"] == 0b0000_1001
+        assert target.state["b"] == 0
+
+    def test_inject_without_read_rejected(self):
+        target = MinimalTarget()
+        with pytest.raises(TargetError, match="not captured"):
+            target.inject_fault(
+                Location(kind=KIND_SCAN, chain="only", element="a", bit=0)
+            )
+
+    def test_write_without_read_rejected(self):
+        target = MinimalTarget()
+        with pytest.raises(TargetError, match="nothing to write"):
+            target.write_scan_chain("only")
+
+    def test_memory_location_rejected_for_scan_injection(self):
+        target = MinimalTarget()
+        target.read_scan_chain("only")
+        with pytest.raises(TargetError, match="write_memory"):
+            target.inject_fault(Location(kind=KIND_MEMORY, address=1, bit=0))
+
+    def test_double_injection_cancels(self):
+        """Two flips of the same bit in one buffer cancel — the buffer
+        semantics the multi-flip algorithm relies on."""
+        target = MinimalTarget()
+        target.read_scan_chain("only")
+        location = Location(kind=KIND_SCAN, chain="only", element="b", bit=2)
+        target.inject_fault(location)
+        target.inject_fault(location)
+        target.write_scan_chain("only")
+        assert target.state["b"] == 0
+
+    def test_read_returns_captured_value(self):
+        target = MinimalTarget()
+        target.state["a"], target.state["b"] = 0xAB, 0xCD
+        assert target.read_scan_chain("only") == 0xABCD
+
+
+class TestDataTypes:
+    def test_termination_roundtrip(self):
+        termination = Termination(max_cycles=500, max_iterations=7)
+        assert Termination.from_dict(termination.to_dict()) == termination
+
+    def test_termination_none_iterations(self):
+        termination = Termination(max_cycles=500)
+        assert Termination.from_dict(termination.to_dict()) == termination
+
+    def test_observation_roundtrip(self):
+        observation = ObservationSpec(
+            scan_elements=("internal:regs.R0", "internal:ctrl.PC"),
+            memory_ranges=((0x4000, 16), (0x5000, 1)),
+            include_outputs=False,
+        )
+        assert ObservationSpec.from_dict(observation.to_dict()) == observation
+
+    def test_termination_info_dict(self):
+        info = TerminationInfo("error_detected", 42, 3, {"mechanism": "x"})
+        data = info.to_dict()
+        assert data["outcome"] == "error_detected"
+        assert data["detection"]["mechanism"] == "x"

@@ -1,0 +1,150 @@
+"""Robustness fuzzing: the target must never crash, only terminate.
+
+A fault-injection tool's substrate has one non-negotiable property: any
+corruption of any state element must surface as a *target-visible*
+outcome (detection, wrong output, timeout, clean end) — never as a host
+exception.  These property tests throw random programs, random scan
+writes, and random memory corruptions at the simulator and assert that
+invariant.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import Termination
+from repro.core.locations import Location
+from repro.core.faultmodels import IntermittentBitFlip, StuckAt
+from repro.targets.thor import StopReason, TestCard, TerminationCondition
+from repro.targets.thor.assembler import Program
+from repro.targets.thor.interface import ThorTargetInterface
+from repro.workloads import load
+
+TERMINAL = {StopReason.HALTED, StopReason.DETECTED, StopReason.CYCLE_LIMIT}
+
+fuzz_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@fuzz_settings
+@given(words=st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=64))
+def test_random_programs_always_terminate_cleanly(words):
+    """Arbitrary bit patterns as a program: every run ends in a defined
+    stop reason within the watchdog budget."""
+    card = TestCard()
+    card.init_target()
+    program = Program(program=words, data=[], entry_point=0)
+    card.load_workload(program)
+    result = card.run(TerminationCondition(max_cycles=2_000))
+    assert result.reason in TERMINAL
+
+
+@fuzz_settings
+@given(
+    stop=st.integers(1, 1400),
+    chunk=st.integers(0, 2**200),
+)
+def test_random_scan_chain_writes_never_crash(stop, chunk):
+    """Shift arbitrary garbage into the whole internal chain mid-run."""
+    card = TestCard()
+    card.init_target()
+    card.load_workload(load("bubble_sort"))
+    result = card.run(TerminationCondition(max_cycles=10_000), stop_at_cycle=stop)
+    if result.reason is StopReason.CYCLE_BREAK:
+        value = card.read_scan_chain("internal")
+        card.write_scan_chain("internal", value ^ chunk)
+        result = card.run(TerminationCondition(max_cycles=10_000))
+    assert result.reason in TERMINAL
+
+
+@fuzz_settings
+@given(
+    address=st.integers(0, 0xFFFF),
+    value=st.integers(0, 0xFFFFFFFF),
+    stop=st.integers(1, 2000),
+)
+def test_random_memory_corruption_never_crashes(address, value, stop):
+    card = TestCard()
+    card.init_target()
+    card.load_workload(load("crc32"))
+    result = card.run(TerminationCondition(max_cycles=10_000), stop_at_cycle=stop)
+    if result.reason is StopReason.CYCLE_BREAK:
+        card.write_memory(address, [value])
+        result = card.run(TerminationCondition(max_cycles=10_000))
+    assert result.reason in TERMINAL
+
+
+@fuzz_settings
+@given(
+    element_index=st.integers(0, 300),
+    bit=st.integers(0, 31),
+    stuck_value=st.integers(0, 1),
+    stop=st.integers(1, 150),
+)
+def test_random_overlays_never_crash(element_index, bit, stuck_value, stop):
+    """Stuck-at overlays on arbitrary writable elements of the internal
+    chain (bit index clamped to the element width)."""
+    target = ThorTargetInterface()
+    target.init_test_card()
+    target.load_workload("fibonacci")
+    target.run_workload()
+    chain = target.card.scan_chain("internal")
+    writable = chain.writable_elements()
+    element = writable[element_index % len(writable)]
+    location = Location(
+        kind="scan",
+        chain="internal",
+        element=element.name,
+        bit=bit % element.width,
+    )
+    if target.wait_for_breakpoint(stop) is None:
+        target.install_fault_overlay(location, StuckAt(stuck_value), seed=1)
+    info = target.wait_for_termination(Termination(max_cycles=20_000))
+    assert info.outcome in ("workload_end", "error_detected", "timeout")
+
+
+@fuzz_settings
+@given(
+    register=st.integers(0, 15),
+    bit=st.integers(0, 31),
+    activity=st.floats(0.01, 1.0),
+    duration=st.integers(1, 3000),
+)
+def test_intermittent_overlays_never_crash(register, bit, activity, duration):
+    target = ThorTargetInterface(register_parity=True)
+    target.init_test_card()
+    target.load_workload("dotprod")
+    target.run_workload()
+    location = Location(
+        kind="scan", chain="internal", element=f"regs.R{register}", bit=bit
+    )
+    if target.wait_for_breakpoint(5) is None:
+        target.install_fault_overlay(
+            location, IntermittentBitFlip(duration=duration, activity=activity), seed=7
+        )
+    info = target.wait_for_termination(Termination(max_cycles=20_000))
+    assert info.outcome in ("workload_end", "error_detected", "timeout")
+
+
+@fuzz_settings
+@given(
+    program_words=st.lists(st.integers(0, 0xFFFFFFFF), min_size=4, max_size=32),
+    flip_address=st.integers(0, 31),
+    flip_bit=st.integers(0, 31),
+)
+def test_preruntime_corruption_of_random_programs(program_words, flip_address, flip_bit):
+    """Pre-runtime SWIFI on top of an already-random program: still no
+    host crash."""
+    card = TestCard()
+    card.init_target()
+    program = Program(program=program_words, data=[0] * 8, entry_point=0)
+    card.load_workload(program)
+    address = flip_address % len(program_words)
+    word = card.read_memory(address, 1)[0]
+    card.write_memory(address, [word ^ (1 << flip_bit)])
+    result = card.run(TerminationCondition(max_cycles=2_000))
+    assert result.reason in TERMINAL

@@ -1,0 +1,166 @@
+"""Tests for the THOR-RD-sim instruction set (encode/decode)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.targets.thor.isa import (
+    BRANCH_OPS,
+    CALL_OPS,
+    DECODER,
+    FORMATS,
+    Format,
+    IllegalOpcodeError,
+    Instruction,
+    Op,
+    decode,
+    encode,
+    sign_extend_12,
+)
+
+
+class TestSignExtension:
+    def test_positive_values_pass_through(self):
+        assert sign_extend_12(0) == 0
+        assert sign_extend_12(1) == 1
+        assert sign_extend_12(0x7FF) == 2047
+
+    def test_negative_values_extend(self):
+        assert sign_extend_12(0x800) == -2048
+        assert sign_extend_12(0xFFF) == -1
+        assert sign_extend_12(0xFFE) == -2
+
+    def test_only_low_12_bits_considered(self):
+        assert sign_extend_12(0x1001) == 1
+        assert sign_extend_12(0xF800) == -2048
+
+
+class TestEncodingRoundtrip:
+    @pytest.mark.parametrize("op", list(Op))
+    def test_each_opcode_roundtrips(self, op):
+        fmt = FORMATS[op]
+        imm = 0
+        if fmt in (Format.RD_IMM16, Format.RS_IMM16, Format.IMM16):
+            imm = 0x1234
+        elif fmt in (Format.RD_RA_IMM12, Format.RS_RA_IMM12, Format.RA_IMM12):
+            imm = -7
+        inst = Instruction(op=op, rd=3, ra=5, rb=9, imm=imm)
+        decoded = decode(encode(inst))
+        assert decoded.op is op
+        if fmt in (Format.RD_IMM16, Format.RS_IMM16, Format.RD_RA,
+                   Format.RD_RA_RB, Format.RD_RA_IMM12, Format.RS_RA_IMM12,
+                   Format.RD):
+            assert decoded.rd == 3
+        if fmt in (Format.RD_RA, Format.RD_RA_RB, Format.RD_RA_IMM12,
+                   Format.RS_RA_IMM12, Format.RA_RB, Format.RA_IMM12):
+            assert decoded.ra == 5
+        if fmt in (Format.RD_RA_RB, Format.RA_RB):
+            assert decoded.rb == 9
+        if imm:
+            assert decoded.imm == imm
+
+    def test_opcode_field_is_high_byte(self):
+        word = encode(Instruction(Op.HALT))
+        assert (word >> 24) & 0xFF == int(Op.HALT)
+
+    def test_imm16_is_low_halfword(self):
+        word = encode(Instruction(Op.LDI, rd=1, imm=0xBEEF))
+        assert word & 0xFFFF == 0xBEEF
+
+    def test_negative_imm12_encoding(self):
+        word = encode(Instruction(Op.ADDI, rd=1, ra=2, imm=-1))
+        assert word & 0xFFF == 0xFFF
+        assert decode(word).imm == -1
+
+
+class TestDecode:
+    def test_illegal_opcode_raises(self):
+        with pytest.raises(IllegalOpcodeError) as excinfo:
+            decode(0xFF000000)
+        assert excinfo.value.word == 0xFF000000
+
+    def test_gap_opcodes_are_illegal(self):
+        # 0x04..0x0F sit between the control and load/store groups.
+        for opcode in (0x04, 0x0F, 0x19, 0x42, 0x80):
+            with pytest.raises(IllegalOpcodeError):
+                decode(opcode << 24)
+
+    def test_all_defined_opcodes_decode(self):
+        for op in Op:
+            assert decode(int(op) << 24).op is op
+
+    def test_decode_cache_returns_same_object(self):
+        word = encode(Instruction(Op.ADD, rd=1, ra=2, rb=3))
+        assert DECODER.decode(word) is DECODER.decode(word)
+
+    def test_decode_cache_matches_decode(self):
+        word = encode(Instruction(Op.LD, rd=4, ra=5, imm=-10))
+        assert DECODER.decode(word) == decode(word)
+
+
+class TestOpClassification:
+    def test_branch_ops_all_start_with_b(self):
+        for op in BRANCH_OPS:
+            assert op.name.startswith("B")
+
+    def test_call_is_not_a_branch(self):
+        assert Op.CALL not in BRANCH_OPS
+        assert Op.CALL in CALL_OPS
+
+    def test_every_opcode_has_a_format(self):
+        assert set(FORMATS) == set(Op)
+
+    def test_opcode_values_are_stable(self):
+        # These values appear in persisted memory images; a change would
+        # silently corrupt stored campaigns.
+        assert int(Op.NOP) == 0x00
+        assert int(Op.HALT) == 0x01
+        assert int(Op.LDI) == 0x10
+        assert int(Op.ADD) == 0x20
+        assert int(Op.BR) == 0x30
+        assert int(Op.TRAP) == 0x3A
+        assert int(Op.IN) == 0x40
+
+
+@given(
+    op=st.sampled_from(list(Op)),
+    rd=st.integers(0, 15),
+    ra=st.integers(0, 15),
+    rb=st.integers(0, 15),
+    imm16=st.integers(0, 0xFFFF),
+    imm12=st.integers(-2048, 2047),
+)
+def test_property_encode_decode_roundtrip(op, rd, ra, rb, imm16, imm12):
+    """Any well-formed instruction survives encode→decode unchanged in
+    the fields its format defines."""
+    fmt = FORMATS[op]
+    if fmt in (Format.RD_IMM16, Format.RS_IMM16, Format.IMM16):
+        imm = imm16
+    elif fmt in (Format.RD_RA_IMM12, Format.RS_RA_IMM12, Format.RA_IMM12):
+        imm = imm12
+    else:
+        imm = 0
+    inst = Instruction(op=op, rd=rd, ra=ra, rb=rb, imm=imm)
+    decoded = decode(encode(inst))
+    assert decoded.op is op
+    assert decoded.imm == imm
+    uses_rd = fmt in (
+        Format.RD_IMM16, Format.RS_IMM16, Format.RD_RA, Format.RD_RA_RB,
+        Format.RD_RA_IMM12, Format.RS_RA_IMM12, Format.RD,
+    )
+    if uses_rd:
+        assert decoded.rd == rd
+
+
+@given(word=st.integers(0, 0xFFFFFFFF))
+def test_property_decode_never_crashes(word):
+    """decode either returns an Instruction or raises the typed
+    IllegalOpcodeError — never anything else (fault injection feeds it
+    arbitrary corrupted words)."""
+    try:
+        inst = decode(word)
+    except IllegalOpcodeError:
+        return
+    assert encode(inst) & 0xFF000000 == word & 0xFF000000

@@ -1,0 +1,181 @@
+"""Tests for fault-injection locations and the location space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.locations import (
+    KIND_MEMORY,
+    KIND_SCAN,
+    Location,
+    LocationSpace,
+    MemoryRegionInfo,
+    ScanElementInfo,
+)
+
+
+def make_space() -> LocationSpace:
+    return LocationSpace(
+        scan_elements=[
+            ScanElementInfo("internal", "regs.R0", 32, True),
+            ScanElementInfo("internal", "regs.R1", 32, True),
+            ScanElementInfo("internal", "ctrl.PC", 16, True),
+            ScanElementInfo("internal", "ctrl.CYCLE", 32, False),
+            ScanElementInfo("boundary", "pins.IN0", 32, True),
+        ],
+        memory_regions=[
+            MemoryRegionInfo("program", 0, 4),
+            MemoryRegionInfo("data", 0x4000, 0x4002),
+        ],
+    )
+
+
+class TestLocation:
+    def test_scan_label(self):
+        location = Location(kind=KIND_SCAN, chain="internal", element="regs.R3", bit=7)
+        assert location.label() == "internal:regs.R3[7]"
+
+    def test_memory_label(self):
+        location = Location(kind=KIND_MEMORY, address=0x4010, bit=31)
+        assert location.label() == "memory:0x4010[31]"
+
+    @given(
+        chain=st.sampled_from(["internal", "boundary"]),
+        element=st.sampled_from(["regs.R3", "icache.line5.data", "pins.IN0"]),
+        bit=st.integers(0, 63),
+    )
+    def test_property_scan_label_parse_roundtrip(self, chain, element, bit):
+        location = Location(kind=KIND_SCAN, chain=chain, element=element, bit=bit)
+        assert Location.parse(location.label()) == location
+
+    @given(address=st.integers(0, 0xFFFF), bit=st.integers(0, 31))
+    def test_property_memory_label_parse_roundtrip(self, address, bit):
+        location = Location(kind=KIND_MEMORY, address=address, bit=bit)
+        assert Location.parse(location.label()) == location
+
+    def test_dict_roundtrip(self):
+        for location in (
+            Location(kind=KIND_SCAN, chain="c", element="e.f", bit=3),
+            Location(kind=KIND_MEMORY, address=77, bit=0),
+        ):
+            assert Location.from_dict(location.to_dict()) == location
+
+    def test_element_key_ignores_bit(self):
+        a = Location(kind=KIND_SCAN, chain="c", element="e", bit=1)
+        b = Location(kind=KIND_SCAN, chain="c", element="e", bit=9)
+        assert a.element_key == b.element_key
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Location(kind="weird", bit=0)
+        with pytest.raises(ConfigurationError):
+            Location(kind=KIND_SCAN, chain="", element="x", bit=0)
+        with pytest.raises(ConfigurationError):
+            Location(kind=KIND_MEMORY, address=0, bit=-1)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            Location.parse("no-brackets-here")
+
+
+class TestLocationSpace:
+    def test_config_roundtrip(self):
+        space = make_space()
+        rebuilt = LocationSpace.from_target_config(space.to_config())
+        assert rebuilt.to_config() == space.to_config()
+
+    def test_element_lookup(self):
+        space = make_space()
+        info = space.element("internal", "ctrl.PC")
+        assert info.width == 16
+        with pytest.raises(ConfigurationError):
+            space.element("internal", "nope")
+
+    def test_region_lookup(self):
+        space = make_space()
+        assert space.region("data").words == 2
+        with pytest.raises(ConfigurationError):
+            space.region("rom")
+
+    def test_groups_hierarchy(self):
+        space = make_space()
+        groups = space.groups("internal")
+        assert set(groups) == {"regs", "ctrl"}
+        assert len(groups["regs"]) == 2
+
+
+class TestSelection:
+    def test_glob_selects_registers(self):
+        selection = make_space().select(["internal:regs.*"])
+        assert [e.name for e in selection.elements] == ["regs.R0", "regs.R1"]
+        assert selection.total_bits() == 64
+
+    def test_writable_only_by_default(self):
+        selection = make_space().select(["internal:ctrl.*"])
+        assert [e.name for e in selection.elements] == ["ctrl.PC"]
+
+    def test_readonly_included_when_asked(self):
+        selection = make_space().select(["internal:ctrl.*"], writable_only=False)
+        assert len(selection.elements) == 2
+
+    def test_memory_region_selection(self):
+        selection = make_space().select(["memory:data"])
+        assert selection.total_bits() == 2 * 32
+
+    def test_mixed_selection(self):
+        selection = make_space().select(["internal:regs.R0", "memory:program"])
+        assert selection.total_bits() == 32 + 4 * 32
+
+    def test_unmatched_pattern_rejected(self):
+        with pytest.raises(ConfigurationError, match="matched nothing"):
+            make_space().select(["internal:fpu.*"])
+
+    def test_duplicate_patterns_deduplicate(self):
+        selection = make_space().select(["internal:regs.*", "internal:regs.R0"])
+        assert len(selection.elements) == 2
+
+    def test_bit_at_walks_scan_then_memory(self):
+        selection = make_space().select(["internal:regs.*", "memory:data"])
+        first = selection.bit_at(0)
+        assert first.element == "regs.R0" and first.bit == 0
+        last_scan = selection.bit_at(63)
+        assert last_scan.element == "regs.R1" and last_scan.bit == 31
+        first_mem = selection.bit_at(64)
+        assert first_mem.kind == KIND_MEMORY
+        assert first_mem.address == 0x4000 and first_mem.bit == 0
+        last = selection.bit_at(64 + 63)
+        assert last.address == 0x4001 and last.bit == 31
+
+    def test_bit_at_out_of_range(self):
+        selection = make_space().select(["internal:regs.R0"])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            selection.bit_at(32)
+        with pytest.raises(ConfigurationError):
+            selection.bit_at(-1)
+
+    def test_sample_uniform_over_bits(self):
+        """With one 32-bit register and one 1-bit-equivalent... use two
+        unequal elements and check the sampling ratio tracks widths."""
+        space = LocationSpace(
+            scan_elements=[
+                ScanElementInfo("internal", "regs.R0", 32, True),
+                ScanElementInfo("internal", "ctrl.PSW", 4, True),
+            ],
+            memory_regions=[],
+        )
+        selection = space.select(["internal:*"])
+        rng = np.random.default_rng(1)
+        draws = [selection.sample(rng) for _ in range(2000)]
+        psw_share = sum(1 for d in draws if d.element == "ctrl.PSW") / len(draws)
+        assert abs(psw_share - 4 / 36) < 0.03
+
+    def test_sample_empty_selection_rejected(self):
+        from repro.core.locations import LocationSelection
+
+        empty = LocationSelection(elements=[], regions=[])
+        with pytest.raises(ConfigurationError, match="empty"):
+            empty.sample(np.random.default_rng(0))

@@ -1,0 +1,105 @@
+"""Tests for target memory and the memory-protection unit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.targets.thor.memory import (
+    DATA_BASE,
+    MEMORY_WORDS,
+    Memory,
+    MemoryMap,
+    MemoryViolation,
+)
+
+
+@pytest.fixture
+def memory() -> Memory:
+    return Memory()
+
+
+class TestMemoryMap:
+    def test_default_layout(self):
+        memory_map = MemoryMap()
+        assert memory_map.in_program(0)
+        assert memory_map.in_program(DATA_BASE - 1)
+        assert not memory_map.in_program(DATA_BASE)
+        assert memory_map.in_data(DATA_BASE)
+        assert memory_map.in_data(MEMORY_WORDS - 1)
+        assert not memory_map.in_data(0)
+
+
+class TestCpuAccess:
+    def test_read_write_roundtrip(self, memory):
+        memory.write(DATA_BASE + 5, 0xDEADBEEF)
+        assert memory.read(DATA_BASE + 5) == 0xDEADBEEF
+
+    def test_write_masks_to_32_bits(self, memory):
+        memory.write(DATA_BASE, 0x1_FFFF_FFFF)
+        assert memory.read(DATA_BASE) == 0xFFFFFFFF
+
+    def test_fetch_from_program_area(self, memory):
+        memory.host_write(10, 0x12345678)
+        assert memory.fetch(10) == 0x12345678
+
+    def test_fetch_from_data_area_is_violation(self, memory):
+        with pytest.raises(MemoryViolation) as excinfo:
+            memory.fetch(DATA_BASE)
+        assert excinfo.value.kind == "fetch"
+
+    def test_runtime_write_to_program_area_is_violation(self, memory):
+        with pytest.raises(MemoryViolation) as excinfo:
+            memory.write(5, 1)
+        assert excinfo.value.kind == "write"
+        assert excinfo.value.address == 5
+
+    def test_protection_can_be_disabled(self, memory):
+        memory.protect_program = False
+        memory.write(5, 7)
+        assert memory.read(5) == 7
+
+    def test_out_of_range_read_is_violation(self, memory):
+        with pytest.raises(MemoryViolation):
+            memory.read(MEMORY_WORDS)
+        with pytest.raises(MemoryViolation):
+            memory.read(-1)
+
+    def test_reads_allowed_anywhere_in_range(self, memory):
+        # Data reads of the program area are legal (constants in code).
+        memory.host_write(3, 99)
+        assert memory.read(3) == 99
+
+
+class TestHostAccess:
+    def test_host_write_bypasses_protection(self, memory):
+        memory.host_write(0, 0xABCD)
+        assert memory.host_read(0) == 0xABCD
+
+    def test_host_block_read(self, memory):
+        memory.load_image(100, [1, 2, 3])
+        assert memory.host_read_block(100, 3) == [1, 2, 3]
+
+    def test_load_image_masks_words(self, memory):
+        memory.load_image(0, [0x7_0000_0001])
+        assert memory.host_read(0) == 1
+
+    def test_load_image_out_of_range(self, memory):
+        with pytest.raises(MemoryViolation):
+            memory.load_image(MEMORY_WORDS - 1, [1, 2])
+
+    def test_host_block_read_bad_count(self, memory):
+        with pytest.raises(MemoryViolation):
+            memory.host_read_block(0, -1)
+        with pytest.raises(MemoryViolation):
+            memory.host_read_block(MEMORY_WORDS - 1, 2)
+
+    def test_clear_zeroes_everything(self, memory):
+        memory.load_image(1234, [9, 9, 9])
+        memory.clear()
+        assert memory.host_read_block(1234, 3) == [0, 0, 0]
+
+    def test_snapshot_is_immutable_copy(self, memory):
+        memory.load_image(0, [5])
+        snapshot = memory.snapshot(0, 2)
+        memory.host_write(0, 6)
+        assert snapshot == (5, 0)

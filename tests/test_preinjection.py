@@ -1,0 +1,175 @@
+"""Tests for the pre-injection liveness analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.locations import (
+    KIND_MEMORY,
+    KIND_SCAN,
+    Location,
+    LocationSpace,
+    ScanElementInfo,
+)
+from repro.core.preinjection import (
+    LivenessAnalysis,
+    LiveInterval,
+    PreInjectionFilter,
+    _live_intervals,
+)
+from repro.core.triggers import ReferenceTrace
+
+
+def reg_location(index: int, bit: int = 0) -> Location:
+    return Location(kind=KIND_SCAN, chain="internal", element=f"regs.R{index}", bit=bit)
+
+
+def mem_location(address: int, bit: int = 0) -> Location:
+    return Location(kind=KIND_MEMORY, address=address, bit=bit)
+
+
+class TestLiveIntervals:
+    def test_write_then_read(self):
+        # write at 2, read at 5 -> injections in [3, 6) are consumed.
+        intervals = _live_intervals([(2, "write"), (5, "read")])
+        assert intervals == [LiveInterval(3, 6)]
+
+    def test_leading_read_live_from_start(self):
+        # Initial data loaded before the run: read at 4 consumes
+        # anything injected from cycle 0.
+        intervals = _live_intervals([(4, "read")])
+        assert intervals == [LiveInterval(0, 5)]
+
+    def test_write_then_write_is_dead(self):
+        intervals = _live_intervals([(1, "write"), (7, "write")])
+        assert intervals == []
+
+    def test_read_after_read_extends(self):
+        intervals = _live_intervals([(2, "read"), (3, "read")])
+        assert intervals == [LiveInterval(0, 4)]
+
+    def test_alternating_pattern(self):
+        events = [(1, "write"), (3, "read"), (5, "write"), (9, "read")]
+        intervals = _live_intervals(events)
+        assert intervals == [LiveInterval(2, 4), LiveInterval(6, 10)]
+
+    def test_interval_membership(self):
+        interval = LiveInterval(3, 6)
+        assert 3 in interval and 5 in interval
+        assert 2 not in interval and 6 not in interval
+
+
+def make_trace() -> ReferenceTrace:
+    return ReferenceTrace(
+        instructions=[(c, c, "NOP") for c in range(20)],
+        mem_accesses=[
+            (4, "read", 0x4000),
+            (8, "write", 0x4000),
+            (12, "read", 0x4000),
+            (6, "write", 0x4001),  # written, never read: always dead
+        ],
+        reg_accesses=[
+            (2, "write", 1),
+            (10, "read", 1),
+            (11, "write", 1),
+        ],
+        duration=20,
+    )
+
+
+class TestLivenessAnalysis:
+    def test_register_liveness(self):
+        analysis = LivenessAnalysis(make_trace())
+        assert analysis.is_live(reg_location(1), 5)  # before the read at 10
+        assert analysis.is_live(reg_location(1), 10)  # at the read cycle
+        assert not analysis.is_live(reg_location(1), 11)  # next access is none
+        assert not analysis.is_live(reg_location(1), 15)
+
+    def test_untouched_register_is_dead(self):
+        analysis = LivenessAnalysis(make_trace())
+        assert not analysis.is_live(reg_location(9), 5)
+
+    def test_memory_liveness(self):
+        analysis = LivenessAnalysis(make_trace())
+        assert analysis.is_live(mem_location(0x4000), 2)  # leading read at 4
+        assert not analysis.is_live(mem_location(0x4000), 7)  # next is write at 8
+        assert analysis.is_live(mem_location(0x4000), 9)  # read at 12
+        assert not analysis.is_live(mem_location(0x4000), 13)
+
+    def test_never_read_memory_is_dead(self):
+        analysis = LivenessAnalysis(make_trace())
+        assert not analysis.is_live(mem_location(0x4001), 10)
+
+    def test_control_state_always_live(self):
+        analysis = LivenessAnalysis(make_trace())
+        pc = Location(kind=KIND_SCAN, chain="internal", element="ctrl.PC", bit=3)
+        cache = Location(
+            kind=KIND_SCAN, chain="internal", element="icache.line3.data", bit=0
+        )
+        assert analysis.is_live(pc, 0) and analysis.is_live(pc, 19)
+        assert analysis.is_live(cache, 15)
+
+    def test_live_fraction(self):
+        analysis = LivenessAnalysis(make_trace())
+        # R1 live on [3, 11) -> 8 of 20 cycles.
+        assert analysis.live_fraction(reg_location(1), (0, 20)) == pytest.approx(8 / 20)
+        assert analysis.live_fraction(mem_location(0x4001), (0, 20)) == 0.0
+        pc = Location(kind=KIND_SCAN, chain="internal", element="ctrl.PC", bit=0)
+        assert analysis.live_fraction(pc, (0, 20)) == 1.0
+
+    def test_live_fraction_empty_window(self):
+        analysis = LivenessAnalysis(make_trace())
+        with pytest.raises(ConfigurationError):
+            analysis.live_fraction(reg_location(1), (5, 5))
+
+
+class TestPreInjectionFilter:
+    def make_selection(self):
+        space = LocationSpace(
+            scan_elements=[
+                ScanElementInfo("internal", "regs.R1", 32, True),
+                ScanElementInfo("internal", "regs.R9", 32, True),
+            ],
+            memory_regions=[],
+        )
+        return space.select(["internal:regs.*"])
+
+    def test_sampled_pairs_are_live(self):
+        analysis = LivenessAnalysis(make_trace())
+        filter_ = PreInjectionFilter(analysis)
+        selection = self.make_selection()
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            location, cycle = filter_.sample(selection, (0, 20), rng)
+            assert analysis.is_live(location, cycle)
+            # R9 is never accessed, so only R1 can be drawn.
+            assert location.element == "regs.R1"
+
+    def test_all_dead_selection_raises(self):
+        # A trace in which R1/R9 are never read.
+        trace = ReferenceTrace(
+            instructions=[(c, c, "NOP") for c in range(10)],
+            mem_accesses=[],
+            reg_accesses=[(1, "write", 1)],
+            duration=10,
+        )
+        filter_ = PreInjectionFilter(LivenessAnalysis(trace), max_attempts_per_sample=20)
+        with pytest.raises(ConfigurationError, match="no live"):
+            filter_.sample(self.make_selection(), (0, 10), np.random.default_rng(0))
+
+    def test_interval_fallback_finds_rare_live_windows(self):
+        """When the live window is a sliver of the injection window,
+        direct interval sampling must still find it."""
+        trace = ReferenceTrace(
+            instructions=[(c, c, "NOP") for c in range(10_000)],
+            mem_accesses=[],
+            reg_accesses=[(5000, "write", 1), (5001, "read", 1)],
+            duration=10_000,
+        )
+        filter_ = PreInjectionFilter(LivenessAnalysis(trace), max_attempts_per_sample=5)
+        rng = np.random.default_rng(0)
+        location, cycle = filter_.sample(self.make_selection(), (0, 10_000), rng)
+        assert location.element == "regs.R1"
+        assert cycle == 5001

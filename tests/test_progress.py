@@ -1,0 +1,97 @@
+"""Tests for the progress reporter (the paper's progress window)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.progress import ProgressEvent, ProgressReporter, console_observer
+
+
+class TestReporting:
+    def test_observers_see_each_experiment(self):
+        events: list[ProgressEvent] = []
+        reporter = ProgressReporter(observers=[events.append])
+        reporter.start("camp", 3)
+        for i in range(3):
+            reporter.experiment_done(f"camp/exp{i}", "workload_end")
+        reporter.finish()
+        assert [e.completed for e in events] == [1, 2, 3]
+        assert all(e.total == 3 for e in events)
+        assert events[-1].fraction == 1.0
+
+    def test_event_carries_outcome_and_name(self):
+        events = []
+        reporter = ProgressReporter(observers=[events.append])
+        reporter.start("camp", 1)
+        reporter.experiment_done("camp/exp0", "error_detected")
+        assert events[0].experiment_name == "camp/exp0"
+        assert events[0].outcome == "error_detected"
+
+    def test_start_resets_counters(self):
+        reporter = ProgressReporter()
+        reporter.start("a", 2)
+        reporter.experiment_done("a/exp0", "x")
+        reporter.start("b", 5)
+        assert reporter.completed == 0
+        assert reporter.total == 5
+
+    def test_fraction_with_zero_total(self):
+        event = ProgressEvent("c", 0, 0, "e", "o", 0.0)
+        assert event.fraction == 1.0
+
+
+class TestControl:
+    def test_end_sets_abort_flag(self):
+        reporter = ProgressReporter()
+        reporter.start("camp", 10)
+        reporter.end()
+        assert reporter.abort_requested
+
+    def test_pause_blocks_until_resume(self):
+        reporter = ProgressReporter(poll_interval=0.001)
+        reporter.start("camp", 2)
+        reporter.pause()
+        finished = threading.Event()
+
+        def worker():
+            reporter.experiment_done("camp/exp0", "ok")
+            finished.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.05)
+        assert not finished.is_set()  # still paused
+        reporter.resume()
+        thread.join(timeout=2)
+        assert finished.is_set()
+
+    def test_end_releases_a_paused_campaign(self):
+        reporter = ProgressReporter(poll_interval=0.001)
+        reporter.start("camp", 2)
+        reporter.pause()
+        finished = threading.Event()
+
+        def worker():
+            reporter.experiment_done("camp/exp0", "ok")
+            finished.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        reporter.end()
+        thread.join(timeout=2)
+        assert finished.is_set()
+        assert reporter.abort_requested
+
+
+class TestConsoleObserver:
+    def test_prints_on_final_experiment(self, capsys):
+        event = ProgressEvent("camp", 10, 10, "camp/exp9", "workload_end", 1.0)
+        console_observer(event)
+        out = capsys.readouterr().out
+        assert "10/10" in out
+
+    def test_silent_between_blocks(self, capsys):
+        event = ProgressEvent("camp", 3, 10, "camp/exp2", "workload_end", 1.0)
+        console_observer(event)
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,127 @@
+"""Tests for error-propagation analysis over detail-mode traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.propagation import (
+    analyze_propagation,
+    propagation_summary,
+)
+from repro.core.errors import AnalysisError
+from repro.db import ExperimentRecord
+
+
+def record_with_steps(name: str, steps: list[dict]) -> ExperimentRecord:
+    return ExperimentRecord(
+        experiment_name=name,
+        campaign_name="camp",
+        experiment_data={},
+        state_vector={"termination": {"outcome": "workload_end"}, "final": {}, "steps": steps},
+    )
+
+
+def step(cycle: int, **scan_values) -> dict:
+    return {"cycle": cycle, "state": {"scan": scan_values, "memory": {}}}
+
+
+class TestPropagation:
+    def test_no_divergence(self):
+        steps = [step(0, r1=1), step(1, r1=2)]
+        analysis = analyze_propagation(
+            record_with_steps("ref", steps), record_with_steps("exp", steps)
+        )
+        assert analysis.first_divergence is None
+        assert analysis.peak_infection == 0
+        assert not analysis.cleared()
+
+    def test_divergence_and_spread(self):
+        reference = [
+            step(0, r1=1, r2=0, r3=0),
+            step(1, r1=1, r2=0, r3=0),
+            step(2, r1=1, r2=0, r3=0),
+        ]
+        faulty = [
+            step(0, r1=1, r2=0, r3=0),
+            step(1, r1=9, r2=0, r3=0),  # fault lands in r1
+            step(2, r1=9, r2=9, r3=0),  # propagates to r2
+        ]
+        analysis = analyze_propagation(
+            record_with_steps("ref", reference), record_with_steps("exp", faulty)
+        )
+        assert analysis.first_divergence == 1
+        assert analysis.peak_infection == 2
+        assert analysis.final_infection == 2
+        assert analysis.ever_infected == {"scan:r1", "scan:r2"}
+        assert analysis.graph.has_edge("scan:r1", "scan:r2")
+        assert analysis.graph["scan:r1"]["scan:r2"]["cycle"] == 2
+
+    def test_cleared_error(self):
+        reference = [step(0, r1=0), step(1, r1=0), step(2, r1=5)]
+        faulty = [step(0, r1=0), step(1, r1=7), step(2, r1=5)]  # overwritten
+        analysis = analyze_propagation(
+            record_with_steps("ref", reference), record_with_steps("exp", faulty)
+        )
+        assert analysis.cleared()
+        assert analysis.final_infection == 0
+        assert analysis.first_divergence == 1
+
+    def test_shorter_faulty_run_truncates_timeline(self):
+        reference = [step(i, r1=0) for i in range(5)]
+        faulty = [step(0, r1=0), step(1, r1=1)]  # crashed early
+        analysis = analyze_propagation(
+            record_with_steps("ref", reference), record_with_steps("exp", faulty)
+        )
+        assert len(analysis.timeline) == 2
+
+    def test_missing_steps_rejected(self):
+        no_steps = ExperimentRecord(
+            experiment_name="x",
+            campaign_name="camp",
+            experiment_data={},
+            state_vector={"termination": {}, "final": {}},
+        )
+        with pytest.raises(AnalysisError, match="no detail-mode steps"):
+            analyze_propagation(no_steps, no_steps)
+
+    def test_summary_digest(self):
+        reference = [step(0, r1=0), step(1, r1=0)]
+        faulty = [step(0, r1=0), step(1, r1=3)]
+        analysis = analyze_propagation(
+            record_with_steps("ref", reference), record_with_steps("exp", faulty)
+        )
+        digest = propagation_summary(analysis)
+        assert digest["first_divergence"] == 1
+        assert digest["ever_infected"] == ["scan:r1"]
+        assert digest["graph_nodes"] == 1
+
+
+class TestEndToEndPropagation:
+    def test_real_detail_rerun_propagation(self, session):
+        """Inject into a live register in detail mode and follow the
+        infection through the logged steps."""
+        from tests.conftest import make_campaign
+        from repro.core.campaign import experiment_name
+        from repro.db import reference_name
+
+        make_campaign(
+            session,
+            "d",
+            workload="fibonacci",
+            locations=("internal:regs.R1", "internal:regs.R2"),
+            num_experiments=4,
+            logging_mode="detail",
+            injection_window=(5, 60),
+            seed=11,
+        )
+        session.run_campaign("d")
+        reference = session.db.load_experiment(reference_name("d"))
+        diverged = 0
+        for i in range(4):
+            record = session.db.load_experiment(experiment_name("d", i))
+            analysis = analyze_propagation(reference, record)
+            if analysis.first_divergence is not None:
+                diverged += 1
+        # Flips into the two live fibonacci registers in the first 60
+        # cycles virtually always perturb the visible state.
+        assert diverged >= 3

@@ -1,0 +1,85 @@
+"""Tests for resuming interrupted campaigns."""
+
+from __future__ import annotations
+
+from tests.conftest import make_campaign
+from repro.analysis import classify_campaign
+from repro.core.campaign import experiment_name
+
+
+def abort_after(session, count: int) -> None:
+    def observer(event):
+        if event.completed >= count:
+            session.progress.end()
+
+    session.progress.observers.append(observer)
+    session._abort_observer = observer  # keep a handle for removal
+
+
+def clear_abort(session) -> None:
+    session.progress.observers.remove(session._abort_observer)
+
+
+class TestResume:
+    def test_resume_completes_the_remainder(self, session):
+        make_campaign(session, "c", num_experiments=30, seed=44)
+        abort_after(session, 12)
+        first = session.run_campaign("c")
+        clear_abort(session)
+        assert first.aborted
+        assert first.experiments_run == 12
+
+        second = session.run_campaign("c", resume=True)
+        assert not second.aborted
+        assert second.experiments_run == 18
+        # 30 experiments + 1 reference.
+        assert session.db.count_experiments("c") == 31
+        assert session.db.load_campaign("c").status == "completed"
+
+    def test_resumed_results_match_uninterrupted_run(self, session):
+        make_campaign(session, "whole", num_experiments=25, seed=45)
+        session.run_campaign("whole")
+
+        make_campaign(session, "split", num_experiments=25, seed=45)
+        abort_after(session, 10)
+        session.run_campaign("split")
+        clear_abort(session)
+        session.run_campaign("split", resume=True)
+
+        for i in range(25):
+            whole = session.db.load_experiment(experiment_name("whole", i))
+            split = session.db.load_experiment(experiment_name("split", i))
+            assert whole.experiment_data["faults"] == split.experiment_data["faults"]
+            assert whole.state_vector == split.state_vector
+        assert (
+            classify_campaign(session.db, "whole").summary()["detected"]
+            == classify_campaign(session.db, "split").summary()["detected"]
+        )
+
+    def test_resume_of_completed_campaign_is_a_noop(self, session):
+        make_campaign(session, "c", num_experiments=8, seed=46)
+        session.run_campaign("c")
+        result = session.run_campaign("c", resume=True)
+        assert result.experiments_run == 0
+        assert session.db.count_experiments("c") == 9
+
+    def test_fresh_run_without_resume_replaces_logs(self, session):
+        make_campaign(session, "c", num_experiments=5, seed=47)
+        session.run_campaign("c")
+        first = [r.created_at for r in session.db.iter_experiments("c")]
+        session.run_campaign("c")  # no resume: replaces
+        assert session.db.count_experiments("c") == 6
+
+    def test_resume_flag_via_cli(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        db = str(tmp_path / "r.db")
+        assert main([
+            "campaign", "create", "--db", db, "--name", "c",
+            "--workload", "fibonacci", "--experiments", "6",
+        ]) == 0
+        assert main(["run", "--db", db, "c", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["run", "--db", db, "c", "--quiet", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0/0 experiments" in out

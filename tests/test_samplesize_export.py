@@ -1,0 +1,136 @@
+"""Tests for campaign planning statistics and the CSV export."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from tests.conftest import make_campaign
+from repro.analysis import (
+    COLUMNS,
+    SequentialPlan,
+    achieved_half_width,
+    export_csv,
+    export_csv_file,
+    export_rows,
+    required_experiments,
+)
+from repro.analysis.measures import proportion
+from repro.core.errors import AnalysisError
+
+
+class TestRequiredExperiments:
+    def test_canonical_value(self):
+        # The textbook n for ±5% at 95% with p=0.5 is 385.
+        assert required_experiments(0.05) == 385
+
+    def test_tighter_precision_needs_quadratically_more(self):
+        n_5 = required_experiments(0.05)
+        n_1 = required_experiments(0.01)
+        assert 20 <= n_1 / n_5 <= 30  # (5/1)^2 = 25
+
+    def test_prior_estimate_reduces_n(self):
+        assert required_experiments(0.05, expected_proportion=0.9) < \
+            required_experiments(0.05, expected_proportion=0.5)
+
+    def test_higher_confidence_needs_more(self):
+        assert required_experiments(0.05, confidence=0.99) > \
+            required_experiments(0.05, confidence=0.95)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            required_experiments(0.0)
+        with pytest.raises(AnalysisError):
+            required_experiments(0.05, confidence=1.5)
+        with pytest.raises(AnalysisError):
+            required_experiments(0.05, expected_proportion=0.0)
+
+    def test_planning_formula_is_sufficient(self):
+        """A campaign of the planned size actually achieves the target
+        half-width (Clopper-Pearson is slightly wider than Wald, so
+        allow a small tolerance)."""
+        n = required_experiments(0.05)
+        worst = proportion(n // 2, n)
+        assert achieved_half_width(worst) <= 0.055
+
+
+class TestSequentialPlan:
+    def test_stops_when_precise(self):
+        plan = SequentialPlan(target_half_width=0.1, chunk=50, cap=1000)
+        assert plan.next_chunk() == 50
+        assert not plan.should_stop(proportion(5, 10))  # wide
+        assert plan.should_stop(proportion(300, 600))  # narrow enough
+
+    def test_cap_is_hard(self):
+        plan = SequentialPlan(target_half_width=0.001, chunk=60, cap=100)
+        assert plan.next_chunk() == 60
+        assert plan.next_chunk() == 40  # clipped to the cap
+        assert plan.next_chunk() == 0
+        assert plan.should_stop(proportion(1, 2))  # imprecise but capped
+
+    def test_projection_uses_observed_rate(self):
+        plan = SequentialPlan(target_half_width=0.05)
+        assert plan.projected_total(proportion(90, 100)) < plan.projected_total(
+            proportion(50, 100)
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            SequentialPlan(target_half_width=0.9)
+        with pytest.raises(AnalysisError):
+            SequentialPlan(target_half_width=0.05, chunk=0)
+
+
+class TestExport:
+    def test_rows_cover_campaign(self, session):
+        make_campaign(session, "c", workload="bubble_sort", num_experiments=25,
+                      locations=("internal:regs.*", "internal:icache.*"), seed=81)
+        session.run_campaign("c")
+        rows = export_rows(session.db, "c")
+        assert len(rows) == 25
+        assert all(set(row) == set(COLUMNS) for row in rows)
+        categories = {row["category"] for row in rows}
+        assert categories <= {"detected", "escaped", "latent", "overwritten"}
+        detected = [row for row in rows if row["category"] == "detected"]
+        assert all(row["mechanism"] for row in detected)
+        assert all(row["detection_latency"] != "" for row in detected)
+
+    def test_csv_parses_back(self, session):
+        make_campaign(session, "c", num_experiments=10, seed=82)
+        session.run_campaign("c")
+        text = export_csv(session.db, "c")
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 10
+        assert parsed[0]["technique"] == "scifi"
+        assert parsed[0]["location"].startswith("internal:")
+
+    def test_csv_file_written(self, session, tmp_path):
+        make_campaign(session, "c", num_experiments=5, seed=83)
+        session.run_campaign("c")
+        path = tmp_path / "c.csv"
+        count = export_csv_file(session.db, "c", path)
+        assert count == 5
+        assert path.read_text().startswith("experiment,")
+
+    def test_empty_campaign_rejected(self, session):
+        make_campaign(session, "c", num_experiments=5, seed=84)
+        with pytest.raises(Exception):
+            export_rows(session.db, "c")  # never run
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        db = str(tmp_path / "e.db")
+        main(["campaign", "create", "--db", db, "--name", "c",
+              "--workload", "fibonacci", "--experiments", "4"])
+        main(["run", "--db", db, "c", "--quiet"])
+        capsys.readouterr()
+        assert main(["export", "--db", db, "c"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("experiment,")
+        assert out.count("\n") == 5  # header + 4 rows
+        out_file = tmp_path / "c.csv"
+        assert main(["export", "--db", db, "c", "--out", str(out_file)]) == 0
+        assert out_file.exists()

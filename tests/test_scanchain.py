@@ -1,0 +1,189 @@
+"""Tests for the boundary and internal scan chains."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.targets.thor.cpu import ThorCPU
+from repro.targets.thor.scanchain import (
+    ScanChain,
+    ScanElement,
+    build_boundary_chain,
+    build_internal_chain,
+    build_scan_chains,
+)
+
+
+def make_simple_chain() -> tuple[ScanChain, dict]:
+    """A 3-element chain backed by a plain dict."""
+    state = {"a": 0, "b": 0, "ro": 0x5}
+    elements = [
+        ScanElement("a", 8, lambda: state["a"], lambda v: state.update(a=v)),
+        ScanElement("ro", 4, lambda: state["ro"], None),
+        ScanElement("b", 16, lambda: state["b"], lambda v: state.update(b=v)),
+    ]
+    return ScanChain("test", elements), state
+
+
+class TestScanChainLayout:
+    def test_width_is_sum_of_elements(self):
+        chain, _ = make_simple_chain()
+        assert chain.width == 28
+
+    def test_offsets_msb_first(self):
+        chain, _ = make_simple_chain()
+        # element order a(8) ro(4) b(16): a occupies top bits.
+        assert chain.offset("a") == 20
+        assert chain.offset("ro") == 16
+        assert chain.offset("b") == 0
+
+    def test_bit_position(self):
+        chain, _ = make_simple_chain()
+        assert chain.bit_position("b", 0) == 0
+        assert chain.bit_position("a", 7) == 27
+
+    def test_bit_position_out_of_range(self):
+        chain, _ = make_simple_chain()
+        with pytest.raises(ValueError):
+            chain.bit_position("ro", 4)
+
+    def test_unknown_element(self):
+        chain, _ = make_simple_chain()
+        with pytest.raises(KeyError, match="no element"):
+            chain.element("zz")
+
+    def test_duplicate_names_rejected(self):
+        dup = [
+            ScanElement("x", 1, lambda: 0, None),
+            ScanElement("x", 1, lambda: 0, None),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            ScanChain("bad", dup)
+
+    def test_describe_is_serialisable(self):
+        chain, _ = make_simple_chain()
+        description = chain.describe()
+        assert description[0] == {"name": "a", "width": 8, "offset": 20, "writable": True}
+        assert description[1]["writable"] is False
+
+
+class TestScanChainAccess:
+    def test_read_concatenates_elements(self):
+        chain, state = make_simple_chain()
+        state["a"] = 0xAB
+        state["b"] = 0x1234
+        assert chain.read() == (0xAB << 20) | (0x5 << 16) | 0x1234
+
+    def test_write_updates_writable_elements(self):
+        chain, state = make_simple_chain()
+        chain.write((0xCD << 20) | (0xF << 16) | 0x4321)
+        assert state["a"] == 0xCD
+        assert state["b"] == 0x4321
+
+    def test_write_skips_read_only_elements(self):
+        chain, state = make_simple_chain()
+        chain.write(0xF << 16)
+        assert state["ro"] == 0x5  # unchanged
+
+    def test_read_masks_overwide_backing_values(self):
+        chain, state = make_simple_chain()
+        state["a"] = 0x1FF  # 9 bits in an 8-bit element
+        assert (chain.read() >> 20) & 0xFF == 0xFF
+
+    def test_element_level_access(self):
+        chain, state = make_simple_chain()
+        chain.write_element("b", 0xBEEF)
+        assert chain.read_element("b") == 0xBEEF
+
+    def test_write_read_only_element_rejected(self):
+        chain, _ = make_simple_chain()
+        with pytest.raises(PermissionError):
+            chain.write_element("ro", 1)
+
+    @given(a=st.integers(0, 0xFF), b=st.integers(0, 0xFFFF))
+    def test_property_write_read_roundtrip(self, a, b):
+        chain, _ = make_simple_chain()
+        chain.write((a << 20) | b)
+        value = chain.read()
+        assert (value >> 20) & 0xFF == a
+        assert value & 0xFFFF == b
+
+
+class TestCpuChains:
+    def test_internal_chain_reaches_registers(self):
+        cpu = ThorCPU()
+        chain = build_internal_chain(cpu)
+        cpu.regs[3] = 0x1234
+        assert chain.read_element("regs.R3") == 0x1234
+        chain.write_element("regs.R3", 0x4321)
+        assert cpu.regs[3] == 0x4321
+
+    def test_internal_chain_reaches_pc_and_psw(self):
+        cpu = ThorCPU()
+        chain = build_internal_chain(cpu)
+        chain.write_element("ctrl.PC", 0x42)
+        chain.write_element("ctrl.PSW", 0b1001)
+        assert cpu.pc == 0x42
+        assert (cpu.flag_z, cpu.flag_v) == (1, 1)
+
+    def test_cycle_counter_is_read_only(self):
+        cpu = ThorCPU()
+        chain = build_internal_chain(cpu)
+        assert not chain.element("ctrl.CYCLE").writable
+
+    def test_internal_chain_reaches_cache_lines(self):
+        cpu = ThorCPU()
+        chain = build_internal_chain(cpu)
+        cpu.icache.write(5, 0xAA)
+        assert chain.read_element("icache.line5.data") == 0xAA
+        chain.write_element("icache.line5.data", 0xAB)
+        assert cpu.icache.lines[5].data == 0xAB
+
+    def test_boundary_chain_reaches_port_latches(self):
+        cpu = ThorCPU()
+        chain = build_boundary_chain(cpu)
+        chain.write_element("pins.IN1", 77)
+        assert cpu.input_ports[1] == 77
+        cpu.output_ports[2] = 88
+        assert chain.read_element("pins.OUT2") == 88
+
+    def test_boundary_buses_are_read_only(self):
+        cpu = ThorCPU()
+        chain = build_boundary_chain(cpu)
+        assert not chain.element("pins.ABUS").writable
+        assert not chain.element("pins.DBUS").writable
+
+    def test_build_scan_chains_names(self):
+        cpu = ThorCPU()
+        chains = build_scan_chains(cpu)
+        assert set(chains) == {"internal", "boundary"}
+
+    def test_full_internal_roundtrip_preserves_writable_state(self):
+        """Shifting the whole chain out and straight back in must be a
+        no-op — the identity a real scan dump/restore relies on."""
+        cpu = ThorCPU()
+        cpu.regs[0] = 0xDEAD
+        cpu.regs[15] = 0xBEEF
+        cpu.pc = 0x77
+        cpu.dcache.write(9, 123)
+        chain = build_internal_chain(cpu)
+        before = chain.read()
+        chain.write(before)
+        assert chain.read() == before
+        assert cpu.regs[0] == 0xDEAD
+        assert cpu.dcache.lines[9].data == 123
+
+    def test_single_bit_flip_via_chain_value(self):
+        """Flipping one chain bit flips exactly the mapped element bit —
+        the core SCIFI injection mechanism."""
+        cpu = ThorCPU()
+        cpu.regs[7] = 0
+        chain = build_internal_chain(cpu)
+        position = chain.bit_position("regs.R7", 5)
+        chain.write(chain.read() ^ (1 << position))
+        assert cpu.regs[7] == 1 << 5
+        # everything else untouched
+        assert all(cpu.regs[i] == 0 for i in range(16) if i != 7)
+        assert cpu.pc == 0

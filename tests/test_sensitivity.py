@@ -1,0 +1,113 @@
+"""Tests for fault-sensitivity maps."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_campaign
+from repro.analysis.sensitivity import (
+    BitSensitivity,
+    band_rates,
+    bit_sensitivity,
+    format_sensitivity_map,
+)
+from repro.core.errors import AnalysisError
+
+
+class TestBitSensitivity:
+    def test_record_and_rate(self):
+        entry = BitSensitivity(element="internal:regs.R1", width=8)
+        entry.record(0, True)
+        entry.record(0, False)
+        entry.record(7, True)
+        assert entry.rate(0) == pytest.approx(0.5)
+        assert entry.rate(7) == 1.0
+        assert entry.rate(3) is None
+        assert entry.total_injected == 3
+        assert entry.total_effective == 2
+
+    def test_out_of_range_bit_rejected(self):
+        entry = BitSensitivity(element="x", width=4)
+        with pytest.raises(AnalysisError):
+            entry.record(4, True)
+
+    def test_heat_row_msb_first(self):
+        entry = BitSensitivity(element="x", width=4)
+        entry.record(0, True)   # LSB hot
+        entry.record(3, False)  # MSB cold
+        row = entry.heat_row()
+        assert len(row) == 4
+        assert row[0] == " "   # bit 3: 0% effective
+        assert row[-1] == "@"  # bit 0: 100% effective
+        assert row[1] == row[2] == "·"  # never injected
+
+
+class TestCampaignSensitivity:
+    def test_map_covers_injected_elements(self, session):
+        make_campaign(
+            session, "s",
+            workload="fibonacci",
+            locations=("internal:regs.R1", "internal:regs.R9"),
+            num_experiments=60,
+            seed=91,
+        )
+        session.run_campaign("s")
+        table = bit_sensitivity(session.db, "s")
+        assert set(table) == {"internal:regs.R1", "internal:regs.R9"}
+        total = sum(e.total_injected for e in table.values())
+        assert total == 60
+        # R1 carries the fibonacci accumulator; R9 is never read.
+        r1 = table["internal:regs.R1"]
+        r9 = table["internal:regs.R9"]
+        assert r1.total_effective > 0
+        assert r9.total_effective == 0
+
+    def test_width_rounds_to_natural_register_size(self, session):
+        make_campaign(session, "s", locations=("internal:regs.R1",),
+                      num_experiments=20, seed=92)
+        session.run_campaign("s")
+        table = bit_sensitivity(session.db, "s")
+        assert table["internal:regs.R1"].width == 32
+
+    def test_formatting(self, session):
+        make_campaign(session, "s", locations=("internal:regs.R1",),
+                      num_experiments=20, seed=93)
+        session.run_campaign("s")
+        text = format_sensitivity_map(bit_sensitivity(session.db, "s"))
+        assert "internal:regs.R1" in text
+        assert "|" in text
+
+    def test_band_rates_pool_consistently(self, session):
+        """The band summary must agree with the per-bit table it pools
+        (and live-register faults are hot in both halves: any bit of an
+        accumulator corrupts the final sum)."""
+        make_campaign(
+            session, "s",
+            workload="fibonacci",
+            locations=("internal:regs.R1", "internal:regs.R2", "internal:regs.R3"),
+            num_experiments=150,
+            injection_window=(1, 100),
+            seed=94,
+        )
+        session.run_campaign("s")
+        table = bit_sensitivity(session.db, "s")
+        low, high = band_rates(table)
+        assert 0.0 <= low <= 1.0 and 0.0 <= high <= 1.0
+        pooled = sum(e.total_effective for e in table.values()) / sum(
+            e.total_injected for e in table.values()
+        )
+        low_n = sum(sum(e.injected[:16]) for e in table.values())
+        high_n = sum(sum(e.injected[16:]) for e in table.values())
+        weighted = (low * low_n + high * high_n) / (low_n + high_n)
+        assert weighted == pytest.approx(pooled)
+        assert min(low, high) > 0.5  # live accumulators are hot everywhere
+
+    def test_band_rates_need_wide_elements(self):
+        table = {"x": BitSensitivity(element="x", width=4)}
+        with pytest.raises(AnalysisError, match="not enough"):
+            band_rates(table)
+
+    def test_unrun_campaign_rejected(self, session):
+        make_campaign(session, "s", num_experiments=5, seed=95)
+        with pytest.raises(Exception):
+            bit_sensitivity(session.db, "s")

@@ -1,0 +1,79 @@
+"""Tests for the GoofiSession facade (four-phase workflow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_campaign
+from repro import GoofiSession
+from repro.db import DatabaseError
+
+
+class TestConfigurationPhase:
+    def test_target_registered_on_construction(self, session):
+        record = session.db.load_target("thor-rd-sim")
+        assert record.test_card_name == "sim-scan-test-card"
+        assert "scifi" in record.config["techniques"]
+
+    def test_custom_target_instance(self):
+        from repro.targets.thor.interface import ThorTargetInterface
+
+        target = ThorTargetInterface(icache_lines=16)
+        with GoofiSession(target=target) as session:
+            assert session.target is target
+
+
+class TestSetupHelpers:
+    def test_default_observation_covers_registers_and_data(self, session):
+        observation = session.default_observation("bubble_sort")
+        assert len(observation.scan_elements) == 16
+        assert observation.memory_ranges == ((0x4000, 16),)
+        assert observation.include_outputs
+
+    def test_default_termination_scales_with_workload(self, session):
+        fib = session.default_termination("fibonacci")
+        sort = session.default_termination("bubble_sort")
+        assert sort.max_cycles > fib.max_cycles
+        assert fib.max_iterations is None
+
+    def test_default_termination_for_loop_workload(self, session):
+        termination = session.default_termination("control_protected", max_iterations=40)
+        assert termination.max_iterations == 40
+
+    def test_merge_into_campaign_persists(self, session):
+        make_campaign(session, "a", num_experiments=5)
+        make_campaign(session, "b", num_experiments=7,
+                      locations=("internal:ctrl.PC",))
+        merged = session.merge_into_campaign(["a", "b"], "ab")
+        assert merged.num_experiments == 12
+        stored = session.db.load_campaign("ab")
+        assert stored.config["num_experiments"] == 12
+
+
+class TestWorkflow:
+    def test_full_four_phase_workflow(self, session):
+        make_campaign(session, "c", num_experiments=10)
+        result = session.run_campaign("c")
+        assert result.experiments_run == 10
+        classification = session.classify("c")
+        assert classification.total == 10
+        report = session.report("c")
+        assert "Campaign 'c'" in report
+
+    def test_run_unknown_campaign(self, session):
+        with pytest.raises(DatabaseError):
+            session.run_campaign("ghost")
+
+    def test_context_manager_closes(self):
+        session = GoofiSession()
+        session.close()
+        with pytest.raises(Exception):
+            session.db.list_targets()
+
+    def test_persistent_session(self, tmp_path):
+        path = tmp_path / "goofi.db"
+        with GoofiSession(path) as session:
+            make_campaign(session, "c", num_experiments=4)
+            session.run_campaign("c")
+        with GoofiSession(path) as session:
+            assert session.classify("c").total == 4

@@ -1,0 +1,158 @@
+"""Tests for the simulated test card (host link)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.targets.thor.assembler import assemble
+from repro.targets.thor.cpu import StopReason
+from repro.targets.thor.testcard import TerminationCondition
+
+LOOP_SOURCE = """
+_start:
+    LDA r1, counter
+    ADDI r1, r1, 1
+    STA r1, counter
+    OUT r1, 1
+    ITER
+    BR _start
+.data
+counter: .word 0
+"""
+
+
+class TestLifecycle:
+    def test_load_and_run_to_halt(self, card, tiny_program):
+        card.load_workload(tiny_program)
+        result = card.run(TerminationCondition(max_cycles=1000))
+        assert result.reason is StopReason.HALTED
+        assert result.workload_ended
+        assert card.read_memory(tiny_program.symbol("out"), 1) == [15]
+
+    def test_init_target_clears_memory(self, card, tiny_program):
+        card.load_workload(tiny_program)
+        card.run(TerminationCondition(max_cycles=1000))
+        card.init_target()
+        assert card.read_memory(tiny_program.symbol("out"), 1) == [0]
+        assert card.loaded_workload is None
+
+    def test_output_log_captured(self, card, tiny_program):
+        card.load_workload(tiny_program)
+        card.run(TerminationCondition(max_cycles=1000))
+        assert [(p, v) for _c, p, v in card.output_log()] == [(1, 15)]
+
+    def test_timeout_is_cycle_limit(self, card):
+        card.load_workload(assemble("spin: BR spin"))
+        result = card.run(TerminationCondition(max_cycles=25))
+        assert result.timed_out
+        assert result.cycle == 25
+
+
+class TestIterationHandling:
+    def test_max_iterations_terminate_loop_workload(self, card):
+        card.load_workload(assemble(LOOP_SOURCE))
+        result = card.run(TerminationCondition(max_cycles=100_000, max_iterations=5))
+        assert result.reason is StopReason.HALTED
+        assert result.iteration == 5
+
+    def test_env_exchange_called_each_iteration(self, card):
+        card.load_workload(assemble(LOOP_SOURCE))
+        iterations = []
+        card.env_exchange = lambda c, i: iterations.append(i)
+        card.run(TerminationCondition(max_cycles=100_000, max_iterations=3))
+        assert iterations == [1, 2, 3]
+
+    def test_env_exchange_can_write_memory(self, card):
+        program = assemble(LOOP_SOURCE)
+        card.load_workload(program)
+        counter = program.symbol("counter")
+
+        def exchange(c, iteration):
+            c.write_memory(counter, [100 * iteration])
+
+        card.env_exchange = exchange
+        card.run(TerminationCondition(max_cycles=100_000, max_iterations=3))
+        # Each iteration increments what the env wrote at the last
+        # boundary: 0+1, 100+1, 200+1 emitted; final memory 300.
+        values = [v for _c, p, v in card.output_log() if p == 1]
+        assert values == [1, 101, 201]
+
+
+class TestBreakpoints:
+    def test_stop_at_cycle_then_resume(self, card, tiny_program):
+        card.load_workload(tiny_program)
+        result = card.run(TerminationCondition(max_cycles=1000), stop_at_cycle=4)
+        assert result.reason is StopReason.CYCLE_BREAK
+        assert card.cpu.cycle == 4
+        result = card.run(TerminationCondition(max_cycles=1000))
+        assert result.reason is StopReason.HALTED
+
+    def test_address_breakpoint_and_step_over(self, card, tiny_program):
+        card.load_workload(tiny_program)
+        card.set_breakpoint(tiny_program.symbols["done"])
+        result = card.run(TerminationCondition(max_cycles=1000))
+        assert result.reason is StopReason.BREAKPOINT
+        assert card.cpu.pc == tiny_program.symbols["done"]
+        card.clear_breakpoints()
+        result = card.run(TerminationCondition(max_cycles=1000), step_over_breakpoint=True)
+        assert result.reason is StopReason.HALTED
+
+    def test_step_single_instruction(self, card, tiny_program):
+        card.load_workload(tiny_program)
+        assert card.step() is None
+        assert card.cpu.cycle == 1
+
+
+class TestScanAccess:
+    def test_read_write_scan_chain(self, card, tiny_program):
+        card.load_workload(tiny_program)
+        value = card.read_scan_chain("internal")
+        card.write_scan_chain("internal", value)
+        assert card.read_scan_chain("internal") == value
+
+    def test_unknown_chain_rejected(self, card):
+        with pytest.raises(KeyError, match="no scan chain"):
+            card.read_scan_chain("jtag7")
+
+    def test_describe_chains_layout(self, card):
+        description = card.describe_chains()
+        assert "internal" in description and "boundary" in description
+        names = [e["name"] for e in description["internal"]]
+        assert "regs.R0" in names
+        assert "ctrl.PC" in names
+        assert any(n.startswith("icache.line") for n in names)
+
+
+class TestDmaCoherence:
+    def test_host_write_visible_through_dcache(self, card):
+        """A host DMA write must invalidate cached copies (the bug class
+        that made the control workload read stale sensor values)."""
+        program = assemble(
+            """
+            LDA r1, slot        ; cache the value
+            LDA r2, slot
+            ITER
+            LDA r3, slot        ; must see the DMA write
+            HALT
+            .data
+            slot: .word 5
+            """
+        )
+        card.load_workload(program)
+        slot = program.symbol("slot")
+        card.env_exchange = lambda c, i: c.write_memory(slot, [99])
+        card.run(TerminationCondition(max_cycles=1000))
+        assert card.cpu.regs[3] == 99
+
+    def test_host_write_invalidates_icache(self, card):
+        program = assemble("NOP\nNOP\nHALT")
+        card.load_workload(program)
+        card.run(TerminationCondition(max_cycles=10))
+        # Rewrite instruction 1 via DMA: the icache copy must go.
+        assert card.cpu.icache.lines[1].valid == 1
+        card.write_memory(1, [program.program[2]])
+        assert card.cpu.icache.lines[1].valid == 0
+
+    def test_write_memory_accepts_scalar(self, card):
+        card.write_memory(0x5000, 7)
+        assert card.read_memory(0x5000, 1) == [7]

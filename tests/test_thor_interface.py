@@ -1,0 +1,298 @@
+"""Tests for the Thor target-system interface (the concrete Framework
+implementation of paper Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TargetError
+from repro.core.faultmodels import IntermittentBitFlip, StuckAt, TransientBitFlip
+from repro.core.framework import ObservationSpec, Termination
+from repro.core.locations import KIND_MEMORY, KIND_SCAN, Location
+from repro.targets.thor.assembler import assemble
+from repro.targets.thor.interface import ThorTargetInterface
+from repro.targets.thor.isa import register_events as _register_events
+from repro.targets.thor.isa import REG_SP, Instruction, Op
+
+TERM = Termination(max_cycles=100_000)
+
+
+def prepared(target: ThorTargetInterface, workload: str = "fibonacci") -> ThorTargetInterface:
+    target.init_test_card()
+    target.load_workload(workload)
+    target.run_workload()
+    return target
+
+
+class TestLifecycle:
+    def test_run_requires_workload(self, target):
+        target.init_test_card()
+        with pytest.raises(TargetError, match="no workload loaded"):
+            target.run_workload()
+
+    def test_wait_requires_run(self, target):
+        target.init_test_card()
+        target.load_workload("fibonacci")
+        with pytest.raises(TargetError, match="run_workload first"):
+            target.wait_for_termination(TERM)
+
+    def test_unknown_workload(self, target):
+        target.init_test_card()
+        with pytest.raises(TargetError, match="unknown workload"):
+            target.load_workload("pacman")
+
+    def test_extra_workloads_take_priority(self):
+        program = assemble("LDI r1, 42\nOUT r1, 1\nHALT")
+        target = ThorTargetInterface(extra_workloads={"mini": program})
+        prepared(target, "mini")
+        info = target.wait_for_termination(TERM)
+        assert info.outcome == "workload_end"
+        assert "mini" in target.available_workloads()
+
+    def test_full_run_outcomes(self, target):
+        prepared(target)
+        info = target.wait_for_termination(TERM)
+        assert info.outcome == "workload_end"
+        assert info.cycle > 0
+
+    def test_timeout_outcome(self, target):
+        program = assemble("spin: BR spin")
+        target.extra_workloads["spin"] = program
+        prepared(target, "spin")
+        info = target.wait_for_termination(Termination(max_cycles=30))
+        assert info.outcome == "timeout"
+        assert info.cycle == 30
+
+    def test_detected_outcome(self, target):
+        program = assemble("TRAP 3")
+        target.extra_workloads["trap"] = program
+        prepared(target, "trap")
+        info = target.wait_for_termination(TERM)
+        assert info.outcome == "error_detected"
+        assert info.detection["mechanism"] == "software_trap"
+
+
+class TestBreakpoints:
+    def test_wait_for_breakpoint_stops_at_cycle(self, target):
+        prepared(target)
+        assert target.wait_for_breakpoint(25) is None
+        assert target.current_cycle() == 25
+
+    def test_breakpoint_after_halt_reports_end(self, target):
+        prepared(target)
+        target.wait_for_termination(TERM)
+        info = target.wait_for_breakpoint(10_000)
+        assert info is not None
+        assert info.outcome == "workload_end"
+
+    def test_breakpoint_past_halt_reports_end(self, target):
+        prepared(target)
+        info = target.wait_for_breakpoint(50_000)  # beyond the whole run
+        assert info is not None and info.outcome == "workload_end"
+
+    def test_breakpoint_in_the_past_rejected(self, target):
+        prepared(target)
+        target.wait_for_breakpoint(30)
+        with pytest.raises(TargetError, match="in the past"):
+            target.wait_for_breakpoint(10)
+
+    def test_sequential_breakpoints(self, target):
+        prepared(target)
+        target.wait_for_breakpoint(10)
+        target.wait_for_breakpoint(20)
+        assert target.current_cycle() == 20
+
+
+class TestScanInjection:
+    def test_register_flip_round_trip(self, target):
+        prepared(target)
+        target.wait_for_breakpoint(5)
+        location = Location(kind=KIND_SCAN, chain="internal", element="regs.R9", bit=2)
+        target.read_scan_chain("internal")
+        target.inject_fault(location)
+        target.write_scan_chain("internal")
+        assert target.card.cpu.regs[9] == 4
+
+    def test_scan_positions_match_card(self, target):
+        assert target.scan_bit_position("internal", "regs.R0", 0) == \
+            target.card.scan_chain("internal").bit_position("regs.R0", 0)
+
+    def test_unknown_chain_raises_target_error(self, target):
+        with pytest.raises(TargetError):
+            target.read_scan_chain("mystery")
+        with pytest.raises(TargetError):
+            target.scan_bit_position("mystery", "x", 0)
+
+
+class TestOverlays:
+    def test_transient_rejected_as_overlay(self, target):
+        prepared(target)
+        location = Location(kind=KIND_SCAN, chain="internal", element="regs.R1", bit=0)
+        with pytest.raises(TargetError, match="scan chains"):
+            target.install_fault_overlay(location, TransientBitFlip(), seed=1)
+
+    def test_stuck_at_register_bit_persists(self, target):
+        prepared(target)
+        target.wait_for_breakpoint(5)
+        location = Location(kind=KIND_SCAN, chain="internal", element="regs.R1", bit=0)
+        target.install_fault_overlay(location, StuckAt(0), seed=1)
+        target.wait_for_termination(TERM)
+        # fib(24) = 46368 is even; with bit0 stuck at 0 every
+        # intermediate result was forced even, corrupting the sum.
+        assert target.card.cpu.regs[1] % 2 == 0
+
+    def test_stuck_at_memory_bit(self, target):
+        program = assemble(
+            """
+            LDI r1, 0
+            STA r1, slot
+            LDA r2, slot
+            HALT
+            .data
+            slot: .word 0
+            """
+        )
+        target.extra_workloads["stuck"] = program
+        prepared(target, "stuck")
+        location = Location(kind=KIND_MEMORY, address=program.symbol("slot"), bit=5)
+        target.install_fault_overlay(location, StuckAt(1), seed=1)
+        target.wait_for_termination(TERM)
+        assert target.card.cpu.memory.host_read(program.symbol("slot")) & (1 << 5)
+
+    def test_read_only_element_rejected(self, target):
+        prepared(target)
+        location = Location(
+            kind=KIND_SCAN, chain="internal", element="ctrl.CYCLE", bit=0
+        )
+        with pytest.raises(TargetError, match="read-only"):
+            target.install_fault_overlay(location, StuckAt(1), seed=1)
+
+    def test_intermittent_overlay_flips_sometimes(self, target):
+        program = assemble(
+            """
+            LDI r2, 2000
+            spin:
+            ADDI r2, r2, -1
+            CMPI r2, 0
+            BGT spin
+            HALT
+            """
+        )
+        target.extra_workloads["spin2k"] = program
+        prepared(target, "spin2k")
+        target.wait_for_breakpoint(1)
+        location = Location(kind=KIND_SCAN, chain="internal", element="regs.R8", bit=0)
+        target.install_fault_overlay(
+            location, IntermittentBitFlip(duration=2000, activity=0.05), seed=42
+        )
+        target.wait_for_termination(Termination(max_cycles=100_000))
+        # ~100 expected activations on an otherwise untouched register:
+        # with odd activation counts R8 ends flipped roughly half the
+        # time; either way the overlay must have been exercised without
+        # crashing, and determinism is checked elsewhere.
+        assert target.card.cpu.regs[8] in (0, 1)
+
+
+class TestStateCapture:
+    def test_capture_state_contents(self, target):
+        prepared(target)
+        target.wait_for_termination(TERM)
+        observation = ObservationSpec(
+            scan_elements=("internal:regs.R1", "internal:ctrl.PC"),
+            memory_ranges=((0x4000, 1),),
+        )
+        state = target.capture_state(observation)
+        assert state["scan"]["internal:regs.R1"] == 46368
+        assert state["memory"]["16384"] == 46368  # fib_out
+        assert state["outputs"] == [[174, 1, 46368]]
+        assert state["cycle"] == 176
+
+    def test_outputs_can_be_excluded(self, target):
+        prepared(target)
+        target.wait_for_termination(TERM)
+        state = target.capture_state(ObservationSpec(include_outputs=False))
+        assert "outputs" not in state
+
+
+class TestTraceRecording:
+    def test_trace_covers_whole_run(self, target):
+        target.init_test_card()
+        target.load_workload("fibonacci")
+        info, trace = target.record_trace(TERM)
+        assert info.outcome == "workload_end"
+        assert trace.duration == info.cycle
+        assert len(trace.instructions) == trace.duration
+        assert trace.instructions[0][2] == "LDI"
+        assert trace.instructions[-1][2] == "HALT"
+
+    def test_trace_register_events_cover_workload(self, target):
+        target.init_test_card()
+        target.load_workload("fibonacci")
+        _, trace = target.record_trace(TERM)
+        # r1,r2 are read and written; r9 untouched.
+        assert any(k == "read" for _c, k, r in trace.reg_accesses if r == 1)
+        assert any(k == "write" for _c, k, r in trace.reg_accesses if r == 2)
+        assert not any(r == 9 for _c, _k, r in trace.reg_accesses)
+
+    def test_trace_mem_accesses(self, target):
+        target.init_test_card()
+        target.load_workload("fibonacci")
+        _, trace = target.record_trace(TERM)
+        assert (173, "write", 0x4000) in trace.mem_accesses
+
+    def test_hooks_removed_after_trace(self, target):
+        target.init_test_card()
+        target.load_workload("fibonacci")
+        target.record_trace(TERM)
+        assert target.card.cpu.trace_hook is None
+        assert target.card.cpu.mem_hook is None
+
+
+class TestRegisterEventModel:
+    @pytest.mark.parametrize(
+        "inst, reads, writes",
+        [
+            (Instruction(Op.ADD, rd=1, ra=2, rb=3), (2, 3), (1,)),
+            (Instruction(Op.LDI, rd=4, imm=1), (), (4,)),
+            (Instruction(Op.LDIH, rd=4, imm=1), (4,), (4,)),
+            (Instruction(Op.STA, rd=5, imm=0x4000), (5,), ()),
+            (Instruction(Op.LD, rd=1, ra=2, imm=0), (2,), (1,)),
+            (Instruction(Op.ST, rd=1, ra=2, imm=0), (1, 2), ()),
+            (Instruction(Op.CMP, ra=1, rb=2), (1, 2), ()),
+            (Instruction(Op.CMPI, ra=1, imm=0), (1,), ()),
+            (Instruction(Op.PUSH, rd=3), (3, REG_SP), (REG_SP,)),
+            (Instruction(Op.POP, rd=3), (REG_SP,), (3, REG_SP)),
+            (Instruction(Op.CALL, imm=5), (REG_SP,), (REG_SP,)),
+            (Instruction(Op.RET), (REG_SP,), (REG_SP,)),
+            (Instruction(Op.BR, imm=0), (), ()),
+            (Instruction(Op.OUT, rd=2, imm=1), (2,), ()),
+            (Instruction(Op.IN, rd=2, imm=1), (), (2,)),
+            (Instruction(Op.HALT), (), ()),
+        ],
+    )
+    def test_reads_writes(self, inst, reads, writes):
+        assert _register_events(inst) == (reads, writes)
+
+
+class TestMetadata:
+    def test_location_space_uses_loaded_workload_extents(self, target):
+        target.init_test_card()
+        target.load_workload("bubble_sort")
+        space = target.location_space()
+        data = space.region("data")
+        assert data.words == 16  # the array
+        program = space.region("program")
+        assert program.base == 0
+
+    def test_location_space_without_workload(self, target):
+        target.init_test_card()
+        space = target.location_space()
+        assert space.region("program").words > 0
+        assert any(e.name == "regs.R0" for e in space.scan_elements)
+
+    def test_describe_contents(self, target):
+        description = target.describe()
+        assert description["memory_map"]["data_base"] == 0x4000
+        assert "scifi" in description["techniques"]
+        assert "fibonacci" in description["workloads"]
+        assert "scan_chains" in description

@@ -1,0 +1,220 @@
+"""Tests for the workload library, control application, and environment
+simulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.targets.thor.cpu import StopReason
+from repro.targets.thor.testcard import TerminationCondition, TestCard
+from repro.workloads import (
+    expected_output,
+    is_loop_workload,
+    load,
+    workload_names,
+)
+from repro.workloads.control import (
+    FIXED_POINT_ONE,
+    ControlParameters,
+    protected_source,
+    unprotected_source,
+)
+from repro.workloads.envsim import DCMotor, WaterTank, replay_dc_motor, to_signed32
+
+SELF_TERMINATING = [
+    "bubble_sort",
+    "matmul",
+    "crc32",
+    "fibonacci",
+    "dotprod",
+    "insertion_sort",
+    "sieve",
+    "adc_filter",
+    "task_executive",
+]
+
+
+class TestLibrary:
+    def test_all_workloads_listed(self):
+        names = workload_names()
+        for name in SELF_TERMINATING:
+            assert name in names
+        assert "control_protected" in names
+        assert "control_unprotected" in names
+
+    def test_loop_flag(self):
+        assert is_loop_workload("control_protected")
+        assert not is_loop_workload("crc32")
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            load("tetris")
+
+    def test_load_caches_assembly(self):
+        assert load("crc32") is load("crc32")
+
+
+class TestGoldenOutputs:
+    @pytest.mark.parametrize("name", SELF_TERMINATING)
+    def test_workload_produces_expected_result(self, name):
+        """Simulator + assembler + workload agree with an independent
+        pure-Python computation of the same function."""
+        card = TestCard()
+        card.init_target()
+        card.load_workload(load(name))
+        result = card.run(TerminationCondition(max_cycles=500_000))
+        assert result.reason is StopReason.HALTED
+        values = [v for _c, p, v in card.output_log() if p == 1]
+        assert values[-1] == expected_output(name)
+
+    @pytest.mark.parametrize("name", SELF_TERMINATING)
+    def test_workloads_are_deterministic(self, name):
+        def one_run():
+            card = TestCard()
+            card.init_target()
+            card.load_workload(load(name))
+            result = card.run(TerminationCondition(max_cycles=500_000))
+            return result.cycle, card.output_log()
+
+        assert one_run() == one_run()
+
+    def test_bubble_sort_leaves_sorted_array(self):
+        card = TestCard()
+        card.init_target()
+        program = load("bubble_sort")
+        card.load_workload(program)
+        card.run(TerminationCondition(max_cycles=500_000))
+        array = card.read_memory(program.symbol("array"), 16)
+        assert array == sorted(array)
+
+    def test_matmul_writes_product_matrix(self):
+        card = TestCard()
+        card.init_target()
+        program = load("matmul")
+        card.load_workload(program)
+        card.run(TerminationCondition(max_cycles=500_000))
+        c_matrix = card.read_memory(program.symbol("C"), 16)
+        # C[0][0] = row0(A) . col0(B) = 1*17+2*21+3*25+4*29 = 250
+        assert c_matrix[0] == 250
+
+
+def run_control(workload: str, iterations: int = 150) -> tuple[TestCard, DCMotor]:
+    card = TestCard()
+    card.init_target()
+    program = load(workload)
+    card.load_workload(program)
+    motor = DCMotor(
+        sensor_addr=program.symbol("sensor"),
+        actuator_addr=program.symbol("actuator"),
+    )
+    card.env_exchange = lambda c, i: motor.exchange(c, i)
+    result = card.run(TerminationCondition(max_cycles=500_000, max_iterations=iterations))
+    assert result.reason is StopReason.HALTED
+    return card, motor
+
+
+class TestControlApplication:
+    @pytest.mark.parametrize("workload", ["control_unprotected", "control_protected"])
+    def test_controller_reaches_setpoint(self, workload):
+        _card, motor = run_control(workload)
+        final_speed = motor.history[-1][2] / FIXED_POINT_ONE
+        assert abs(final_speed - 100.0) < 2.0
+        assert not motor.critical_failure
+
+    def test_protected_variant_reports_zero_violations_fault_free(self):
+        card, _motor = run_control("control_protected")
+        violations = [v for _c, p, v in card.output_log() if p == 2]
+        assert violations[-1] == 0
+
+    def test_protected_recovers_from_corrupted_integrator(self):
+        """Manually corrupt the integrator mid-run: the protected
+        variant's assertions clamp it and the plant stays in the safe
+        envelope — the companion study's core claim in miniature."""
+        card = TestCard()
+        card.init_target()
+        program = load("control_protected")
+        card.load_workload(program)
+        motor = DCMotor(
+            sensor_addr=program.symbol("sensor"),
+            actuator_addr=program.symbol("actuator"),
+        )
+        integral = program.symbol("integral")
+
+        def exchange(c, iteration):
+            motor.exchange(c, iteration)
+            if iteration == 50:
+                c.write_memory(integral, [0x40000000])  # huge corruption
+
+        card.env_exchange = exchange
+        card.run(TerminationCondition(max_cycles=500_000, max_iterations=150))
+        assert not motor.critical_failure
+        violations = [v for _c, p, v in card.output_log() if p == 2]
+        assert violations[-1] > 0  # assertions fired
+
+    def test_unprotected_fails_from_corrupted_integrator(self):
+        card = TestCard()
+        card.init_target()
+        program = load("control_unprotected")
+        card.load_workload(program)
+        motor = DCMotor(
+            sensor_addr=program.symbol("sensor"),
+            actuator_addr=program.symbol("actuator"),
+        )
+        integral = program.symbol("integral")
+
+        def exchange(c, iteration):
+            motor.exchange(c, iteration)
+            if iteration == 50:
+                # Large enough to saturate the plant, small enough that
+                # ki * I does not wrap around 32 bits and mask itself.
+                c.write_memory(integral, [0x00400000])
+
+        card.env_exchange = exchange
+        card.run(TerminationCondition(max_cycles=500_000, max_iterations=150))
+        assert motor.critical_failure
+
+    def test_custom_parameters_change_source(self):
+        fast = ControlParameters(setpoint=50 * FIXED_POINT_ONE)
+        assert str(50 * FIXED_POINT_ONE) in unprotected_source(fast)
+        assert "count_violation" in protected_source()
+        assert "count_violation" not in unprotected_source()
+
+
+class TestEnvironmentSimulators:
+    def test_dc_motor_step_response(self):
+        motor = DCMotor(sensor_addr=0, actuator_addr=0)
+        speeds = [motor.step(100 * FIXED_POINT_ONE) for _ in range(200)]
+        # Constant input -> first-order convergence to a fixed point.
+        assert abs(speeds[-1] - speeds[-2]) <= 1
+        assert speeds[0] < speeds[-1]
+
+    def test_dc_motor_critical_flag(self):
+        motor = DCMotor(sensor_addr=0, actuator_addr=0, critical_speed=10 * FIXED_POINT_ONE)
+        for _ in range(100):
+            motor.step(100 * FIXED_POINT_ONE)
+        assert motor.critical_failure
+
+    def test_water_tank_never_negative(self):
+        tank = WaterTank(sensor_addr=0, actuator_addr=0, level=0)
+        for _ in range(50):
+            assert tank.step(-(10 * FIXED_POINT_ONE)) >= 0
+
+    def test_water_tank_overflow_is_critical(self):
+        tank = WaterTank(sensor_addr=0, actuator_addr=0, capacity=60 * FIXED_POINT_ONE)
+        for _ in range(500):
+            tank.step(2**20)
+        assert tank.critical_failure
+
+    def test_replay_matches_online_run(self):
+        """The offline replay applied to the logged actuator sequence
+        reproduces the plant trajectory exactly — the property the
+        critical-failure analysis of E6 depends on."""
+        _card, motor = run_control("control_protected", iterations=60)
+        u_sequence = [u for _i, u, _s in motor.history]
+        trajectory, critical = replay_dc_motor(u_sequence)
+        assert trajectory == [s for _i, _u, s in motor.history]
+        assert critical == motor.critical_failure
+
+    def test_signed_conversion_roundtrip(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+        assert to_signed32(5) == 5

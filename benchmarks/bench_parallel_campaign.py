@@ -1,0 +1,92 @@
+"""E10 — parallel campaign execution (ZOFI-style multi-process fan-out).
+
+Regenerates: wall-clock speedup of ``run_campaign(workers=N)`` over the
+serial loop on a >= 200-experiment SCIFI campaign, plus the row-level
+invariance check (parallel rows must equal serial rows ignoring
+``createdAt``).
+
+Timed unit: one full campaign run (reference run + plan generation +
+all experiments + logging).  The speedup assertion only fires when the
+machine actually has multiple cores — on a single-core host the workers
+serialise onto one CPU and the coordinator overhead dominates, which
+the table then shows honestly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import build_campaign, write_result
+
+EXPERIMENTS = 200
+WORKER_COUNTS = (2, 4)
+
+
+def _rows(db, campaign: str) -> dict:
+    return {
+        record.experiment_name.split("/", 1)[1]: (
+            record.experiment_data,
+            record.state_vector,
+        )
+        for record in db.iter_experiments(campaign)
+    }
+
+
+def test_e10_parallel_campaign_speedup(bench_session):
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+
+    build_campaign(
+        bench_session, "e10-serial", workload="bubble_sort",
+        num_experiments=EXPERIMENTS, seed=10,
+    )
+    started = time.perf_counter()
+    serial = bench_session.run_campaign("e10-serial")
+    serial_seconds = time.perf_counter() - started
+    assert serial.experiments_run == EXPERIMENTS
+    serial_rows = _rows(bench_session.db, "e10-serial")
+
+    lines = [
+        "E10: parallel campaign execution (single-writer coordinator)",
+        f"  workload            : bubble_sort ({EXPERIMENTS} experiments)",
+        f"  available CPUs      : {cpus}",
+        f"  serial              : {serial_seconds:7.2f}s "
+        f"({EXPERIMENTS / serial_seconds:6.1f} exp/s)",
+    ]
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        name = f"e10-w{workers}"
+        build_campaign(
+            bench_session, name, workload="bubble_sort",
+            num_experiments=EXPERIMENTS, seed=10,
+        )
+        started = time.perf_counter()
+        result = bench_session.run_campaign(name, workers=workers)
+        elapsed = time.perf_counter() - started
+        assert result.experiments_run == EXPERIMENTS
+        identical = _rows(bench_session.db, name) == serial_rows
+        assert identical, f"workers={workers} produced different rows"
+        speedups[workers] = serial_seconds / elapsed
+        lines.append(
+            f"  workers={workers}           : {elapsed:7.2f}s "
+            f"({EXPERIMENTS / elapsed:6.1f} exp/s, "
+            f"{speedups[workers]:4.2f}x, rows identical)"
+        )
+    lines.append(
+        "  note                : speedup requires real cores; rows are "
+        "checked for bit-identity regardless"
+    )
+    write_result("e10_parallel_campaign", "\n".join(lines))
+
+    if cpus >= 4:
+        assert speedups[4] >= 2.0, (
+            f"expected >= 2x speedup at 4 workers on {cpus} CPUs, "
+            f"got {speedups[4]:.2f}x"
+        )
+    elif cpus >= 2:
+        assert speedups[2] >= 1.3, (
+            f"expected parallel gain at 2 workers on {cpus} CPUs, "
+            f"got {speedups[2]:.2f}x"
+        )

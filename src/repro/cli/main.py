@@ -181,7 +181,9 @@ def cmd_campaign_merge(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
     with _session(args, with_progress=not args.quiet) as session:
-        result = session.run_campaign(args.campaign, resume=args.resume)
+        result = session.run_campaign(
+            args.campaign, resume=args.resume, workers=args.workers
+        )
         status = "aborted" if result.aborted else "completed"
         rate = (
             result.experiments_run / result.elapsed_seconds
@@ -423,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="continue an interrupted campaign, keeping logged experiments",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes running experiments (default: 1, the serial "
+             "loop; results are identical for any worker count)",
     )
     run.set_defaults(func=cmd_run)
 

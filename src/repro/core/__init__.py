@@ -64,6 +64,7 @@ from .plugins import (
     registered_targets,
     registered_techniques,
 )
+from .parallel import ParallelCampaignRunner, WorkerFailure
 from .preinjection import LivenessAnalysis, PreInjectionFilter
 from .progress import ProgressEvent, ProgressReporter, console_observer
 from .triggers import (

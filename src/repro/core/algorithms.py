@@ -84,12 +84,25 @@ class FaultInjectionAlgorithms:
     progress reporter for the monitoring/pause/end controls.
     """
 
+    #: Technique → experiment-body method.  One entry per registered
+    #: technique; the parallel runner and the detail-mode re-run resolve
+    #: their per-experiment runner through this table.
+    EXPERIMENT_BODIES = {
+        TECHNIQUE_SCIFI: "_run_scifi_experiment",
+        TECHNIQUE_PINLEVEL: "_run_scifi_experiment",
+        TECHNIQUE_SWIFI_PRERUNTIME: "_run_swifi_preruntime_experiment",
+        TECHNIQUE_SWIFI_RUNTIME: "_run_swifi_runtime_experiment",
+    }
+
     def __init__(
         self,
         target: TargetSystemInterface,
-        db: GoofiDatabase,
+        db: GoofiDatabase | None,
         progress: ProgressReporter | None = None,
     ) -> None:
+        """``db`` may be ``None`` for experiment-only use (the parallel
+        campaign runner's worker processes never touch the database —
+        campaign management then raises on the missing connection)."""
         self.target = target
         self.db = db
         self.progress = progress or ProgressReporter()
@@ -99,7 +112,9 @@ class FaultInjectionAlgorithms:
     # ------------------------------------------------------------------
     # Campaign entry points
     # ------------------------------------------------------------------
-    def run_campaign(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+    def run_campaign(
+        self, campaign_name: str, resume: bool = False, workers: int = 1
+    ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
 
@@ -108,8 +123,16 @@ class FaultInjectionAlgorithms:
         deterministic, so the remaining experiments are exactly the ones
         that would have run).  This is the 'restart' button of the
         paper's progress window surviving a host restart.
+
+        ``workers > 1`` shards the experiment plan across that many
+        worker processes (:class:`repro.core.parallel.ParallelCampaignRunner`);
+        results are bit-identical to the serial loop.
         """
         config = self.read_campaign_data(campaign_name)
+        if workers > 1:
+            from .parallel import ParallelCampaignRunner
+
+            return ParallelCampaignRunner(self, workers=workers).run(config, resume=resume)
         method_name = technique_method(config.technique)
         method = getattr(self, method_name, None)
         if method is None:
@@ -118,6 +141,17 @@ class FaultInjectionAlgorithms:
                 f"{method_name!r}"
             )
         return method(campaign_name, resume=resume)
+
+    def experiment_runner(self, technique: str):
+        """The per-experiment body for ``technique`` (bound method taking
+        ``(config, spec, trace)`` and returning an
+        :class:`~repro.db.models.ExperimentRecord`)."""
+        try:
+            return getattr(self, self.EXPERIMENT_BODIES[technique])
+        except KeyError:
+            raise ConfigurationError(
+                f"no experiment body for technique {technique!r}"
+            ) from None
 
     def fault_injector_scifi(self, campaign_name: str, resume: bool = False) -> CampaignResult:
         """The SCIFI algorithm of Figure 2."""
@@ -181,9 +215,11 @@ class FaultInjectionAlgorithms:
             )
         return config
 
-    def make_reference_run(self, config: CampaignConfig) -> ReferenceTrace:
-        """``makeReferenceRun``: execute the workload fault-free, record
-        the trace, and log the fault-free state to the database."""
+    def compute_reference_trace(self, config: CampaignConfig):
+        """Execute the workload fault-free and record its trace, without
+        logging anything.  Parallel workers use this to rebuild the
+        (deterministic) trace locally instead of shipping it across the
+        process boundary."""
         self._prepare_target(config)
         info, trace = self.target.record_trace(config.termination)
         if info.outcome != "workload_end":
@@ -192,6 +228,12 @@ class FaultInjectionAlgorithms:
                 f"cleanly (outcome {info.outcome!r}); fix the campaign's "
                 f"termination conditions before injecting faults"
             )
+        return info, trace
+
+    def make_reference_run(self, config: CampaignConfig) -> ReferenceTrace:
+        """``makeReferenceRun``: execute the workload fault-free, record
+        the trace, and log the fault-free state to the database."""
+        info, trace = self.compute_reference_trace(config)
         final_state = self.target.capture_state(config.observation)
         state_vector: dict = {"termination": info.to_dict(), "final": final_state}
         if config.logging_mode == LOGGING_DETAIL:
@@ -233,23 +275,38 @@ class FaultInjectionAlgorithms:
         self.db.set_campaign_status(config.name, "running")
         completed = 0
         aborted = False
+        failed = False
         pending: list[ExperimentRecord] = []
-        for spec in remaining:
-            if progress.abort_requested:
-                aborted = True
-                break
-            record = run_experiment(config, spec, trace)
-            pending.append(record)
-            if len(pending) >= 64:
-                self.db.save_experiments(pending)
-                pending = []
-            completed += 1
-            outcome = record.state_vector["termination"]["outcome"]
-            progress.experiment_done(spec.name, outcome)
-        if pending:
-            self.db.save_experiments(pending)
-        progress.finish()
-        self.db.set_campaign_status(config.name, "aborted" if aborted else "completed")
+        try:
+            for spec in remaining:
+                if progress.abort_requested:
+                    aborted = True
+                    break
+                record = run_experiment(config, spec, trace)
+                pending.append(record)
+                if len(pending) >= 64:
+                    self.db.save_experiments(pending)
+                    pending = []
+                completed += 1
+                outcome = record.state_vector["termination"]["outcome"]
+                progress.experiment_done(spec.name, outcome)
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            # A crashing experiment must not lose the batched records
+            # accumulated before it, nor leave the campaign stuck at
+            # "running" — flush and mark aborted before propagating.
+            try:
+                if pending:
+                    self.db.save_experiments(pending)
+            except Exception:
+                if not failed:
+                    raise
+            progress.finish()
+            self.db.set_campaign_status(
+                config.name, "aborted" if (aborted or failed) else "completed"
+            )
         return CampaignResult(
             campaign_name=config.name,
             experiments_run=completed,
@@ -470,15 +527,9 @@ class FaultInjectionAlgorithms:
             self._prepare_target(detail_config)
             _, trace = self.target.record_trace(detail_config.termination)
             self.reference_trace = trace
-        runners = {
-            TECHNIQUE_SCIFI: self._run_scifi_experiment,
-            TECHNIQUE_PINLEVEL: self._run_scifi_experiment,
-            TECHNIQUE_SWIFI_PRERUNTIME: self._run_swifi_preruntime_experiment,
-            TECHNIQUE_SWIFI_RUNTIME: self._run_swifi_runtime_experiment,
-        }
         try:
-            runner = runners[technique]
-        except KeyError:
+            runner = self.experiment_runner(technique)
+        except ConfigurationError:
             raise ConfigurationError(f"cannot re-run technique {technique!r}") from None
         record = runner(detail_config, spec, trace)
         record = ExperimentRecord(

@@ -232,6 +232,15 @@ class ExperimentSpec:
             "seed": self.seed,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        return cls(
+            name=data["name"],
+            index=int(data["index"]),
+            faults=tuple(PlannedFault.from_dict(f) for f in data["faults"]),
+            seed=int(data["seed"]),
+        )
+
 
 def experiment_name(campaign: str, index: int) -> str:
     """Unique ``experimentName`` key of experiment ``index``."""
@@ -423,17 +432,52 @@ class PlanGenerator:
         if not accesses:
             raise ConfigurationError("no data accesses inside the injection window")
         cycle, kind, addr = accesses[int(rng.integers(len(accesses)))]
+        if self.selection.regions:
+            region = self._region_containing(addr)
+            if region is None:
+                # The sampled access falls outside every selected region
+                # (e.g. a program-area fetch when only the data area is
+                # selected): re-draw among the accesses the selection
+                # covers, falling back to a scan location when none is.
+                in_selection = [
+                    access
+                    for access in accesses
+                    if self._region_containing(access[2]) is not None
+                ]
+                if not in_selection:
+                    if self.selection.elements:
+                        scan_only = LocationSelection(
+                            elements=self.selection.elements, regions=[]
+                        )
+                        trigger = self._access_trigger(cycle, kind, addr)
+                        return scan_only.sample(rng), trigger
+                    raise ConfigurationError(
+                        "no data access inside the injection window touches "
+                        "a selected memory region"
+                    )
+                cycle, kind, addr = in_selection[int(rng.integers(len(in_selection)))]
+                region = self._region_containing(addr)
+            trigger = self._access_trigger(cycle, kind, addr)
+            location = Location(
+                kind=KIND_MEMORY, address=addr, bit=int(rng.integers(region.word_bits))
+            )
+            return location, trigger
+        return self.selection.sample(rng), self._access_trigger(cycle, kind, addr)
+
+    def _region_containing(self, address: int):
+        """The selected memory region containing ``address``, if any."""
+        for region in self.selection.regions:
+            if region.base <= address < region.limit:
+                return region
+        return None
+
+    def _access_trigger(self, cycle: int, kind: str, addr: int) -> DataAccessTrigger:
         earlier = sum(
             1
             for c, k, a in self.trace.mem_accesses
             if a == addr and k == kind and c <= cycle
         )
-        trigger = DataAccessTrigger(address=addr, access=kind, occurrence=earlier)
-        if self.selection.regions:
-            word_bits = self.selection.regions[0].word_bits
-            location = Location(kind=KIND_MEMORY, address=addr, bit=int(rng.integers(word_bits)))
-            return location, trigger
-        return self.selection.sample(rng), trigger
+        return DataAccessTrigger(address=addr, access=kind, occurrence=earlier)
 
 
 def merge_campaigns(

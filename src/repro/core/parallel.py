@@ -1,0 +1,266 @@
+"""Parallel campaign execution: shard the plan across worker processes.
+
+The paper's SCIFI campaigns run thousands of experiments serially
+against one Thor board.  Our targets are deterministic pure-Python
+simulators, so nothing prevents running experiments on all cores: the
+coordinator generates the usual deterministic experiment plan, shards it
+round-robin over N ``multiprocessing`` workers, and each worker rebuilds
+its own target interface from the plugin registry
+(:func:`repro.core.plugins.create_target`), recomputes the reference
+trace locally, runs its shard of :class:`ExperimentSpec`\\ s, and streams
+:class:`ExperimentRecord` payloads back over a queue.
+
+Design rules:
+
+* **Single writer** — only the coordinator process touches SQLite.
+  Workers never open the database; results flow through the queue and
+  the coordinator logs them with the existing 64-record batching.
+* **Bit-identical results** — every experiment re-initialises the test
+  card and derives its randomness from the per-experiment seed already
+  in the plan, so the logged rows (ignoring ``createdAt`` and insertion
+  order) are the same for any worker count, including the serial loop.
+* **Abort drains** — an abort request stops workers at their next
+  experiment boundary; the coordinator keeps consuming until every
+  worker has drained, flushes pending records, and marks the campaign
+  ``aborted``.  Worker failures likewise abort the campaign without
+  losing already-streamed records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+
+from ..db import ExperimentRecord, GoofiDatabase
+from .campaign import CampaignConfig, ExperimentSpec, PlanGenerator
+from .errors import ConfigurationError, GoofiError
+from .progress import ProgressReporter
+
+#: Consecutive empty queue polls (of ``_POLL_SECONDS`` each) after a
+#: worker process died before it is written off as crashed.
+_DEAD_WORKER_GRACE_POLLS = 20
+_POLL_SECONDS = 0.1
+
+
+class WorkerFailure(GoofiError):
+    """A campaign worker process raised or died; the campaign was
+    aborted (already logged experiments are kept and resumable)."""
+
+
+def _start_context():
+    """``fork`` where available (cheap, inherits the plugin registries),
+    ``spawn`` otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(worker_id, config_dict, spec_dicts, result_queue, abort_event):
+    """Run one shard of the plan and stream results back.
+
+    Message protocol (all picklable builtins):
+
+    * ``("result", worker_id, record_fields)`` per finished experiment;
+    * ``("error", worker_id, traceback_text)`` once on failure;
+    * ``("done", worker_id, None)`` always, as the last message.
+    """
+    try:
+        import repro  # noqa: F401  (registers built-in targets under spawn)
+
+        from .algorithms import FaultInjectionAlgorithms
+        from .plugins import create_target
+
+        config = CampaignConfig.from_dict(config_dict)
+        target = create_target(config.target)
+        algorithms = FaultInjectionAlgorithms(target, db=None)
+        _info, trace = algorithms.compute_reference_trace(config)
+        run_experiment = algorithms.experiment_runner(config.technique)
+        for spec_dict in spec_dicts:
+            if abort_event.is_set():
+                break
+            spec = ExperimentSpec.from_dict(spec_dict)
+            record = run_experiment(config, spec, trace)
+            result_queue.put(
+                (
+                    "result",
+                    worker_id,
+                    {
+                        "experiment_name": record.experiment_name,
+                        "campaign_name": record.campaign_name,
+                        "experiment_data": record.experiment_data,
+                        "state_vector": record.state_vector,
+                    },
+                )
+            )
+    except Exception:
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        result_queue.put(("done", worker_id, None))
+
+
+class ParallelCampaignRunner:
+    """Coordinator for a multi-process campaign run.
+
+    Wraps a :class:`~repro.core.algorithms.FaultInjectionAlgorithms`
+    instance (whose database connection and progress reporter it
+    reuses); entered through
+    ``FaultInjectionAlgorithms.run_campaign(..., workers=N)`` or
+    directly::
+
+        runner = ParallelCampaignRunner(session.algorithms, workers=4)
+        result = runner.run(config)
+    """
+
+    def __init__(self, algorithms, workers: int, batch_size: int = 64) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if algorithms.db is None:
+            raise ConfigurationError(
+                "the parallel coordinator needs a database connection"
+            )
+        self.algorithms = algorithms
+        self.workers = workers
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    def run(self, config: CampaignConfig, resume: bool = False):
+        """Mirror of the serial ``_campaign_loop``, with the experiment
+        bodies fanned out to worker processes."""
+        from .algorithms import CampaignResult
+
+        algorithms = self.algorithms
+        db: GoofiDatabase = algorithms.db
+        progress: ProgressReporter = algorithms.progress
+        if resume:
+            already_logged = {
+                record.experiment_name for record in db.iter_experiments(config.name)
+            }
+        else:
+            already_logged = set()
+            db.delete_campaign_experiments(config.name)
+        # The reference run stays in the coordinator: it is the one row
+        # the workers must not race to write.
+        trace = algorithms.make_reference_run(config)
+        plan = PlanGenerator(config, algorithms.target.location_space(), trace).generate()
+        remaining = [spec for spec in plan if spec.name not in already_logged]
+        progress.start(config.name, len(remaining))
+        db.set_campaign_status(config.name, "running")
+        if not remaining:
+            progress.finish()
+            db.set_campaign_status(config.name, "completed")
+            return CampaignResult(
+                campaign_name=config.name,
+                experiments_run=0,
+                experiments_planned=0,
+                aborted=False,
+                elapsed_seconds=progress.elapsed_seconds,
+            )
+
+        context = _start_context()
+        result_queue = context.Queue()
+        abort_event = context.Event()
+        worker_count = min(self.workers, len(remaining))
+        # Round-robin sharding keeps the shards balanced even when
+        # experiment cost correlates with plan position.
+        shards = [remaining[start::worker_count] for start in range(worker_count)]
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    config.to_dict(),
+                    [spec.to_dict() for spec in shard],
+                    result_queue,
+                    abort_event,
+                ),
+                daemon=True,
+            )
+            for worker_id, shard in enumerate(shards)
+        ]
+        for process in processes:
+            process.start()
+
+        completed = 0
+        aborted = False
+        failed = False
+        failures: list[str] = []
+        pending: list[ExperimentRecord] = []
+        live = set(range(worker_count))
+        dead_polls = dict.fromkeys(live, 0)
+        try:
+            while live:
+                if progress.abort_requested and not abort_event.is_set():
+                    aborted = True
+                    abort_event.set()
+                try:
+                    kind, worker_id, payload = result_queue.get(timeout=_POLL_SECONDS)
+                except queue_module.Empty:
+                    for worker_id in list(live):
+                        if processes[worker_id].is_alive():
+                            continue
+                        # A cleanly exiting worker always sends "done"
+                        # first; give the queue feeder a grace period
+                        # before declaring the worker crashed.
+                        dead_polls[worker_id] += 1
+                        if dead_polls[worker_id] >= _DEAD_WORKER_GRACE_POLLS:
+                            live.discard(worker_id)
+                            exitcode = processes[worker_id].exitcode
+                            failures.append(
+                                f"worker {worker_id} died without reporting "
+                                f"(exit code {exitcode})"
+                            )
+                            abort_event.set()
+                    continue
+                if kind == "result":
+                    pending.append(ExperimentRecord(**payload))
+                    if len(pending) >= self.batch_size:
+                        db.save_experiments(pending)
+                        pending = []
+                    completed += 1
+                    progress.experiment_done(
+                        payload["experiment_name"],
+                        payload["state_vector"]["termination"]["outcome"],
+                    )
+                elif kind == "error":
+                    failures.append(f"worker {worker_id} failed:\n{payload}")
+                    abort_event.set()
+                elif kind == "done":
+                    live.discard(worker_id)
+            if progress.abort_requested:
+                aborted = True
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            abort_event.set()
+            for process in processes:
+                process.join(timeout=10)
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+            result_queue.close()
+            try:
+                if pending:
+                    db.save_experiments(pending)
+            except Exception:
+                if not failed:
+                    raise
+            progress.finish()
+            db.set_campaign_status(
+                config.name,
+                "aborted" if (aborted or failed or failures) else "completed",
+            )
+        if failures:
+            raise WorkerFailure(
+                f"parallel campaign {config.name!r} aborted; "
+                + "; ".join(failures)
+            )
+        return CampaignResult(
+            campaign_name=config.name,
+            experiments_run=completed,
+            experiments_planned=len(remaining),
+            aborted=aborted,
+            elapsed_seconds=progress.elapsed_seconds,
+        )

@@ -70,12 +70,22 @@ class GoofiDatabase:
     # TargetSystemData
     # ------------------------------------------------------------------
     def save_target(self, record: TargetSystemRecord) -> None:
-        """Insert or replace a target-system configuration."""
+        """Insert or update a target-system configuration.
+
+        An upsert (not ``INSERT OR REPLACE``): replacing deletes and
+        re-inserts the row, which breaks the foreign keys of campaigns
+        already referencing the target.
+        """
         with self.transaction() as conn:
             conn.execute(
-                "INSERT OR REPLACE INTO TargetSystemData "
+                "INSERT INTO TargetSystemData "
                 "(targetName, testCardName, description, configJson, createdAt) "
-                "VALUES (?, ?, ?, ?, ?)",
+                "VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT (targetName) DO UPDATE SET "
+                "testCardName = excluded.testCardName, "
+                "description = excluded.description, "
+                "configJson = excluded.configJson, "
+                "createdAt = excluded.createdAt",
                 record.to_row(),
             )
 
@@ -101,9 +111,15 @@ class GoofiDatabase:
         try:
             with self.transaction() as conn:
                 conn.execute(
-                    "INSERT OR REPLACE INTO CampaignData "
+                    "INSERT INTO CampaignData "
                     "(campaignName, targetName, testCardName, configJson, status, createdAt) "
-                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    "VALUES (?, ?, ?, ?, ?, ?) "
+                    "ON CONFLICT (campaignName) DO UPDATE SET "
+                    "targetName = excluded.targetName, "
+                    "testCardName = excluded.testCardName, "
+                    "configJson = excluded.configJson, "
+                    "status = excluded.status, "
+                    "createdAt = excluded.createdAt",
                     record.to_row(),
                 )
         except sqlite3.IntegrityError as exc:
@@ -181,9 +197,15 @@ class GoofiDatabase:
         try:
             with self.transaction() as conn:
                 conn.execute(
-                    "INSERT OR REPLACE INTO LoggedSystemState "
+                    "INSERT INTO LoggedSystemState "
                     "(experimentName, parentExperiment, campaignName, experimentData, "
-                    " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?)",
+                    " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?) "
+                    "ON CONFLICT (experimentName) DO UPDATE SET "
+                    "parentExperiment = excluded.parentExperiment, "
+                    "campaignName = excluded.campaignName, "
+                    "experimentData = excluded.experimentData, "
+                    "stateVector = excluded.stateVector, "
+                    "createdAt = excluded.createdAt",
                     record.to_row(),
                 )
         except sqlite3.IntegrityError as exc:
@@ -253,12 +275,48 @@ class GoofiDatabase:
             conn.execute("DELETE FROM CampaignData WHERE campaignName = ?", (campaign_name,))
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _strip_leading_comments(sql: str) -> str:
+        """Skip leading whitespace, ``--`` line comments and ``/* */``
+        block comments so the statement keyword can be inspected."""
+        text = sql
+        while True:
+            text = text.lstrip()
+            if text.startswith("--"):
+                _, newline, rest = text.partition("\n")
+                if not newline:
+                    return ""
+                text = rest
+            elif text.startswith("/*"):
+                _, closed, rest = text[2:].partition("*/")
+                if not closed:
+                    return ""
+                text = rest
+            else:
+                return text
+
     def execute_sql(self, sql: str, params: tuple = ()) -> list[tuple]:
         """Raw read-only query hook for user-written analysis scripts
         ("the user must write tailor made scripts or programs that query
-        the database for the required information")."""
-        lowered = sql.lstrip().lower()
-        if not lowered.startswith("select"):
+        the database for the required information").
+
+        Accepts plain ``SELECT`` statements and CTE queries
+        (``WITH ... SELECT``), optionally preceded by SQL comments.  Any
+        write is refused: statements with another leading keyword are
+        rejected up front, and the query runs under ``PRAGMA
+        query_only`` so even a write smuggled into a CTE
+        (``WITH ... DELETE``) fails.
+        """
+        lowered = self._strip_leading_comments(sql).lower()
+        if not (lowered.startswith("select") or lowered.startswith("with")):
             raise DatabaseError("execute_sql only accepts SELECT statements")
-        cur = self._conn.execute(sql, params)
-        return cur.fetchall()
+        self._conn.execute("PRAGMA query_only = ON")
+        try:
+            cur = self._conn.execute(sql, params)
+            return cur.fetchall()
+        except sqlite3.OperationalError as exc:
+            if "query_only" in str(exc) or "readonly" in str(exc):
+                raise DatabaseError("execute_sql only accepts read-only statements") from exc
+            raise
+        finally:
+            self._conn.execute("PRAGMA query_only = OFF")

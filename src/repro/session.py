@@ -133,8 +133,14 @@ class GoofiSession:
     # ------------------------------------------------------------------
     # Fault-injection phase
     # ------------------------------------------------------------------
-    def run_campaign(self, campaign_name: str, resume: bool = False) -> CampaignResult:
-        return self.algorithms.run_campaign(campaign_name, resume=resume)
+    def run_campaign(
+        self, campaign_name: str, resume: bool = False, workers: int = 1
+    ) -> CampaignResult:
+        """Run a stored campaign.  ``workers > 1`` shards the experiment
+        plan across that many processes (single-writer coordinator, see
+        :mod:`repro.core.parallel`); results are identical to the serial
+        loop for any worker count."""
+        return self.algorithms.run_campaign(campaign_name, resume=resume, workers=workers)
 
     # ------------------------------------------------------------------
     # Analysis phase

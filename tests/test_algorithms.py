@@ -290,3 +290,42 @@ class TestEnvironmentCampaign:
         reference = session.db.load_experiment(reference_name("ctl"))
         outputs = reference.state_vector["final"]["outputs"]
         assert len([1 for _c, p, _v in outputs if p == 1]) == 60
+
+
+class TestCampaignLoopCrashSafety:
+    """Regression: a ``run_experiment`` crash mid-campaign used to lose
+    up to 63 batched pending records and leave the campaign status stuck
+    at ``"running"``."""
+
+    def _run_with_crash_at(self, session, monkeypatch, crash_index: int):
+        from repro.core.algorithms import FaultInjectionAlgorithms
+
+        original = FaultInjectionAlgorithms._run_scifi_experiment
+        calls = {"n": 0}
+
+        def crashing(self, config, spec, trace):
+            calls["n"] += 1
+            if calls["n"] == crash_index + 1:  # crash exactly once
+                raise RuntimeError("target wedged mid-campaign")
+            return original(self, config, spec, trace)
+
+        monkeypatch.setattr(
+            FaultInjectionAlgorithms, "_run_scifi_experiment", crashing
+        )
+        with pytest.raises(RuntimeError, match="wedged"):
+            session.run_campaign("c")
+
+    def test_pending_records_flushed_and_status_aborted(self, session, monkeypatch):
+        make_campaign(session, "c", num_experiments=20, seed=71)
+        self._run_with_crash_at(session, monkeypatch, crash_index=7)
+        # 7 completed experiments (all < the 64-record batch) + reference.
+        assert session.db.count_experiments("c") == 8
+        assert session.db.load_campaign("c").status == "aborted"
+
+    def test_crashed_campaign_is_resumable(self, session, monkeypatch):
+        make_campaign(session, "c", num_experiments=12, seed=72)
+        self._run_with_crash_at(session, monkeypatch, crash_index=5)
+        result = session.run_campaign("c", resume=True)
+        assert result.experiments_run == 7
+        assert session.db.count_experiments("c") == 13
+        assert session.db.load_campaign("c").status == "completed"

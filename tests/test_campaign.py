@@ -360,3 +360,100 @@ class TestTaskSwitchStrategy:
     def test_config_roundtrip(self):
         config = make_config(time_strategy="task_switch", task_switch_address=3)
         assert CampaignConfig.from_dict(config.to_dict()) == config
+
+
+class TestDataAccessRegionResolution:
+    """Regression: the data-access strategy took ``word_bits`` from
+    ``selection.regions[0]`` regardless of which region the accessed
+    address lay in, and happily planned memory faults at addresses
+    outside every selected region."""
+
+    @staticmethod
+    def make_mixed_trace() -> ReferenceTrace:
+        # Accesses alternate between the data region (0x4000..0x4003)
+        # and the program region (0x0000..0x0007).
+        accesses = []
+        for c in range(0, 100, 5):
+            addr = 0x4000 + (c % 4) if c % 10 else (c // 10) % 8
+            accesses.append((c, "read" if c % 2 else "write", addr))
+        return ReferenceTrace(
+            instructions=[(c, c % 30, "ADD") for c in range(100)],
+            mem_accesses=accesses,
+            duration=100,
+        )
+
+    def test_fault_address_always_inside_a_selected_region(self):
+        config = make_config(
+            technique=TECHNIQUE_SWIFI_RUNTIME,
+            location_patterns=("memory:data",),
+            time_strategy=TIME_DATA_ACCESS,
+            num_experiments=40,
+        )
+        data = make_space().region("data")
+        plan = PlanGenerator(config, make_space(), self.make_mixed_trace()).generate()
+        for spec in plan:
+            fault = spec.faults[0]
+            assert data.base <= fault.location.address < data.limit
+
+    def test_word_bits_come_from_the_containing_region(self):
+        space = LocationSpace(
+            scan_elements=[],
+            memory_regions=[
+                MemoryRegionInfo("program", 0, 8, word_bits=8),
+                MemoryRegionInfo("data", 0x4000, 0x4004, word_bits=32),
+            ],
+        )
+        config = make_config(
+            technique=TECHNIQUE_SWIFI_RUNTIME,
+            location_patterns=("memory:program", "memory:data"),
+            time_strategy=TIME_DATA_ACCESS,
+            num_experiments=60,
+        )
+        plan = PlanGenerator(config, space, self.make_mixed_trace()).generate()
+        wide_bits = []
+        for spec in plan:
+            fault = spec.faults[0]
+            region = next(
+                r for r in space.memory_regions
+                if r.base <= fault.location.address < r.limit
+            )
+            assert fault.location.bit < region.word_bits
+            if region.name == "data":
+                wide_bits.append(fault.location.bit)
+        # With regions[0].word_bits (8) the data-region faults could
+        # never reach the upper 24 bits of the 32-bit words.
+        assert any(bit >= 8 for bit in wide_bits)
+
+    def test_falls_back_to_scan_when_no_access_hits_the_selection(self):
+        # All accesses land in the program area; only "data" is selected
+        # for memory plus the registers via scan.
+        trace = ReferenceTrace(
+            instructions=[(c, c % 30, "ADD") for c in range(100)],
+            mem_accesses=[(c, "read", c % 8) for c in range(0, 100, 5)],
+            duration=100,
+        )
+        config = make_config(
+            technique=TECHNIQUE_SWIFI_RUNTIME,
+            location_patterns=("internal:regs.*", "memory:data"),
+            time_strategy=TIME_DATA_ACCESS,
+            num_experiments=10,
+        )
+        plan = PlanGenerator(config, make_space(), trace).generate()
+        for spec in plan:
+            assert spec.faults[0].location.kind == "scan"
+            assert isinstance(spec.faults[0].trigger, DataAccessTrigger)
+
+    def test_errors_when_memory_only_selection_is_never_accessed(self):
+        trace = ReferenceTrace(
+            instructions=[(c, c % 30, "ADD") for c in range(100)],
+            mem_accesses=[(c, "read", c % 8) for c in range(0, 100, 5)],
+            duration=100,
+        )
+        config = make_config(
+            technique=TECHNIQUE_SWIFI_RUNTIME,
+            location_patterns=("memory:data",),
+            time_strategy=TIME_DATA_ACCESS,
+            num_experiments=5,
+        )
+        with pytest.raises(ConfigurationError, match="selected memory region"):
+            PlanGenerator(config, make_space(), trace).generate()

@@ -256,3 +256,110 @@ class TestReplaceAndBulkDelete:
         seed_target(db)
         seed_campaign(db)
         assert db.delete_campaign_experiments("c1") == 0
+
+
+class TestUpsertsKeepForeignKeys:
+    """Regression: ``INSERT OR REPLACE`` deletes-and-reinserts the row,
+    so updating a record that other rows reference blew up on the
+    foreign keys.  The save methods are real upserts now."""
+
+    def test_update_target_referenced_by_campaign(self, db):
+        seed_target(db)
+        seed_campaign(db)  # references target "thor"
+        db.save_target(
+            TargetSystemRecord(
+                target_name="thor", test_card_name="card-2", config={"rev": 2}
+            )
+        )
+        assert db.load_target("thor").config == {"rev": 2}
+        assert db.load_campaign("c1").target_name == "thor"
+
+    def test_update_campaign_referenced_by_experiments(self, db):
+        seed_target(db)
+        seed_campaign(db)
+        db.save_experiment(make_experiment("c1/exp0"))
+        db.save_campaign(
+            CampaignRecord(campaign_name="c1", target_name="thor", config={"n": 20})
+        )
+        assert db.load_campaign("c1").config == {"n": 20}
+        assert db.count_experiments("c1") == 1
+
+    def test_replace_experiment_with_detail_children(self, db):
+        seed_target(db)
+        seed_campaign(db)
+        db.save_experiment(make_experiment("c1/exp0"))
+        db.save_experiment(make_experiment("c1/exp0/detail", parent="c1/exp0"))
+        updated = make_experiment("c1/exp0")
+        updated.state_vector = {"termination": {"outcome": "timeout"}}
+        db.replace_experiment(updated)
+        assert (
+            db.load_experiment("c1/exp0").state_vector["termination"]["outcome"]
+            == "timeout"
+        )
+        assert [r.experiment_name for r in db.children_of("c1/exp0")] == [
+            "c1/exp0/detail"
+        ]
+
+    def test_campaign_upsert_still_checks_target_fk(self, db):
+        with pytest.raises(DatabaseError, match="unknown target"):
+            seed_campaign(db, target="no-such-target")
+
+    def test_replace_experiment_preserves_insertion_order(self, db):
+        """``INSERT OR REPLACE`` deletes-and-reinserts, giving the row a
+        new rowid and moving it to the end of ``iter_experiments``'
+        insertion order; the upsert keeps the reference run first."""
+        seed_target(db)
+        seed_campaign(db)
+        db.save_experiment(make_experiment("c1/ref"))
+        db.save_experiment(make_experiment("c1/exp0"))
+        db.replace_experiment(make_experiment("c1/ref"))
+        assert [r.experiment_name for r in db.iter_experiments("c1")] == [
+            "c1/ref",
+            "c1/exp0",
+        ]
+
+
+class TestRawSqlCtes:
+    """Regression: CTE analysis queries (``WITH ... SELECT``) and
+    queries behind leading SQL comments were refused; writes must still
+    be blocked, even smuggled behind a CTE."""
+
+    def test_with_cte_allowed(self, db):
+        seed_target(db)
+        rows = db.execute_sql(
+            "WITH t AS (SELECT targetName FROM TargetSystemData) SELECT * FROM t"
+        )
+        assert rows == [("thor",)]
+
+    def test_leading_comments_allowed(self, db):
+        seed_target(db)
+        rows = db.execute_sql(
+            "-- count the targets\n/* block\ncomment */ SELECT COUNT(*) "
+            "FROM TargetSystemData"
+        )
+        assert rows == [(1,)]
+
+    def test_commented_write_still_rejected(self, db):
+        seed_target(db)
+        with pytest.raises(DatabaseError, match="SELECT"):
+            db.execute_sql("-- harmless\nDELETE FROM TargetSystemData")
+        assert db.list_targets() == ["thor"]
+
+    def test_cte_write_still_rejected(self, db):
+        seed_target(db)
+        with pytest.raises(DatabaseError):
+            db.execute_sql(
+                "WITH t AS (SELECT 1) DELETE FROM TargetSystemData"
+            )
+        assert db.list_targets() == ["thor"]
+
+    def test_comment_only_input_rejected(self, db):
+        with pytest.raises(DatabaseError, match="SELECT"):
+            db.execute_sql("-- nothing here")
+
+    def test_writes_possible_again_afterwards(self, db):
+        """The ``query_only`` guard must be scoped to the one query."""
+        seed_target(db)
+        db.execute_sql("SELECT 1")
+        seed_campaign(db)
+        assert db.list_campaigns() == ["c1"]

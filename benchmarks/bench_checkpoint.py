@@ -1,0 +1,123 @@
+"""E11 — checkpoint/fast-forward experiment engine.
+
+Regenerates: wall-clock speedup of ``run_campaign(checkpoints=True)``
+over the plain serial loop on a late-injection campaign (every trigger
+in the last quartile of the workload, where the skippable fault-free
+prefix is longest), plus the row-level invariance check: checkpointed
+rows — serial and parallel — must be bit-identical to the plain run.
+
+Timed unit: one full campaign run (reference run + plan generation +
+all experiments + logging).  The ≥ 2x speedup assertion fires only in
+full mode; ``GOOFI_BENCH_QUICK=1`` (the CI smoke step) shrinks the
+campaign and keeps only the identity assertions, which must hold at
+any size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import build_campaign, write_result
+
+from repro import Termination
+
+QUICK = os.environ.get("GOOFI_BENCH_QUICK") == "1"
+EXPERIMENTS = 24 if QUICK else 150
+WORKLOAD = "bubble_sort"
+
+
+def _rows(db, campaign: str) -> dict:
+    return {
+        record.experiment_name.split("/", 1)[1]: (
+            record.experiment_data,
+            record.state_vector,
+        )
+        for record in db.iter_experiments(campaign)
+    }
+
+
+def _late_injection_campaign(session, name: str, duration: int):
+    """A campaign whose every fault triggers in the last quartile of the
+    fault-free run, with a tight watchdog so timeout tails stay small."""
+    return build_campaign(
+        session,
+        name,
+        workload=WORKLOAD,
+        num_experiments=EXPERIMENTS,
+        injection_window=(3 * duration // 4, duration),
+        termination=Termination(max_cycles=int(duration * 1.25)),
+        seed=11,
+    )
+
+
+def _timed_run(session, name: str, **kwargs):
+    started = time.perf_counter()
+    result = session.run_campaign(name, **kwargs)
+    elapsed = time.perf_counter() - started
+    assert result.experiments_run == EXPERIMENTS
+    assert not result.aborted
+    return result, elapsed
+
+
+def test_e11_checkpoint_speedup(bench_session):
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    # Fault-free duration of the workload, probed once.
+    bench_session.target.init_test_card()
+    bench_session.target.load_workload(WORKLOAD)
+    info, _trace = bench_session.target.record_trace(
+        Termination(max_cycles=2_000_000)
+    )
+    duration = info.cycle
+
+    _late_injection_campaign(bench_session, "e11-plain", duration)
+    _, plain_seconds = _timed_run(bench_session, "e11-plain")
+    plain_rows = _rows(bench_session.db, "e11-plain")
+
+    _late_injection_campaign(bench_session, "e11-ckpt", duration)
+    ckpt_result, ckpt_seconds = _timed_run(
+        bench_session, "e11-ckpt", checkpoints=True
+    )
+    assert _rows(bench_session.db, "e11-ckpt") == plain_rows, (
+        "checkpointed serial rows differ from the plain run"
+    )
+    stats = ckpt_result.checkpoint_stats
+    assert stats is not None and stats["saves"] > 0
+
+    _late_injection_campaign(bench_session, "e11-par", duration)
+    _, par_seconds = _timed_run(
+        bench_session, "e11-par", workers=min(2, cpus), checkpoints=True
+    )
+    assert _rows(bench_session.db, "e11-par") == plain_rows, (
+        "checkpointed parallel rows differ from the plain run"
+    )
+
+    speedup = plain_seconds / ckpt_seconds
+    lines = [
+        "E11: checkpoint/fast-forward experiment engine",
+        f"  workload            : {WORKLOAD} ({EXPERIMENTS} experiments, "
+        f"injections in [{3 * duration // 4}, {duration}) of {duration} cycles)",
+        f"  mode                : {'quick (CI smoke)' if QUICK else 'full'}",
+        f"  serial, plain       : {plain_seconds:7.2f}s "
+        f"({EXPERIMENTS / plain_seconds:6.1f} exp/s)",
+        f"  serial, checkpoints : {ckpt_seconds:7.2f}s "
+        f"({EXPERIMENTS / ckpt_seconds:6.1f} exp/s, {speedup:4.2f}x, "
+        f"rows identical)",
+        f"  2 workers + ckpts   : {par_seconds:7.2f}s "
+        f"({EXPERIMENTS / par_seconds:6.1f} exp/s, "
+        f"{plain_seconds / par_seconds:4.2f}x, rows identical)",
+        f"  cache stats (serial): saves={stats['saves']} "
+        f"restores={stats['restores']} misses={stats['misses']} "
+        f"evictions={stats['evictions']}",
+        "  note                : speedup scales with the skippable "
+        "fault-free prefix; identity is asserted at any size",
+    ]
+    write_result("e11_checkpoint", "\n".join(lines))
+
+    if not QUICK:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup from checkpointing on a "
+            f"late-injection campaign, got {speedup:.2f}x"
+        )

@@ -71,7 +71,7 @@ def test_e12_latency_and_dependability(benchmark, bench_session, campaign):
     ]
     for low, high, count in statistics.histogram(bins=8):
         bar = "#" * count
-        sections.append(f"  [{low:6d}, {high:6d})  {count:4d} {bar}")
+        sections.append(f"  [{low:8.1f}, {high:8.1f})  {count:4d} {bar}")
     sections.append("")
     sections.append(
         format_dependability_report(model, MISSION_HOURS).replace(

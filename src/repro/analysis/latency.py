@@ -22,6 +22,12 @@ from ..core.errors import AnalysisError
 from ..db import ExperimentRecord, GoofiDatabase
 
 
+class MissingDetectionCycle(AnalysisError):
+    """A detected experiment whose detection event carries no cycle —
+    no latency can be computed for it.  Non-strict analysis skips (and
+    counts) such records instead of fabricating zero-latency samples."""
+
+
 @dataclass(frozen=True, slots=True)
 class LatencySample:
     """Detection latency of one detected experiment."""
@@ -38,9 +44,16 @@ class LatencySample:
 
 @dataclass(slots=True)
 class LatencyStatistics:
-    """Distribution statistics of detection latencies (in cycles)."""
+    """Distribution statistics of detection latencies (in cycles).
+
+    Empty-set sentinels are consistently NaN across mean/median/
+    percentile/maximum (``0`` would be indistinguishable from a real
+    zero-cycle latency).  ``skipped`` counts detected records whose
+    detection event carried no cycle.
+    """
 
     samples: list[LatencySample] = field(default_factory=list)
+    skipped: int = 0
 
     @property
     def count(self) -> int:
@@ -63,8 +76,10 @@ class LatencyStatistics:
         return float(np.percentile(self._values(), q))
 
     @property
-    def maximum(self) -> int:
-        return max((s.latency for s in self.samples), default=0)
+    def maximum(self) -> float:
+        if not self.samples:
+            return float("nan")
+        return float(max(s.latency for s in self.samples))
 
     def by_mechanism(self) -> dict[str, "LatencyStatistics"]:
         split: dict[str, LatencyStatistics] = {}
@@ -72,19 +87,32 @@ class LatencyStatistics:
             split.setdefault(sample.mechanism, LatencyStatistics()).samples.append(sample)
         return split
 
-    def histogram(self, bins: int = 10) -> list[tuple[int, int, int]]:
-        """(bin start, bin end, count) over latency values."""
+    def histogram(self, bins: int = 10) -> list[tuple[float, float, int]]:
+        """(bin start, bin end, count) over latency values.
+
+        Bin edges stay floats: truncating them to ints produces
+        overlapping/duplicate boundaries for narrow distributions.
+        """
         if not self.samples:
             return []
         values = self._values()
         counts, edges = np.histogram(values, bins=bins)
         return [
-            (int(edges[i]), int(edges[i + 1]), int(counts[i]))
+            (float(edges[i]), float(edges[i + 1]), int(counts[i]))
             for i in range(len(counts))
         ]
 
 
-def _latency_of(record: ExperimentRecord) -> LatencySample | None:
+def _latency_of(record: ExperimentRecord, strict: bool = False) -> LatencySample | None:
+    """The latency sample of one record, or ``None`` for records that
+    carry no latency (not detected, or no applied fault).
+
+    A detected record whose detection event has no cycle cannot yield a
+    sample either: returning the injection cycle instead would fabricate
+    a latency-0 sample.  Such records raise
+    :class:`MissingDetectionCycle` under ``strict`` and are skipped
+    (``None``) otherwise.
+    """
     termination = record.state_vector.get("termination", {})
     if termination.get("outcome") != "error_detected":
         return None
@@ -95,7 +123,14 @@ def _latency_of(record: ExperimentRecord) -> LatencySample | None:
     if not faults:
         return None
     injection = min(int(f["injection_cycle"]) for f in faults)
-    detection_cycle = int(detection.get("cycle", injection))
+    if detection.get("cycle") is None:
+        if strict:
+            raise MissingDetectionCycle(
+                f"experiment {record.experiment_name!r} was detected but its "
+                f"detection event carries no cycle; cannot compute a latency"
+            )
+        return None
+    detection_cycle = int(detection["cycle"])
     if detection_cycle < injection:
         raise AnalysisError(
             f"experiment {record.experiment_name!r} detected at cycle "
@@ -109,13 +144,26 @@ def _latency_of(record: ExperimentRecord) -> LatencySample | None:
     )
 
 
-def detection_latencies(db: GoofiDatabase, campaign_name: str) -> LatencyStatistics:
-    """Latency statistics over every detected experiment of a campaign."""
+def detection_latencies(
+    db: GoofiDatabase, campaign_name: str, strict: bool = False
+) -> LatencyStatistics:
+    """Latency statistics over every detected experiment of a campaign.
+
+    Detected records without a detection cycle are counted in
+    ``skipped`` (and reported) — or, under ``strict``, raise
+    :class:`MissingDetectionCycle`.
+    """
     statistics = LatencyStatistics()
     for record in db.iter_experiments(campaign_name):
         if record.experiment_data.get("technique") == "reference":
             continue
-        sample = _latency_of(record)
+        try:
+            sample = _latency_of(record, strict=True)
+        except MissingDetectionCycle:
+            if strict:
+                raise
+            statistics.skipped += 1
+            continue
         if sample is not None:
             statistics.samples.append(sample)
     return statistics
@@ -130,12 +178,23 @@ def format_latency_report(statistics: LatencyStatistics, title: str) -> str:
     ]
 
     def row(label: str, stats: LatencyStatistics) -> str:
+        if stats.count == 0:
+            empty = "n/a"
+            return (
+                f"{label:<18}{stats.count:>6}{empty:>10}{empty:>10}"
+                f"{empty:>10}{empty:>10}"
+            )
         return (
             f"{label:<18}{stats.count:>6}{stats.mean:>10.1f}{stats.median:>10.1f}"
-            f"{stats.percentile(95):>10.1f}{stats.maximum:>10}"
+            f"{stats.percentile(95):>10.1f}{stats.maximum:>10.0f}"
         )
 
     lines.append(row("(all)", statistics))
     for mechanism, stats in sorted(statistics.by_mechanism().items()):
         lines.append(row(mechanism, stats))
+    if statistics.skipped:
+        lines.append(
+            f"({statistics.skipped} detected record(s) skipped: "
+            f"no detection cycle)"
+        )
     return "\n".join(lines)

@@ -63,11 +63,18 @@ def achieved_half_width(estimate: Proportion) -> float:
 class SequentialPlan:
     """Run-until-precise campaign sizing.
 
+    ``next_chunk`` *reserves* a batch; the budget is charged when the
+    runner reports back with :meth:`record_run` (an aborted or partial
+    chunk must not eat cap budget it never used).  A reservation left
+    unreconciled is assumed fully run and committed by the next
+    ``next_chunk`` call, so the simple loop below still works unchanged.
+
     Usage::
 
         plan = SequentialPlan(target_half_width=0.05, chunk=100, cap=5000)
         while True:
-            run_chunk(plan.next_chunk())          # plan.chunk experiments
+            ran = run_chunk(plan.next_chunk())    # plan.chunk experiments
+            plan.record_run(ran)                  # optional if ran fully
             p = proportion(detected, effective)
             if plan.should_stop(p):
                 break
@@ -78,6 +85,7 @@ class SequentialPlan:
     cap: int = 10_000
     confidence: float = 0.95
     spent: int = 0
+    pending: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_half_width < 0.5:
@@ -86,15 +94,26 @@ class SequentialPlan:
             raise AnalysisError("chunk and cap must be positive")
 
     def next_chunk(self) -> int:
-        """Size of the next batch (0 when the cap is exhausted)."""
+        """Reserve the next batch (0 when the cap is exhausted)."""
+        # An unreconciled reservation counts as fully run.
+        self.spent += self.pending
         remaining = self.cap - self.spent
-        batch = max(0, min(self.chunk, remaining))
-        self.spent += batch
-        return batch
+        self.pending = max(0, min(self.chunk, remaining))
+        return self.pending
+
+    def record_run(self, experiments: int) -> None:
+        """Reconcile the last reservation with what actually ran."""
+        if experiments < 0 or experiments > self.pending:
+            raise AnalysisError(
+                f"record_run({experiments}) does not match the pending "
+                f"reservation of {self.pending}"
+            )
+        self.spent += experiments
+        self.pending = 0
 
     def should_stop(self, estimate: Proportion) -> bool:
         """Stop when precise enough — or when the cap is spent."""
-        if self.spent >= self.cap:
+        if self.spent + self.pending >= self.cap:
             return True
         if estimate.trials == 0:
             return False

@@ -33,7 +33,12 @@ from ..analysis import (
     generate_analysis_sql,
     run_generated_sql,
 )
-from ..core import ProgressReporter, registered_targets, registered_techniques
+from ..core import (
+    DEFAULT_CHECKPOINT_CAPACITY,
+    ProgressReporter,
+    registered_targets,
+    registered_techniques,
+)
 from ..core.errors import GoofiError
 from ..db import DatabaseError
 
@@ -181,8 +186,12 @@ def cmd_campaign_merge(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
     with _session(args, with_progress=not args.quiet) as session:
+        session.algorithms.checkpoint_capacity = args.checkpoint_capacity
         result = session.run_campaign(
-            args.campaign, resume=args.resume, workers=args.workers
+            args.campaign,
+            resume=args.resume,
+            workers=args.workers,
+            checkpoints=args.checkpoints,
         )
         status = "aborted" if result.aborted else "completed"
         rate = (
@@ -432,6 +441,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes running experiments (default: 1, the serial "
              "loop; results are identical for any worker count)",
+    )
+    run.add_argument(
+        "--checkpoints",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse cached fault-free prefix state between experiments "
+             "(default: off; logged rows are identical either way)",
+    )
+    run.add_argument(
+        "--checkpoint-capacity",
+        type=int,
+        default=DEFAULT_CHECKPOINT_CAPACITY,
+        help="LRU size of the checkpoint cache (snapshots kept per "
+             f"process; default: {DEFAULT_CHECKPOINT_CAPACITY})",
     )
     run.set_defaults(func=cmd_run)
 

@@ -27,6 +27,14 @@ from .campaign import (
     experiment_name,
     merge_campaigns,
 )
+from .checkpoint import (
+    DEFAULT_CHECKPOINT_CAPACITY,
+    Checkpoint,
+    CheckpointCache,
+    CheckpointStats,
+    first_injection_cycle,
+    sort_plan_by_first_injection,
+)
 from .errors import (
     AnalysisError,
     CampaignAborted,

@@ -53,6 +53,11 @@ from .campaign import (
     PlanGenerator,
     PlannedFault,
 )
+from .checkpoint import (
+    DEFAULT_CHECKPOINT_CAPACITY,
+    CheckpointCache,
+    sort_plan_by_first_injection,
+)
 from .errors import ConfigurationError, TargetError
 from .faultmodels import is_transient
 from .framework import (
@@ -74,6 +79,9 @@ class CampaignResult:
     experiments_planned: int
     aborted: bool
     elapsed_seconds: float
+    #: Checkpoint-cache counters (saves/restores/misses/evictions) when
+    #: the run used checkpointing; ``None`` otherwise.
+    checkpoint_stats: dict | None = None
 
 
 class FaultInjectionAlgorithms:
@@ -108,12 +116,25 @@ class FaultInjectionAlgorithms:
         self.progress = progress or ProgressReporter()
         #: Filled by :meth:`make_reference_run`.
         self.reference_trace: ReferenceTrace | None = None
+        #: Active checkpoint cache.  Set for the duration of a
+        #: checkpointed campaign (``run_campaign(checkpoints=True)``)
+        #: or directly by a parallel worker; the experiment bodies
+        #: consult it to skip re-simulating the fault-free prefix.
+        self.checkpoints: CheckpointCache | None = None
+        #: LRU capacity used when building the cache (one knob, also
+        #: shipped to the parallel workers; the CLI exposes it as
+        #: ``--checkpoint-capacity``).
+        self.checkpoint_capacity: int = DEFAULT_CHECKPOINT_CAPACITY
 
     # ------------------------------------------------------------------
     # Campaign entry points
     # ------------------------------------------------------------------
     def run_campaign(
-        self, campaign_name: str, resume: bool = False, workers: int = 1
+        self,
+        campaign_name: str,
+        resume: bool = False,
+        workers: int = 1,
+        checkpoints: bool = False,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -127,12 +148,22 @@ class FaultInjectionAlgorithms:
         ``workers > 1`` shards the experiment plan across that many
         worker processes (:class:`repro.core.parallel.ParallelCampaignRunner`);
         results are bit-identical to the serial loop.
+
+        ``checkpoints=True`` reuses fault-free prefix state between
+        experiments (:mod:`repro.core.checkpoint`): the plan is run in
+        first-injection order and each experiment restores the nearest
+        cached snapshot instead of re-simulating from cycle 0.  Logged
+        rows are bit-identical to a no-checkpoint run; only insertion
+        order (never content) may differ.  Ignored on targets without
+        ``supports_checkpoints``.
         """
         config = self.read_campaign_data(campaign_name)
         if workers > 1:
             from .parallel import ParallelCampaignRunner
 
-            return ParallelCampaignRunner(self, workers=workers).run(config, resume=resume)
+            return ParallelCampaignRunner(self, workers=workers).run(
+                config, resume=resume, checkpoints=checkpoints
+            )
         method_name = technique_method(config.technique)
         method = getattr(self, method_name, None)
         if method is None:
@@ -140,7 +171,7 @@ class FaultInjectionAlgorithms:
                 f"technique {config.technique!r} maps to unknown algorithm "
                 f"{method_name!r}"
             )
-        return method(campaign_name, resume=resume)
+        return method(campaign_name, resume=resume, checkpoints=checkpoints)
 
     def experiment_runner(self, technique: str):
         """The per-experiment body for ``technique`` (bound method taking
@@ -153,7 +184,9 @@ class FaultInjectionAlgorithms:
                 f"no experiment body for technique {technique!r}"
             ) from None
 
-    def fault_injector_scifi(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+    def fault_injector_scifi(
+        self, campaign_name: str, resume: bool = False, checkpoints: bool = False
+    ) -> CampaignResult:
         """The SCIFI algorithm of Figure 2."""
         config = self.read_campaign_data(campaign_name)
         if config.technique != TECHNIQUE_SCIFI:
@@ -161,9 +194,13 @@ class FaultInjectionAlgorithms:
                 f"campaign {campaign_name!r} is configured for "
                 f"{config.technique!r}, not SCIFI"
             )
-        return self._campaign_loop(config, self._run_scifi_experiment, resume=resume)
+        return self._campaign_loop(
+            config, self._run_scifi_experiment, resume=resume, checkpoints=checkpoints
+        )
 
-    def fault_injector_pinlevel(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+    def fault_injector_pinlevel(
+        self, campaign_name: str, resume: bool = False, checkpoints: bool = False
+    ) -> CampaignResult:
         """Pin-level fault injection (paper §2.1).
 
         Built from the same abstract building blocks as SCIFI — the
@@ -179,19 +216,34 @@ class FaultInjectionAlgorithms:
                 f"campaign {campaign_name!r} is configured for "
                 f"{config.technique!r}, not pin-level injection"
             )
-        return self._campaign_loop(config, self._run_scifi_experiment, resume=resume)
+        return self._campaign_loop(
+            config, self._run_scifi_experiment, resume=resume, checkpoints=checkpoints
+        )
 
-    def fault_injector_swifi_preruntime(self, campaign_name: str, resume: bool = False) -> CampaignResult:
-        """Pre-runtime SWIFI: corrupt the memory image, then run."""
+    def fault_injector_swifi_preruntime(
+        self, campaign_name: str, resume: bool = False, checkpoints: bool = False
+    ) -> CampaignResult:
+        """Pre-runtime SWIFI: corrupt the memory image, then run.
+
+        Checkpointing is accepted but has nothing to skip here — faults
+        land before cycle 0, so there is no fault-free prefix.
+        """
         config = self.read_campaign_data(campaign_name)
         if config.technique != TECHNIQUE_SWIFI_PRERUNTIME:
             raise ConfigurationError(
                 f"campaign {campaign_name!r} is configured for "
                 f"{config.technique!r}, not pre-runtime SWIFI"
             )
-        return self._campaign_loop(config, self._run_swifi_preruntime_experiment, resume=resume)
+        return self._campaign_loop(
+            config,
+            self._run_swifi_preruntime_experiment,
+            resume=resume,
+            checkpoints=checkpoints,
+        )
 
-    def fault_injector_swifi_runtime(self, campaign_name: str, resume: bool = False) -> CampaignResult:
+    def fault_injector_swifi_runtime(
+        self, campaign_name: str, resume: bool = False, checkpoints: bool = False
+    ) -> CampaignResult:
         """Runtime SWIFI (future-work extension)."""
         config = self.read_campaign_data(campaign_name)
         if config.technique != TECHNIQUE_SWIFI_RUNTIME:
@@ -199,7 +251,12 @@ class FaultInjectionAlgorithms:
                 f"campaign {campaign_name!r} is configured for "
                 f"{config.technique!r}, not runtime SWIFI"
             )
-        return self._campaign_loop(config, self._run_swifi_runtime_experiment, resume=resume)
+        return self._campaign_loop(
+            config,
+            self._run_swifi_runtime_experiment,
+            resume=resume,
+            checkpoints=checkpoints,
+        )
 
     # ------------------------------------------------------------------
     # Shared campaign skeleton
@@ -254,7 +311,11 @@ class FaultInjectionAlgorithms:
         return trace
 
     def _campaign_loop(
-        self, config: CampaignConfig, run_experiment, resume: bool = False
+        self,
+        config: CampaignConfig,
+        run_experiment,
+        resume: bool = False,
+        checkpoints: bool = False,
     ) -> CampaignResult:
         if resume:
             already_logged = {
@@ -270,12 +331,21 @@ class FaultInjectionAlgorithms:
         trace = self.make_reference_run(config)
         plan = PlanGenerator(config, self.target.location_space(), trace).generate()
         remaining = [spec for spec in plan if spec.name not in already_logged]
+        if checkpoints and self.target.supports_checkpoints:
+            # First-injection order makes the breakpoint sequence
+            # monotone, so every checkpoint taken is at or before all
+            # later experiments' first breakpoints.  Row content is
+            # per-experiment deterministic; only DB insertion order
+            # changes (the rows are keyed by experiment name).
+            remaining = sort_plan_by_first_injection(remaining, trace)
+            self.checkpoints = CheckpointCache(self.checkpoint_capacity)
         progress = self.progress
         progress.start(config.name, len(remaining))
         self.db.set_campaign_status(config.name, "running")
         completed = 0
         aborted = False
         failed = False
+        checkpoint_stats: dict | None = None
         pending: list[ExperimentRecord] = []
         try:
             for spec in remaining:
@@ -294,6 +364,9 @@ class FaultInjectionAlgorithms:
             failed = True
             raise
         finally:
+            if self.checkpoints is not None:
+                checkpoint_stats = self.checkpoints.stats.to_dict()
+                self.checkpoints = None
             # A crashing experiment must not lose the batched records
             # accumulated before it, nor leave the campaign stuck at
             # "running" — flush and mark aborted before propagating.
@@ -313,6 +386,7 @@ class FaultInjectionAlgorithms:
             experiments_planned=len(remaining),
             aborted=aborted,
             elapsed_seconds=progress.elapsed_seconds,
+            checkpoint_stats=checkpoint_stats,
         )
 
     # ------------------------------------------------------------------
@@ -331,18 +405,41 @@ class FaultInjectionAlgorithms:
         target.set_environment(environment)
         target.load_workload(config.workload)
 
+    def _arm_target(self, config: CampaignConfig, schedule) -> None:
+        """Bring the target to the armed, fault-free state every
+        breakpoint-driven experiment starts from: restore the nearest
+        checkpoint at or before the first injection when one is cached,
+        else do the full reset-and-run preamble."""
+        cache = self.checkpoints
+        if cache is not None and schedule:
+            checkpoint = cache.nearest(schedule[0][0])
+            if checkpoint is not None:
+                self.target.restore_state(checkpoint.state)
+                return
+        self._prepare_target(config)
+        self.target.run_workload()
+
+    def _save_checkpoint(self, cycle: int) -> None:
+        """Snapshot the target at an experiment's *first* breakpoint —
+        guaranteed fault-free, since nothing has been injected yet."""
+        cache = self.checkpoints
+        if cache is not None and not cache.has(cycle):
+            cache.save(cycle, self.target.save_state())
+
     def _run_scifi_experiment(
         self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
     ) -> ExperimentRecord:
         """One SCIFI experiment: the inner loop of Figure 2."""
         target = self.target
-        self._prepare_target(config)
-        target.run_workload()
+        schedule = self._injection_schedule(spec, trace)
+        self._arm_target(config, schedule)
 
         applied: list[dict] = []
         ended_early: TerminationInfo | None = None
-        for cycle, fault in self._injection_schedule(spec, trace):
+        for position, (cycle, fault) in enumerate(schedule):
             ended_early = target.wait_for_breakpoint(cycle)
+            if position == 0 and ended_early is None:
+                self._save_checkpoint(cycle)
             if ended_early is not None:
                 applied.append(self._fault_entry(fault, cycle, applied_flag=False))
                 continue
@@ -377,13 +474,15 @@ class FaultInjectionAlgorithms:
         memory (or an architecturally visible register) via the host
         debugger link, then resume."""
         target = self.target
-        self._prepare_target(config)
-        target.run_workload()
+        schedule = self._injection_schedule(spec, trace)
+        self._arm_target(config, schedule)
 
         applied: list[dict] = []
         ended_early: TerminationInfo | None = None
-        for cycle, fault in self._injection_schedule(spec, trace):
+        for position, (cycle, fault) in enumerate(schedule):
             ended_early = target.wait_for_breakpoint(cycle)
+            if position == 0 and ended_early is None:
+                self._save_checkpoint(cycle)
             if ended_early is not None:
                 applied.append(self._fault_entry(fault, cycle, applied_flag=False))
                 continue

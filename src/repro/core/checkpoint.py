@@ -1,0 +1,136 @@
+"""Checkpoint/fast-forward support for the campaign engines.
+
+Every experiment starts with the same fault-free prefix: reset the
+target, download the workload, and simulate from cycle 0 up to the
+first injection cycle.  On a simulated target that prefix is pure
+redundancy — the state at the first breakpoint is a deterministic
+function of the workload alone.  This module caches that state:
+
+* the campaign loop sorts the plan by first-injection cycle, so the
+  sequence of breakpoints is monotone;
+* at each experiment's *first* breakpoint (always fault-free: nothing
+  has been injected yet) the target state is snapshotted into a small
+  LRU cache keyed by cycle;
+* the next experiment restores the newest snapshot at or before its own
+  first injection cycle and fast-forwards only the remaining delta.
+
+Correctness rests on the snapshots being *full fidelity*
+(``TargetSystemInterface.save_state``/``restore_state``): a restored
+target must be indistinguishable from one that simulated the prefix
+itself, so logged rows are bit-identical to a no-checkpoint run — the
+invariant the equivalence tests and bench E11 enforce.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+#: Default LRU capacity.  Each entry holds a full target snapshot
+#: (dominated by the memory image — ~0.5 MiB for the Thor target), so
+#: a handful of entries covers the monotone access pattern of a sorted
+#: plan while keeping the footprint small.
+DEFAULT_CHECKPOINT_CAPACITY = 8
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """One cached fault-free target snapshot."""
+
+    cycle: int
+    state: object
+
+
+@dataclass(slots=True)
+class CheckpointStats:
+    """Cache-effectiveness counters (reported by the bench and the
+    campaign result)."""
+
+    saves: int = 0
+    restores: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "saves": self.saves,
+            "restores": self.restores,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class CheckpointCache:
+    """A small LRU of :class:`Checkpoint` entries keyed by cycle.
+
+    ``nearest(cycle)`` answers the only query the campaign loop needs:
+    the newest snapshot taken at or before a given injection cycle.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CHECKPOINT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"checkpoint capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, object] = OrderedDict()
+        self.stats = CheckpointStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def has(self, cycle: int) -> bool:
+        """Whether a snapshot for exactly ``cycle`` is cached (lets the
+        caller skip building a redundant snapshot)."""
+        return cycle in self._entries
+
+    def save(self, cycle: int, state: object) -> None:
+        """Insert (or refresh) the snapshot for ``cycle``, evicting the
+        least recently used entry when over capacity."""
+        if cycle in self._entries:
+            self._entries.move_to_end(cycle)
+        self._entries[cycle] = state
+        self.stats.saves += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def nearest(self, cycle: int) -> Checkpoint | None:
+        """The newest cached snapshot at or before ``cycle`` (marked as
+        recently used), or ``None`` — the caller then falls back to the
+        full reset-and-run preamble."""
+        best: int | None = None
+        for key in self._entries:
+            if key <= cycle and (best is None or key > best):
+                best = key
+        if best is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(best)
+        self.stats.restores += 1
+        return Checkpoint(cycle=best, state=self._entries[best])
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def first_injection_cycle(spec, trace) -> int:
+    """The cycle of the experiment's earliest fault trigger, resolved
+    against the reference trace; 0 when the spec carries no resolvable
+    trigger (pre-runtime techniques, which have no prefix to skip)."""
+    cycles = []
+    for fault in spec.faults:
+        try:
+            cycles.append(fault.trigger.resolve(trace))
+        except Exception:
+            # An unresolvable trigger fails later, in the experiment
+            # body, with its proper error; sorting must not mask it.
+            return 0
+    return min(cycles, default=0)
+
+
+def sort_plan_by_first_injection(plan, trace):
+    """Stable-sort experiment specs by first-injection cycle, so the
+    campaign's breakpoint sequence is monotone and every checkpoint
+    taken is usable by all later experiments."""
+    return sorted(plan, key=lambda spec: first_injection_cycle(spec, trace))

@@ -129,6 +129,10 @@ class TargetSystemInterface(abc.ABC):
     target_name: str = "unnamed-target"
     #: Identifier of the host link hardware (``testCardName`` column).
     test_card_name: str = "simulated-test-card"
+    #: Whether :meth:`save_state`/:meth:`restore_state` are implemented.
+    #: The campaign engines only use checkpointing on targets that
+    #: declare support; a real hardware board typically cannot.
+    supports_checkpoints: bool = False
 
     def __init__(self) -> None:
         self._scan_buffers: dict[str, int] = {}
@@ -265,6 +269,27 @@ class TargetSystemInterface(abc.ABC):
     def set_environment(self, env) -> None:
         """Attach an environment simulator (or ``None``) exchanging data
         with the workload at loop-iteration boundaries."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing (optional; targets that can snapshot their full
+    # state set ``supports_checkpoints = True`` and override these)
+    # ------------------------------------------------------------------
+    def save_state(self) -> object:
+        """A full-fidelity snapshot of the target state: everything that
+        influences future execution and observation — restoring it must
+        be indistinguishable from having simulated to this point.  The
+        returned object is opaque to the callers and must not alias live
+        target state (later execution must not mutate it)."""
+        raise TargetError(
+            f"target {self.target_name!r} does not support checkpointing"
+        )
+
+    def restore_state(self, state: object) -> None:
+        """Restore a snapshot produced by :meth:`save_state` on this
+        target, leaving the cached snapshot reusable."""
+        raise TargetError(
+            f"target {self.target_name!r} does not support checkpointing"
+        )
 
 
 @dataclass(slots=True)

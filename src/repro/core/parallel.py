@@ -34,6 +34,7 @@ import traceback
 
 from ..db import ExperimentRecord, GoofiDatabase
 from .campaign import CampaignConfig, ExperimentSpec, PlanGenerator
+from .checkpoint import CheckpointCache, sort_plan_by_first_injection
 from .errors import ConfigurationError, GoofiError
 from .progress import ProgressReporter
 
@@ -55,7 +56,15 @@ def _start_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _worker_main(worker_id, config_dict, spec_dicts, result_queue, abort_event):
+def _worker_main(
+    worker_id,
+    config_dict,
+    spec_dicts,
+    result_queue,
+    abort_event,
+    checkpoints=False,
+    checkpoint_capacity=None,
+):
     """Run one shard of the plan and stream results back.
 
     Message protocol (all picklable builtins):
@@ -63,6 +72,11 @@ def _worker_main(worker_id, config_dict, spec_dicts, result_queue, abort_event):
     * ``("result", worker_id, record_fields)`` per finished experiment;
     * ``("error", worker_id, traceback_text)`` once on failure;
     * ``("done", worker_id, None)`` always, as the last message.
+
+    With ``checkpoints`` the worker builds its own checkpoint cache —
+    snapshots hold live target references and never cross the process
+    boundary; each shard of the (coordinator-sorted) plan is itself in
+    first-injection order, so per-worker caches stay effective.
     """
     try:
         import repro  # noqa: F401  (registers built-in targets under spawn)
@@ -73,6 +87,12 @@ def _worker_main(worker_id, config_dict, spec_dicts, result_queue, abort_event):
         config = CampaignConfig.from_dict(config_dict)
         target = create_target(config.target)
         algorithms = FaultInjectionAlgorithms(target, db=None)
+        if checkpoints and target.supports_checkpoints:
+            algorithms.checkpoints = (
+                CheckpointCache(checkpoint_capacity)
+                if checkpoint_capacity
+                else CheckpointCache()
+            )
         _info, trace = algorithms.compute_reference_trace(config)
         run_experiment = algorithms.experiment_runner(config.technique)
         for spec_dict in spec_dicts:
@@ -125,9 +145,11 @@ class ParallelCampaignRunner:
         self.batch_size = batch_size
 
     # ------------------------------------------------------------------
-    def run(self, config: CampaignConfig, resume: bool = False):
+    def run(self, config: CampaignConfig, resume: bool = False, checkpoints: bool = False):
         """Mirror of the serial ``_campaign_loop``, with the experiment
-        bodies fanned out to worker processes."""
+        bodies fanned out to worker processes.  ``checkpoints`` sorts
+        the plan by first-injection cycle before sharding and has each
+        worker keep its own checkpoint cache."""
         from .algorithms import CampaignResult
 
         algorithms = self.algorithms
@@ -145,6 +167,11 @@ class ParallelCampaignRunner:
         trace = algorithms.make_reference_run(config)
         plan = PlanGenerator(config, algorithms.target.location_space(), trace).generate()
         remaining = [spec for spec in plan if spec.name not in already_logged]
+        use_checkpoints = checkpoints and algorithms.target.supports_checkpoints
+        if use_checkpoints:
+            # Sorting before the round-robin sharding keeps every shard
+            # in first-injection order too.
+            remaining = sort_plan_by_first_injection(remaining, trace)
         progress.start(config.name, len(remaining))
         db.set_campaign_status(config.name, "running")
         if not remaining:
@@ -174,6 +201,8 @@ class ParallelCampaignRunner:
                     [spec.to_dict() for spec in shard],
                     result_queue,
                     abort_event,
+                    use_checkpoints,
+                    algorithms.checkpoint_capacity,
                 ),
                 daemon=True,
             )

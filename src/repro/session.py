@@ -134,13 +134,21 @@ class GoofiSession:
     # Fault-injection phase
     # ------------------------------------------------------------------
     def run_campaign(
-        self, campaign_name: str, resume: bool = False, workers: int = 1
+        self,
+        campaign_name: str,
+        resume: bool = False,
+        workers: int = 1,
+        checkpoints: bool = False,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
-        :mod:`repro.core.parallel`); results are identical to the serial
-        loop for any worker count."""
-        return self.algorithms.run_campaign(campaign_name, resume=resume, workers=workers)
+        :mod:`repro.core.parallel`); ``checkpoints=True`` reuses cached
+        fault-free prefix state between experiments
+        (:mod:`repro.core.checkpoint`).  Logged rows are identical to
+        the plain serial loop in both cases."""
+        return self.algorithms.run_campaign(
+            campaign_name, resume=resume, workers=workers, checkpoints=checkpoints
+        )
 
     # ------------------------------------------------------------------
     # Analysis phase

@@ -9,6 +9,8 @@ unchanged against it.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from ...core.errors import TargetError
@@ -103,6 +105,7 @@ class StackTargetInterface(TargetSystemInterface):
 
     target_name = TARGET_NAME
     test_card_name = "sim-stack-debug-port"
+    supports_checkpoints = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -346,6 +349,25 @@ class StackTargetInterface(TargetSystemInterface):
 
     def set_environment(self, env) -> None:
         self._environment = env
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        return {
+            "machine": self.machine.save_state(),
+            "loaded": self._loaded,
+            "running": self._running,
+            "environment": copy.deepcopy(self._environment),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.machine.restore_state(state["machine"])
+        self._loaded = state["loaded"]
+        self._running = state["running"]
+        self._scan_buffers.clear()
+        # A copy, so the cached snapshot stays pristine for reuse.
+        self.set_environment(copy.deepcopy(state["environment"]))
 
     # ------------------------------------------------------------------
     def _overlay_accessors(self, location: Location):

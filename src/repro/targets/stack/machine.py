@@ -107,6 +107,53 @@ class StackMachine:
         self.memory[:] = [0] * MEMORY_WORDS
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """Snapshot the complete machine state.  Hooks are not captured:
+        checkpoints are taken on fault-free prefixes, before overlays,
+        and trace hooks belong to the host."""
+        return {
+            "memory": self.memory.copy(),
+            "program_limit": self.program_limit,
+            "dstack": self.dstack.copy(),
+            "dparity": self.dparity.copy(),
+            "dsp": self.dsp,
+            "rstack": self.rstack.copy(),
+            "rparity": self.rparity.copy(),
+            "rsp": self.rsp,
+            "pc": self.pc,
+            "cycle": self.cycle,
+            "iteration": self.iteration,
+            "halted": self.halted,
+            "detection": self.detection,
+            "input_ports": dict(self.input_ports),
+            "output_ports": dict(self.output_ports),
+            "output_log": list(self.output_log),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        # In-place copies for the cell arrays: the scan chains hold
+        # references to these exact lists (see reset()).
+        self.memory[:] = state["memory"]
+        self.program_limit = state["program_limit"]
+        self.dstack[:] = state["dstack"]
+        self.dparity[:] = state["dparity"]
+        self.dsp = state["dsp"]
+        self.rstack[:] = state["rstack"]
+        self.rparity[:] = state["rparity"]
+        self.rsp = state["rsp"]
+        self.pc = state["pc"]
+        self.cycle = state["cycle"]
+        self.iteration = state["iteration"]
+        self.halted = state["halted"]
+        self.detection = state["detection"]
+        self.input_ports = dict(state["input_ports"])
+        self.output_ports = dict(state["output_ports"])
+        self.output_log = list(state["output_log"])
+        self.post_step_hooks = []
+
+    # ------------------------------------------------------------------
     # Stack primitives (parity maintained on write, checked on read)
     # ------------------------------------------------------------------
     def _dpush(self, value: int) -> None:

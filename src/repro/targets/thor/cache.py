@@ -150,6 +150,31 @@ class Cache:
         self.parity_errors = 0
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """Snapshot the lines (incl. parity bits — a desynchronised
+        parity is state, not an error until read) and the counters."""
+        return {
+            "lines": [(l.valid, l.tag, l.data, l.parity) for l in self.lines],
+            "hits": self.hits,
+            "misses": self.misses,
+            "parity_errors": self.parity_errors,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        # Mutate the existing CacheLine objects in place: the scan-chain
+        # elements hold references to this cache and its lines.
+        for line, (valid, tag, data, parity) in zip(self.lines, state["lines"]):
+            line.valid = valid
+            line.tag = tag
+            line.data = data
+            line.parity = parity
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.parity_errors = state["parity_errors"]
+
+    # ------------------------------------------------------------------
     # Scan-chain support: the cache's state elements as named bit fields.
     # ------------------------------------------------------------------
     def scan_fields(self) -> list[tuple[str, int]]:

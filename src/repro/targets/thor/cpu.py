@@ -159,6 +159,57 @@ class ThorCPU:
         self.output_log.clear()
         self.post_step_hooks.clear()
 
+    def save_state(self) -> dict:
+        """Snapshot the full architectural + microarchitectural state
+        (registers, flags, pipeline latches, counters, ports, memory and
+        caches).  Hooks are deliberately not captured: checkpoints are
+        taken on fault-free prefixes, before any overlay is installed,
+        and trace hooks belong to the host-side caller."""
+        return {
+            "regs": self.regs.copy(),
+            "reg_parity": self.reg_parity.copy(),
+            "pc": self.pc,
+            "psw": self.psw,
+            "ir": self.ir,
+            "mar": self.mar,
+            "mdr": self.mdr,
+            "cycle": self.cycle,
+            "iteration": self.iteration,
+            "halted": self.halted,
+            "detection": self.detection,
+            "breakpoints": set(self.breakpoints),
+            "input_ports": dict(self.input_ports),
+            "output_ports": dict(self.output_ports),
+            "output_log": list(self.output_log),
+            "memory": self.memory.save_state(),
+            "icache": self.icache.save_state(),
+            "dcache": self.dcache.save_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        # Containers are copied on both save and restore so the cached
+        # snapshot never aliases live state; the scan chains reach all
+        # of these through the cpu object, so fresh dicts are safe.
+        self.regs[:] = state["regs"]
+        self.reg_parity[:] = state["reg_parity"]
+        self.pc = state["pc"]
+        self.psw = state["psw"]
+        self.ir = state["ir"]
+        self.mar = state["mar"]
+        self.mdr = state["mdr"]
+        self.cycle = state["cycle"]
+        self.iteration = state["iteration"]
+        self.halted = state["halted"]
+        self.detection = state["detection"]
+        self.breakpoints = set(state["breakpoints"])
+        self.input_ports = dict(state["input_ports"])
+        self.output_ports = dict(state["output_ports"])
+        self.output_log = list(state["output_log"])
+        self.post_step_hooks = []
+        self.memory.restore_state(state["memory"])
+        self.icache.restore_state(state["icache"])
+        self.dcache.restore_state(state["dcache"])
+
     @property
     def psw(self) -> int:
         """The four condition flags packed as Z N C V (bit 3 .. bit 0)."""

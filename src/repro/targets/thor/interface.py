@@ -14,6 +14,8 @@ tool "analyses the workload code".
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from ...core.errors import TargetError
@@ -60,6 +62,7 @@ class ThorTargetInterface(TargetSystemInterface):
 
     target_name = TARGET_NAME
     test_card_name = "sim-scan-test-card"
+    supports_checkpoints = True
 
     def __init__(
         self,
@@ -361,6 +364,30 @@ class ThorTargetInterface(TargetSystemInterface):
         """The attached environment simulator, if any (analysis and
         benches read its plant history)."""
         return self._environment
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """Full-fidelity snapshot: the test card (CPU, memory, caches,
+        loaded workload), the run flag, and a deep copy of the attached
+        environment simulator — its plant state advances with the
+        workload's ITER boundaries and is part of the prefix."""
+        return {
+            "card": self.card.save_state(),
+            "running": self._running,
+            "environment": copy.deepcopy(self._environment),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.card.restore_state(state["card"])
+        self._running = state["running"]
+        # Any scan capture from a previous experiment is stale now.
+        self._scan_buffers.clear()
+        # Re-attach a *copy* of the snapshotted environment so the
+        # cached snapshot stays pristine for the next restore, and so
+        # the card's exchange callback is rewired to the live object.
+        self.set_environment(copy.deepcopy(state["environment"]))
 
     # ------------------------------------------------------------------
     # Internals

@@ -131,3 +131,15 @@ class Memory:
     def snapshot(self, address: int = 0, count: int = MEMORY_WORDS) -> tuple[int, ...]:
         """Immutable copy of a memory region, for state-vector logging."""
         return tuple(self.host_read_block(address, count))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        return {"words": self._words.copy(), "protect_program": self.protect_program}
+
+    def restore_state(self, state: dict) -> None:
+        # Slice-assign so the snapshot's own list is never aliased by
+        # the live memory (the cached state must stay reusable).
+        self._words[:] = state["words"]
+        self.protect_program = state["protect_program"]

@@ -206,6 +206,19 @@ class TestCard:
         return self.cpu.step()
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """Snapshot everything behind the host link: CPU (with memory
+        and caches) and the loaded-workload handle.  ``Program`` objects
+        are immutable, so the handle is shared, not copied."""
+        return {"cpu": self.cpu.save_state(), "loaded": self._loaded}
+
+    def restore_state(self, state: dict) -> None:
+        self.cpu.restore_state(state["cpu"])
+        self._loaded = state["loaded"]
+
+    # ------------------------------------------------------------------
     # Observation helpers
     # ------------------------------------------------------------------
     def output_log(self) -> list[tuple[int, int, int]]:

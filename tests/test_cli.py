@@ -125,6 +125,29 @@ class TestCampaignLifecycle:
         ) == 0
         assert run_cli("run", "--db", db_path, "ctl", "--quiet") == 0
 
+    def test_run_with_checkpoints(self, db_path, capsys):
+        """--checkpoints must run the campaign through the checkpoint
+        engine and log the same rows as a plain run."""
+        from repro.db import GoofiDatabase
+
+        self.create(db_path, "plain")
+        assert run_cli("run", "--db", db_path, "plain", "--quiet") == 0
+        self.create(db_path, "ckpt")
+        assert run_cli(
+            "run", "--db", db_path, "ckpt", "--quiet",
+            "--checkpoints", "--checkpoint-capacity", "4",
+        ) == 0
+        db = GoofiDatabase(db_path)
+        try:
+            def rows(name):
+                return {
+                    r.experiment_name.split("/", 1)[1]: (r.experiment_data, r.state_vector)
+                    for r in db.iter_experiments(name)
+                }
+            assert rows("ckpt") == rows("plain")
+        finally:
+            db.close()
+
     def test_preinjection_flag(self, db_path):
         assert run_cli(
             "campaign", "create", "--db", db_path, "--name", "pi",

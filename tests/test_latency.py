@@ -8,9 +8,14 @@ import pytest
 
 from tests.conftest import make_campaign
 from repro.analysis import detection_latencies, format_latency_report
-from repro.analysis.latency import LatencySample, LatencyStatistics, _latency_of
+from repro.analysis.latency import (
+    LatencySample,
+    LatencyStatistics,
+    MissingDetectionCycle,
+    _latency_of,
+)
 from repro.core.errors import AnalysisError
-from repro.db import ExperimentRecord
+from repro.db import CampaignRecord, ExperimentRecord, GoofiDatabase, TargetSystemRecord
 
 
 def detected_record(name: str, injected: int, detected: int,
@@ -64,6 +69,43 @@ class TestSampleExtraction:
         with pytest.raises(AnalysisError, match="before its injection"):
             _latency_of(record)
 
+    def test_missing_detection_cycle_yields_no_sample(self):
+        """A detected record without a detection cycle must not fabricate
+        a latency-0 sample from the injection cycle."""
+        record = detected_record("e", injected=100, detected=140)
+        record.state_vector["termination"]["detection"]["cycle"] = None
+        assert _latency_of(record) is None
+        with pytest.raises(MissingDetectionCycle, match="no cycle"):
+            _latency_of(record, strict=True)
+
+
+class TestSkippedRecords:
+    def store(self, records) -> GoofiDatabase:
+        db = GoofiDatabase(":memory:")
+        db.save_target(TargetSystemRecord("t", "card", config={}))
+        db.save_campaign(CampaignRecord("camp", "t", config={}))
+        db.save_experiments(records)
+        return db
+
+    def test_skipped_counted_not_sampled(self):
+        broken = detected_record("camp/exp_0001", injected=100, detected=140)
+        broken.state_vector["termination"]["detection"]["cycle"] = None
+        good = detected_record("camp/exp_0002", injected=100, detected=150)
+        db = self.store([broken, good])
+        statistics = detection_latencies(db, "camp")
+        assert statistics.count == 1
+        assert statistics.samples[0].latency == 50
+        assert statistics.skipped == 1
+        report = format_latency_report(statistics, "latency:")
+        assert "1 detected record(s) skipped" in report
+
+    def test_strict_mode_raises(self):
+        broken = detected_record("camp/exp_0001", injected=100, detected=140)
+        broken.state_vector["termination"]["detection"]["cycle"] = None
+        db = self.store([broken])
+        with pytest.raises(MissingDetectionCycle):
+            detection_latencies(db, "camp", strict=True)
+
 
 class TestStatistics:
     def make(self) -> LatencyStatistics:
@@ -95,8 +137,29 @@ class TestStatistics:
     def test_empty_statistics(self):
         stats = LatencyStatistics()
         assert math.isnan(stats.mean)
+        assert math.isnan(stats.median)
+        assert math.isnan(stats.percentile(95))
+        assert math.isnan(stats.maximum)
         assert stats.histogram() == []
-        assert stats.maximum == 0
+
+    def test_histogram_keeps_float_edges(self):
+        """Narrow distributions must not collapse to overlapping
+        integer-truncated bin boundaries."""
+        stats = LatencyStatistics()
+        for i, latency in enumerate([3, 4, 5]):
+            stats.samples.append(LatencySample(f"e{i}", "a", 0, latency))
+        histogram = stats.histogram(bins=4)
+        for low, high, _count in histogram:
+            assert isinstance(low, float) and isinstance(high, float)
+            assert high > low
+        for (_lo, prev_hi, _c), (next_lo, _hi, _c2) in zip(histogram, histogram[1:]):
+            assert prev_hi == next_lo  # contiguous, no overlap
+        assert sum(count for _lo, _hi, count in histogram) == 3
+
+    def test_empty_report_renders_na(self):
+        report = format_latency_report(LatencyStatistics(), "latency:")
+        assert "n/a" in report
+        assert "nan" not in report
 
 
 class TestEndToEnd:

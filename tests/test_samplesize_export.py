@@ -70,6 +70,41 @@ class TestSequentialPlan:
         assert plan.next_chunk() == 0
         assert plan.should_stop(proportion(1, 2))  # imprecise but capped
 
+    def test_partial_chunk_does_not_inflate_spent(self):
+        """Regression: an aborted chunk used to permanently burn cap
+        budget, making should_stop fire early."""
+        plan = SequentialPlan(target_half_width=0.001, chunk=60, cap=100)
+        assert plan.next_chunk() == 60
+        plan.record_run(10)  # campaign aborted after 10 experiments
+        assert plan.spent == 10
+        assert not plan.should_stop(proportion(1, 2))
+        assert plan.next_chunk() == 60  # full chunk still affordable
+        plan.record_run(60)
+        assert plan.next_chunk() == 30  # clipped to the true remainder
+
+    def test_unreconciled_reservation_assumed_run(self):
+        plan = SequentialPlan(target_half_width=0.001, chunk=60, cap=100)
+        assert plan.next_chunk() == 60
+        # No record_run: the next call commits the reservation in full.
+        assert plan.next_chunk() == 40
+        assert plan.spent == 60 and plan.pending == 40
+
+    def test_pending_reservation_counts_toward_cap(self):
+        plan = SequentialPlan(target_half_width=0.001, chunk=100, cap=100)
+        assert plan.next_chunk() == 100
+        assert plan.should_stop(proportion(1, 2))  # reserved up to the cap
+
+    def test_record_run_validates(self):
+        plan = SequentialPlan(target_half_width=0.1, chunk=50, cap=1000)
+        plan.next_chunk()
+        with pytest.raises(AnalysisError):
+            plan.record_run(51)
+        with pytest.raises(AnalysisError):
+            plan.record_run(-1)
+        plan.record_run(50)
+        with pytest.raises(AnalysisError):
+            plan.record_run(1)  # nothing pending any more
+
     def test_projection_uses_observed_rate(self):
         plan = SequentialPlan(target_half_width=0.05)
         assert plan.projected_total(proportion(90, 100)) < plan.projected_total(

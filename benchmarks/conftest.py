@@ -9,6 +9,7 @@ with pytest-benchmark, prints the regenerated table, and writes it to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -18,11 +19,19 @@ from repro import CampaignConfig, GoofiSession
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a regenerated table and echo it to stdout."""
+def write_result(name: str, text: str, data: dict | None = None) -> None:
+    """Persist a regenerated table and echo it to stdout.
+
+    With ``data``, a machine-readable ``<name>.json`` sibling is written
+    next to the human-readable table so other tooling (CI trend checks,
+    plots) does not have to re-parse the text.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if data is not None:
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"\n===== {name} =====")
     print(text)
 

@@ -192,6 +192,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             resume=args.resume,
             workers=args.workers,
             checkpoints=args.checkpoints,
+            fast=args.fast,
         )
         status = "aborted" if result.aborted else "completed"
         rate = (
@@ -455,6 +456,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CHECKPOINT_CAPACITY,
         help="LRU size of the checkpoint cache (snapshots kept per "
              f"process; default: {DEFAULT_CHECKPOINT_CAPACITY})",
+    )
+    run.add_argument(
+        "--fast",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the target's fused fast execution loop (default: on; "
+             "--no-fast forces the reference step loop — logged rows "
+             "are bit-identical either way)",
     )
     run.set_defaults(func=cmd_run)
 

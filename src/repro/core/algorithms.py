@@ -135,6 +135,7 @@ class FaultInjectionAlgorithms:
         resume: bool = False,
         workers: int = 1,
         checkpoints: bool = False,
+        fast: bool = True,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -156,13 +157,19 @@ class FaultInjectionAlgorithms:
         rows are bit-identical to a no-checkpoint run; only insertion
         order (never content) may differ.  Ignored on targets without
         ``supports_checkpoints``.
+
+        ``fast=False`` forces the target's reference execution loop
+        instead of its fused fast path (a debugging escape hatch; the
+        two engines log bit-identical rows).  The choice is applied to
+        this session's target and shipped to any parallel workers.
         """
         config = self.read_campaign_data(campaign_name)
+        self.target.set_fast_path(fast)
         if workers > 1:
             from .parallel import ParallelCampaignRunner
 
             return ParallelCampaignRunner(self, workers=workers).run(
-                config, resume=resume, checkpoints=checkpoints
+                config, resume=resume, checkpoints=checkpoints, fast=fast
             )
         method_name = technique_method(config.technique)
         method = getattr(self, method_name, None)

@@ -271,6 +271,23 @@ class TargetSystemInterface(abc.ABC):
         with the workload at loop-iteration boundaries."""
 
     # ------------------------------------------------------------------
+    # Execution engine (optional)
+    # ------------------------------------------------------------------
+    def set_fast_path(self, enabled: bool) -> None:
+        """Select the target's execution engine, when it has more than
+        one.  Simulated targets route plain runs through a fused hot
+        loop whose observable behaviour is bit-identical to their
+        reference step loop; ``enabled=False`` forces the reference
+        loop (the campaign-level ``fast=False`` escape hatch).  Targets
+        with a single engine — e.g. real hardware — ignore this."""
+
+    def execution_stats(self) -> dict:
+        """Diagnostic counters of the execution engine (e.g. how many
+        fused-loop segments ran).  Empty for targets without a fast
+        path; never part of checkpointed state."""
+        return {}
+
+    # ------------------------------------------------------------------
     # Checkpointing (optional; targets that can snapshot their full
     # state set ``supports_checkpoints = True`` and override these)
     # ------------------------------------------------------------------

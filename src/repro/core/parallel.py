@@ -64,6 +64,7 @@ def _worker_main(
     abort_event,
     checkpoints=False,
     checkpoint_capacity=None,
+    fast=True,
 ):
     """Run one shard of the plan and stream results back.
 
@@ -86,6 +87,7 @@ def _worker_main(
 
         config = CampaignConfig.from_dict(config_dict)
         target = create_target(config.target)
+        target.set_fast_path(fast)
         algorithms = FaultInjectionAlgorithms(target, db=None)
         if checkpoints and target.supports_checkpoints:
             algorithms.checkpoints = (
@@ -145,11 +147,19 @@ class ParallelCampaignRunner:
         self.batch_size = batch_size
 
     # ------------------------------------------------------------------
-    def run(self, config: CampaignConfig, resume: bool = False, checkpoints: bool = False):
+    def run(
+        self,
+        config: CampaignConfig,
+        resume: bool = False,
+        checkpoints: bool = False,
+        fast: bool = True,
+    ):
         """Mirror of the serial ``_campaign_loop``, with the experiment
         bodies fanned out to worker processes.  ``checkpoints`` sorts
         the plan by first-injection cycle before sharding and has each
-        worker keep its own checkpoint cache."""
+        worker keep its own checkpoint cache; ``fast`` selects the
+        execution engine in every worker (results are bit-identical
+        either way)."""
         from .algorithms import CampaignResult
 
         algorithms = self.algorithms
@@ -203,6 +213,7 @@ class ParallelCampaignRunner:
                     abort_event,
                     use_checkpoints,
                     algorithms.checkpoint_capacity,
+                    fast,
                 ),
                 daemon=True,
             )

@@ -34,6 +34,11 @@ class GoofiDatabase:
         self.path = str(path)
         self._conn = sqlite3.connect(self.path)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        # Write-ahead logging: campaign flushes commit without waiting
+        # for the rollback journal's double write, and analysis readers
+        # don't block the coordinator.  A no-op for ':memory:'
+        # databases, which simply stay in their default journal mode.
+        self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.executescript(CREATE_TABLES)
         cur = self._conn.execute("SELECT version FROM SchemaInfo")
         row = cur.fetchone()
@@ -172,23 +177,28 @@ class GoofiDatabase:
                 f"(duplicate name, or unknown campaign/parent): {exc}"
             ) from exc
 
+    _INSERT_EXPERIMENT_SQL = (
+        "INSERT INTO LoggedSystemState "
+        "(experimentName, parentExperiment, campaignName, experimentData, "
+        " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?)"
+    )
+
     def save_experiments(self, records: list[ExperimentRecord]) -> None:
-        """Batch insert — one transaction for a whole campaign chunk."""
+        """Batch insert — one ``executemany`` in one transaction for a
+        whole campaign chunk, so a flush pays a single statement-prepare
+        and a single commit regardless of batch size."""
         try:
             with self.transaction() as conn:
-                for record in records:
-                    self._insert_experiment(conn, record)
+                conn.executemany(
+                    self._INSERT_EXPERIMENT_SQL,
+                    [record.to_row() for record in records],
+                )
         except sqlite3.IntegrityError as exc:
             raise DatabaseError(f"batch experiment insert failed: {exc}") from exc
 
-    @staticmethod
-    def _insert_experiment(conn: sqlite3.Connection, record: ExperimentRecord) -> None:
-        conn.execute(
-            "INSERT INTO LoggedSystemState "
-            "(experimentName, parentExperiment, campaignName, experimentData, "
-            " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?)",
-            record.to_row(),
-        )
+    @classmethod
+    def _insert_experiment(cls, conn: sqlite3.Connection, record: ExperimentRecord) -> None:
+        conn.execute(cls._INSERT_EXPERIMENT_SQL, record.to_row())
 
     def replace_experiment(self, record: ExperimentRecord) -> None:
         """Insert or overwrite one experiment row.  Used for rows with

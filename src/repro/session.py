@@ -139,15 +139,22 @@ class GoofiSession:
         resume: bool = False,
         workers: int = 1,
         checkpoints: bool = False,
+        fast: bool = True,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
         :mod:`repro.core.parallel`); ``checkpoints=True`` reuses cached
         fault-free prefix state between experiments
-        (:mod:`repro.core.checkpoint`).  Logged rows are identical to
-        the plain serial loop in both cases."""
+        (:mod:`repro.core.checkpoint`); ``fast=False`` forces the
+        target's reference execution loop instead of the fused fast
+        path.  Logged rows are identical to the plain serial loop in
+        all cases."""
         return self.algorithms.run_campaign(
-            campaign_name, resume=resume, workers=workers, checkpoints=checkpoints
+            campaign_name,
+            resume=resume,
+            workers=workers,
+            checkpoints=checkpoints,
+            fast=fast,
         )
 
     # ------------------------------------------------------------------

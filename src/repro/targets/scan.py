@@ -52,6 +52,19 @@ class ScanChain:
         for element in self.elements:
             position -= element.width
             self._offsets[element.name] = position
+        # Precomputed shift plans: full-chain dump/restore loops over
+        # plain (closure, mask, offset) tuples instead of re-deriving
+        # masks and offsets per element on every shift.  Shift timing is
+        # what bounds SCIFI experiment rate, so this path is hot.
+        self._read_plan: list[tuple[Callable[[], int], int, int]] = [
+            (e.getter, (1 << e.width) - 1, self._offsets[e.name])
+            for e in self.elements
+        ]
+        self._write_plan: list[tuple[Callable[[int], None], int, int]] = [
+            (e.setter, (1 << e.width) - 1, self._offsets[e.name])
+            for e in self.elements
+            if e.setter is not None
+        ]
 
     # ------------------------------------------------------------------
     def element(self, name: str) -> ScanElement:
@@ -81,8 +94,8 @@ class ScanChain:
     def read(self) -> int:
         """Shift the chain out: capture every element into one bit vector."""
         value = 0
-        for element in self.elements:
-            value = (value << element.width) | (element.getter() & element.mask)
+        for getter, mask, offset in self._read_plan:
+            value |= (getter() & mask) << offset
         return value
 
     def write(self, value: int) -> None:
@@ -91,10 +104,8 @@ class ScanChain:
         Read-only elements are skipped, mirroring capture-only scan
         cells.  Bits beyond the chain width are ignored.
         """
-        for element in self.elements:
-            offset = self._offsets[element.name]
-            if element.setter is not None:
-                element.setter((value >> offset) & element.mask)
+        for setter, mask, offset in self._write_plan:
+            setter((value >> offset) & mask)
 
     def read_element(self, name: str) -> int:
         return self.element(name).getter()

@@ -351,6 +351,15 @@ class StackTargetInterface(TargetSystemInterface):
         self._environment = env
 
     # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+    def set_fast_path(self, enabled: bool) -> None:
+        self.machine.fast = bool(enabled)
+
+    def execution_stats(self) -> dict:
+        return {"fast_segments": self.machine.fast_segments}
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def save_state(self) -> dict:

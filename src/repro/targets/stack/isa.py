@@ -17,7 +17,7 @@ mnemonic prefix recorded in reference traces — works unchanged.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 WORD_MASK = 0xFFFFFFFF
 
@@ -97,14 +97,29 @@ class SIllegalOpcode(ValueError):
 class SInstruction:
     op: SOp
     operand: int = 0
+    #: Execution-engine slot: the machine binds its semantic handler here
+    #: on first dispatch (see :mod:`repro.targets.stack.machine`).  Not
+    #: part of the instruction's identity (excluded from eq/hash/repr);
+    #: written through ``object.__setattr__`` despite the frozen class.
+    handler: object = field(default=None, compare=False, repr=False)
 
 
 def s_encode(inst: SInstruction) -> int:
     return ((int(inst.op) & 0xFF) << 24) | (inst.operand & 0xFFFF)
 
 
+#: Process-wide decode memo keyed on the raw word.  Decoding is pure, so
+#: sharing is safe; a fault-mutated word simply decodes (and caches) as a
+#: new entry, which handles self-modifying stores with no invalidation.
+S_DECODE_CACHE: dict[int, SInstruction] = {}
+
+
 def s_decode(word: int) -> SInstruction:
-    opcode = (word >> 24) & 0xFF
-    if opcode not in _VALID:
-        raise SIllegalOpcode(word)
-    return SInstruction(op=SOp(opcode), operand=word & 0xFFFF)
+    inst = S_DECODE_CACHE.get(word)
+    if inst is None:
+        opcode = (word >> 24) & 0xFF
+        if opcode not in _VALID:
+            raise SIllegalOpcode(word)
+        inst = SInstruction(op=SOp(opcode), operand=word & 0xFFFF)
+        S_DECODE_CACHE[word] = inst
+    return inst

@@ -27,6 +27,7 @@ from typing import Callable
 from .isa import (
     DATA_STACK_CELLS,
     RETURN_STACK_CELLS,
+    S_DECODE_CACHE,
     WORD_MASK,
     SIllegalOpcode,
     SInstruction,
@@ -47,7 +48,7 @@ def _signed(value: int) -> int:
 
 
 def _parity(value: int) -> int:
-    return bin(value).count("1") & 1
+    return value.bit_count() & 1
 
 
 class _Detected(Exception):
@@ -82,6 +83,12 @@ class StackMachine:
         self.trace_hook: Callable[[int, int, str], None] | None = None
         self.mem_hook: Callable[[int, str, int], None] | None = None
         self.post_step_hooks: list[Callable[["StackMachine"], None]] = []
+        #: Fast-path control, mirroring the Thor CPU: when True and no
+        #: observers are attached, :meth:`run` uses the fused loop.
+        self.fast = True
+        #: Diagnostic count of fused-loop segments entered; not
+        #: architectural state, so not checkpointed.
+        self.fast_segments = 0
 
     # ------------------------------------------------------------------
     def reset(self, entry_point: int = 0) -> None:
@@ -253,88 +260,12 @@ class StackMachine:
         return outcome
 
     def _execute(self, inst: SInstruction) -> str | None:
-        op = inst.op
-        operand = inst.operand
-        next_pc = (self.pc + 1) & 0xFFFF
-
-        if op is SOp.NOP:
-            pass
-        elif op is SOp.HALT:
-            self.halted = True
-            self.pc = next_pc
-            return "halted"
-        elif op is SOp.ITER:
-            self.iteration += 1
-            self.pc = next_pc
-            return "iteration"
-        elif op is SOp.PUSHI:
-            self._dpush(operand)
-        elif op is SOp.PUSHIH:
-            value = self._dpop()
-            self._dpush((value & 0xFFFF) | (operand << 16))
-        elif op is SOp.LOAD:
-            self._dpush(self._mem_read(operand))
-        elif op is SOp.STORE:
-            self._mem_write(operand, self._dpop())
-        elif op is SOp.LOADI:
-            self._dpush(self._mem_read(self._dpop() & 0xFFFF))
-        elif op is SOp.STOREI:
-            address = self._dpop() & 0xFFFF
-            self._mem_write(address, self._dpop())
-        elif op is SOp.DUP:
-            value = self._dpop()
-            self._dpush(value)
-            self._dpush(value)
-        elif op is SOp.DROP:
-            self._dpop()
-        elif op is SOp.SWAP:
-            b = self._dpop()
-            a = self._dpop()
-            self._dpush(b)
-            self._dpush(a)
-        elif op is SOp.OVER:
-            b = self._dpop()
-            a = self._dpop()
-            self._dpush(a)
-            self._dpush(b)
-            self._dpush(a)
-        elif op in (SOp.ADD, SOp.SUB, SOp.MUL, SOp.DIV, SOp.AND, SOp.OR,
-                    SOp.XOR, SOp.LT, SOp.EQ):
-            b = self._dpop()
-            a = self._dpop()
-            self._dpush(self._binary(op, a, b))
-        elif op is SOp.NOT:
-            self._dpush(~self._dpop())
-        elif op is SOp.NEG:
-            self._dpush(-self._dpop())
-        elif op is SOp.BR:
-            self.pc = operand
-            return None
-        elif op is SOp.BZ:
-            if self._dpop() == 0:
-                self.pc = operand
-                return None
-        elif op is SOp.BNZ:
-            if self._dpop() != 0:
-                self.pc = operand
-                return None
-        elif op is SOp.CALL:
-            self._rpush(next_pc)
-            self.pc = operand
-            return None
-        elif op is SOp.RET:
-            self.pc = self._rpop() & 0xFFFF
-            return None
-        elif op is SOp.IN:
-            self._dpush(self.input_ports.get(operand, 0))
-        elif op is SOp.OUT:
-            value = self._dpop()
-            self.output_ports[operand] = value
-            self.output_log.append((self.cycle, operand, value))
-        else:  # pragma: no cover - exhaustive
-            raise AssertionError(op)
-        self.pc = next_pc
-        return None
+        """Dispatch one decoded instruction through its bound handler."""
+        handler = inst.handler
+        if handler is None:
+            handler = _S_HANDLERS[inst.op]
+            object.__setattr__(inst, "handler", handler)
+        return handler(self, inst)
 
     @staticmethod
     def _binary(op: SOp, a: int, b: int) -> int:
@@ -365,7 +296,22 @@ class StackMachine:
 
         Returns one of ``"halted"``, ``"detected"``, ``"cycle_limit"``,
         ``"cycle_break"``, ``"iteration"``.
+
+        Routes through the fused fast loop when nothing observes
+        individual steps; otherwise (or with ``fast = False``) uses the
+        reference step loop.  Both produce bit-identical state.
         """
+        if (
+            self.fast
+            and self.trace_hook is None
+            and self.mem_hook is None
+            and not self.post_step_hooks
+        ):
+            return self._run_fast(max_cycles, stop_at_cycle)
+        return self._run_observed(max_cycles, stop_at_cycle)
+
+    def _run_observed(self, max_cycles: int, stop_at_cycle: int | None = None) -> str:
+        """Reference run loop: one observable :meth:`step` at a time."""
         while True:
             if self.halted:
                 return "detected" if self.detection else "halted"
@@ -376,3 +322,321 @@ class StackMachine:
             outcome = self.step()
             if outcome is not None:
                 return outcome
+
+    def _run_fast(self, max_cycles: int, stop_at_cycle: int | None = None) -> str:
+        """Fused run loop: :meth:`step` inlined, hot state in locals.
+
+        The two cycle bounds fold into one precomputed ``next_stop``
+        (tie resolves to ``cycle_break``: the reference loop checks
+        ``stop_at_cycle`` first).  ``memory`` and ``program_limit`` are
+        safe to hoist — stores mutate the memory list in place and
+        nothing changes the program limit mid-run.
+        """
+        self.fast_segments += 1
+        if stop_at_cycle is not None and stop_at_cycle <= max_cycles:
+            next_stop = stop_at_cycle
+            stop_outcome = "cycle_break"
+        else:
+            next_stop = max_cycles
+            stop_outcome = "cycle_limit"
+
+        memory = self.memory
+        program_limit = self.program_limit
+        decode_cache = S_DECODE_CACHE
+        handlers = _S_HANDLERS
+        bind = object.__setattr__
+
+        while True:
+            if self.halted:
+                return "detected" if self.detection else "halted"
+            cycle = self.cycle
+            if cycle >= next_stop:
+                return stop_outcome
+            pc = self.pc
+            if not 0 <= pc < program_limit:
+                self._raise_detection("mem_violation", f"fetch at 0x{pc:04X}")
+                return "detected"
+            word = memory[pc]
+            inst = decode_cache.get(word)
+            if inst is None:
+                try:
+                    inst = s_decode(word)
+                except SIllegalOpcode as exc:
+                    self._raise_detection("illegal_opcode", str(exc))
+                    return "detected"
+            handler = inst.handler
+            if handler is None:
+                handler = handlers[inst.op]
+                bind(inst, "handler", handler)
+            try:
+                outcome = handler(self, inst)
+            except _Detected as exc:
+                self._raise_detection(exc.mechanism, exc.detail)
+                return "detected"
+            self.cycle = cycle + 1
+            if outcome is not None:
+                return outcome
+
+
+# ----------------------------------------------------------------------
+# Per-opcode handlers (same contract as the Thor CPU's: full semantics
+# of one opcode including the PC update, returning the outcome string or
+# None; _Detected propagates to the caller).
+# ----------------------------------------------------------------------
+
+
+def _sh_nop(m: StackMachine, inst: SInstruction) -> str | None:
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_halt(m: StackMachine, inst: SInstruction) -> str | None:
+    m.halted = True
+    m.pc = (m.pc + 1) & 0xFFFF
+    return "halted"
+
+
+def _sh_iter(m: StackMachine, inst: SInstruction) -> str | None:
+    m.iteration += 1
+    m.pc = (m.pc + 1) & 0xFFFF
+    return "iteration"
+
+
+def _sh_pushi(m: StackMachine, inst: SInstruction) -> str | None:
+    m._dpush(inst.operand)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_pushih(m: StackMachine, inst: SInstruction) -> str | None:
+    value = m._dpop()
+    m._dpush((value & 0xFFFF) | (inst.operand << 16))
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_load(m: StackMachine, inst: SInstruction) -> str | None:
+    m._dpush(m._mem_read(inst.operand))
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_store(m: StackMachine, inst: SInstruction) -> str | None:
+    m._mem_write(inst.operand, m._dpop())
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_loadi(m: StackMachine, inst: SInstruction) -> str | None:
+    m._dpush(m._mem_read(m._dpop() & 0xFFFF))
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_storei(m: StackMachine, inst: SInstruction) -> str | None:
+    address = m._dpop() & 0xFFFF
+    m._mem_write(address, m._dpop())
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_dup(m: StackMachine, inst: SInstruction) -> str | None:
+    value = m._dpop()
+    m._dpush(value)
+    m._dpush(value)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_drop(m: StackMachine, inst: SInstruction) -> str | None:
+    m._dpop()
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_swap(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(b)
+    m._dpush(a)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_over(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(a)
+    m._dpush(b)
+    m._dpush(a)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_add(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(a + b)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_sub(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(a - b)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_mul(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(_signed(a) * _signed(b))
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_div(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    if _signed(b) == 0:
+        raise _Detected("arithmetic", "DIV by zero")
+    m._dpush(int(_signed(a) / _signed(b)))
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_and(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(a & b)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_or(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(a | b)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_xor(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(a ^ b)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_lt(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(1 if _signed(a) < _signed(b) else 0)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_eq(m: StackMachine, inst: SInstruction) -> str | None:
+    b = m._dpop()
+    a = m._dpop()
+    m._dpush(1 if a == b else 0)
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_not(m: StackMachine, inst: SInstruction) -> str | None:
+    m._dpush(~m._dpop())
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_neg(m: StackMachine, inst: SInstruction) -> str | None:
+    m._dpush(-m._dpop())
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_br(m: StackMachine, inst: SInstruction) -> str | None:
+    m.pc = inst.operand
+    return None
+
+
+def _sh_bz(m: StackMachine, inst: SInstruction) -> str | None:
+    if m._dpop() == 0:
+        m.pc = inst.operand
+    else:
+        m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_bnz(m: StackMachine, inst: SInstruction) -> str | None:
+    if m._dpop() != 0:
+        m.pc = inst.operand
+    else:
+        m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_call(m: StackMachine, inst: SInstruction) -> str | None:
+    m._rpush((m.pc + 1) & 0xFFFF)
+    m.pc = inst.operand
+    return None
+
+
+def _sh_ret(m: StackMachine, inst: SInstruction) -> str | None:
+    m.pc = m._rpop() & 0xFFFF
+    return None
+
+
+def _sh_in(m: StackMachine, inst: SInstruction) -> str | None:
+    m._dpush(m.input_ports.get(inst.operand, 0))
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+def _sh_out(m: StackMachine, inst: SInstruction) -> str | None:
+    value = m._dpop()
+    m.output_ports[inst.operand] = value
+    m.output_log.append((m.cycle, inst.operand, value))
+    m.pc = (m.pc + 1) & 0xFFFF
+    return None
+
+
+_S_HANDLERS: dict[SOp, Callable[[StackMachine, SInstruction], str | None]] = {
+    SOp.NOP: _sh_nop,
+    SOp.HALT: _sh_halt,
+    SOp.ITER: _sh_iter,
+    SOp.PUSHI: _sh_pushi,
+    SOp.PUSHIH: _sh_pushih,
+    SOp.LOAD: _sh_load,
+    SOp.STORE: _sh_store,
+    SOp.LOADI: _sh_loadi,
+    SOp.STOREI: _sh_storei,
+    SOp.DUP: _sh_dup,
+    SOp.DROP: _sh_drop,
+    SOp.SWAP: _sh_swap,
+    SOp.OVER: _sh_over,
+    SOp.ADD: _sh_add,
+    SOp.SUB: _sh_sub,
+    SOp.MUL: _sh_mul,
+    SOp.DIV: _sh_div,
+    SOp.AND: _sh_and,
+    SOp.OR: _sh_or,
+    SOp.XOR: _sh_xor,
+    SOp.NOT: _sh_not,
+    SOp.NEG: _sh_neg,
+    SOp.LT: _sh_lt,
+    SOp.EQ: _sh_eq,
+    SOp.BR: _sh_br,
+    SOp.BZ: _sh_bz,
+    SOp.BNZ: _sh_bnz,
+    SOp.CALL: _sh_call,
+    SOp.RET: _sh_ret,
+    SOp.IN: _sh_in,
+    SOp.OUT: _sh_out,
+}
+
+assert set(_S_HANDLERS) == set(SOp), "every opcode needs a handler"

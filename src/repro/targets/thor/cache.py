@@ -12,18 +12,27 @@ The caches are direct mapped with one 32-bit word per line and
 write-through/write-allocate data handling, which keeps the timing model
 simple (the simulator counts instructions, not stalls) while preserving
 the *detection* behaviour the paper's experiments depend on.
+
+Parity is maintained *lazily*: a cache-internal fill or write leaves the
+line "in sync by construction" (the parity bit is recomputed from the
+payload only when somebody observes it — a scan-chain dump, a state
+snapshot, or an explicit ``parity`` read), so the fetch/store hot loop
+never pays for a popcount.  Any *external* mutation of a line field
+(scan injection, fault overlay, a test poking ``line.data``) goes
+through the field properties, which first materialise the pending parity
+— from that point the stored parity bit is ordinary state that the next
+read checks, exactly as with eager parity.  The observable values are
+bit-identical to the eager scheme in all cases.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from .isa import ADDR_BITS, WORD_MASK
 
 
 def parity_bit(value: int) -> int:
     """Even-parity bit of an arbitrary non-negative integer."""
-    return bin(value).count("1") & 1
+    return value.bit_count() & 1
 
 
 class CacheParityError(Exception):
@@ -38,28 +47,104 @@ class CacheParityError(Exception):
         self.address = address
 
 
-@dataclass(slots=True)
 class CacheLine:
     """One direct-mapped cache line.
 
     All four fields are state elements reachable from the internal scan
     chain, so fault injection may corrupt any of them independently.
+    ``_dirty`` means "parity tracks the payload by construction" (the
+    line was last written by the cache itself); it is cleared the moment
+    the parity bit is observed or any field is mutated from outside.
     """
 
-    valid: int = 0
-    tag: int = 0
-    data: int = 0
-    parity: int = 0
+    __slots__ = ("_valid", "_tag", "_data", "_parity", "_dirty")
 
+    def __init__(self, valid: int = 0, tag: int = 0, data: int = 0, parity: int = 0) -> None:
+        self._valid = valid
+        self._tag = tag
+        self._data = data
+        self._parity = parity
+        self._dirty = False
+
+    # -- externally visible fields (mutation desynchronises parity) ----
+    @property
+    def valid(self) -> int:
+        return self._valid
+
+    @valid.setter
+    def valid(self, value: int) -> None:
+        if self._dirty:
+            self._materialize()
+        self._valid = value
+
+    @property
+    def tag(self) -> int:
+        return self._tag
+
+    @tag.setter
+    def tag(self, value: int) -> None:
+        if self._dirty:
+            self._materialize()
+        self._tag = value
+
+    @property
+    def data(self) -> int:
+        return self._data
+
+    @data.setter
+    def data(self, value: int) -> None:
+        if self._dirty:
+            self._materialize()
+        self._data = value
+
+    @property
+    def parity(self) -> int:
+        if self._dirty:
+            self._materialize()
+        return self._parity
+
+    @parity.setter
+    def parity(self, value: int) -> None:
+        self._parity = value
+        self._dirty = False
+
+    # ------------------------------------------------------------------
     def payload(self) -> int:
         """The bits covered by the parity code (valid, tag and data)."""
-        return (self.valid << 63) | (self.tag << 32) | self.data
+        return (self._valid << 63) | (self._tag << 32) | self._data
+
+    def _materialize(self) -> None:
+        """Settle the lazily deferred parity bit (same value an eager
+        recompute at write time would have stored: the payload has not
+        changed since the cache last wrote the line)."""
+        self._parity = self.payload().bit_count() & 1
+        self._dirty = False
 
     def recompute_parity(self) -> None:
-        self.parity = parity_bit(self.payload())
+        """Re-synchronise the parity bit with the current payload."""
+        self._parity = self.payload().bit_count() & 1
+        self._dirty = False
 
     def parity_ok(self) -> bool:
-        return parity_bit(self.payload()) == self.parity
+        if self._dirty:
+            return True  # in sync by construction; nothing mutated it
+        return self.payload().bit_count() & 1 == self._parity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(valid={self._valid}, tag={self._tag}, "
+            f"data={self._data}, parity={self.parity})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheLine):
+            return NotImplemented
+        return (self._valid, self._tag, self._data, self.parity) == (
+            other._valid,
+            other._tag,
+            other._data,
+            other.parity,
+        )
 
 
 class Cache:
@@ -98,31 +183,37 @@ class Cache:
         not cover the line's current contents — the hardware detection
         event a SCIFI-injected cache fault produces.
         """
-        index, tag = self._split(address)
+        index = address & self._index_mask
+        tag = (address >> self._index_bits) & 0xFFFF
         line = self.lines[index]
-        if line.valid and line.tag == tag:
-            if not line.parity_ok():
-                self.parity_errors += 1
-                raise CacheParityError(self.name, index, address)
+        if line._valid and line._tag == tag:
+            if not line._dirty:
+                if line.payload().bit_count() & 1 != line._parity:
+                    self.parity_errors += 1
+                    raise CacheParityError(self.name, index, address)
+                # The check just proved parity covers the payload, so the
+                # line is back "in sync by construction": later hits can
+                # skip the popcount, and materialisation recomputes the
+                # exact bit the check matched.
+                line._dirty = True
             self.hits += 1
-            return line.data
+            return line._data
         self.misses += 1
         word = self._read_backing(address) & WORD_MASK
-        line.valid = 1
-        line.tag = tag
-        line.data = word
-        line.recompute_parity()
+        line._valid = 1
+        line._tag = tag
+        line._data = word
+        line._dirty = True
         return word
 
     def write(self, address: int, value: int) -> None:
         """Write-allocate update of the cached copy (write-through is the
         caller's job: memory is always written as well)."""
-        index, tag = self._split(address)
-        line = self.lines[index]
-        line.valid = 1
-        line.tag = tag
-        line.data = value & WORD_MASK
-        line.recompute_parity()
+        line = self.lines[address & self._index_mask]
+        line._valid = 1
+        line._tag = (address >> self._index_bits) & 0xFFFF
+        line._data = value & WORD_MASK
+        line._dirty = True
 
     def snoop_invalidate(self, address: int) -> None:
         """Invalidate the line holding ``address``, if present.
@@ -134,17 +225,18 @@ class Cache:
         """
         index, tag = self._split(address)
         line = self.lines[index]
-        if line.valid and line.tag == tag:
-            line.valid = 0
-            line.recompute_parity()
+        if line._valid and line._tag == tag:
+            line._valid = 0
+            line._dirty = True  # parity follows the payload again
 
     def invalidate(self) -> None:
         """Flush the cache (target re-initialisation)."""
         for line in self.lines:
-            line.valid = 0
-            line.tag = 0
-            line.data = 0
-            line.parity = 0
+            line._valid = 0
+            line._tag = 0
+            line._data = 0
+            line._parity = 0
+            line._dirty = False
         self.hits = 0
         self.misses = 0
         self.parity_errors = 0
@@ -156,7 +248,7 @@ class Cache:
         """Snapshot the lines (incl. parity bits — a desynchronised
         parity is state, not an error until read) and the counters."""
         return {
-            "lines": [(l.valid, l.tag, l.data, l.parity) for l in self.lines],
+            "lines": [(l._valid, l._tag, l._data, l.parity) for l in self.lines],
             "hits": self.hits,
             "misses": self.misses,
             "parity_errors": self.parity_errors,
@@ -166,10 +258,11 @@ class Cache:
         # Mutate the existing CacheLine objects in place: the scan-chain
         # elements hold references to this cache and its lines.
         for line, (valid, tag, data, parity) in zip(self.lines, state["lines"]):
-            line.valid = valid
-            line.tag = tag
-            line.data = data
-            line.parity = parity
+            line._valid = valid
+            line._tag = tag
+            line._data = data
+            line._parity = parity
+            line._dirty = False
         self.hits = state["hits"]
         self.misses = state["misses"]
         self.parity_errors = state["parity_errors"]

@@ -18,6 +18,28 @@ A deterministic fetch/decode/execute interpreter with:
 One instruction costs one cycle; the cycle counter is the target's
 notion of time (the paper's "points in time the faults should be
 injected").
+
+Execution engine
+----------------
+
+Instruction semantics live in per-opcode handler functions
+(``_HANDLERS``); the handler is bound onto the decoded
+:class:`~repro.targets.thor.isa.Instruction` on first dispatch, so
+executing an instruction is a single callable invocation.  There are two
+run loops over those handlers:
+
+* ``_run_observed`` — the reference loop: one :meth:`step` per
+  iteration, with every hook dispatch point and stop check in program
+  order.  This is the semantics contract.
+* ``_run_fast`` — a fused loop used when no observers are attached
+  (no trace/memory hooks, no post-step overlays, register parity off).
+  It hoists hot attributes into locals, folds ``stop_at_cycle`` and
+  ``max_cycles`` into one precomputed bound, and inlines the
+  instruction-cache hit path.  Its observable behaviour (architectural
+  state, counters, stop reasons, detections) is bit-identical to the
+  reference loop — enforced by ``tests/test_hotloop.py``.
+
+``cpu.fast = False`` forces the reference loop for every run.
 """
 
 from __future__ import annotations
@@ -128,12 +150,23 @@ class ThorCPU:
         self.output_ports: dict[int, int] = {}
         self.output_log: list[tuple[int, int, int]] = []  # (cycle, port, value)
 
-        #: Observer hooks.  ``None`` keeps the hot loop cheap.
+        #: Observer hooks.  ``None`` keeps the hot loop cheap; any
+        #: registered hook routes :meth:`run` through the reference loop.
         self.trace_hook: Callable[[int, int, Instruction], None] | None = None
         self.mem_hook: Callable[[MemAccess], None] | None = None
         #: Called after every executed instruction; used to implement
         #: permanent (stuck-at) and intermittent fault overlays.
         self.post_step_hooks: list[Callable[["ThorCPU"], None]] = []
+
+        #: Fast-path control: when True and no observers are attached,
+        #: :meth:`run` uses the fused loop.  Set False to force the
+        #: reference step loop (the ``fast=False`` escape hatch).
+        self.fast = True
+        #: Diagnostic count of fused-loop segments entered.  Not
+        #: architectural state: deliberately excluded from
+        #: ``save_state`` so checkpointed and plain runs snapshot
+        #: identically.
+        self.fast_segments = 0
 
     # ------------------------------------------------------------------
     # State management
@@ -305,6 +338,32 @@ class ThorCPU:
         stops before executing the instruction belonging to that cycle —
         both give the SCIFI algorithm a state "at the point in time when
         the fault should be injected".
+
+        Dispatches to the fused fast loop when nothing observes
+        individual steps; any registered hook (or ``fast = False``)
+        selects the reference loop.  Both loops produce bit-identical
+        observable state.
+        """
+        if (
+            self.fast
+            and self.trace_hook is None
+            and self.mem_hook is None
+            and not self.post_step_hooks
+            and not self.register_parity
+        ):
+            return self._run_fast(max_cycles, stop_at_cycle)
+        return self._run_observed(max_cycles, stop_at_cycle)
+
+    def _run_observed(
+        self,
+        max_cycles: int,
+        stop_at_cycle: int | None = None,
+    ) -> StopReason:
+        """Reference run loop: one observable :meth:`step` at a time.
+
+        This loop is the semantics contract the fast path is tested
+        against; it is also the only loop that dispatches trace/memory
+        hooks, post-step fault overlays, and the register-parity EDM.
         """
         breakpoints = self.breakpoints
         while True:
@@ -317,6 +376,97 @@ class ThorCPU:
             if breakpoints and self.pc in breakpoints:
                 return StopReason.BREAKPOINT
             stop = self.step()
+            if stop is not None:
+                return stop
+
+    def _run_fast(
+        self,
+        max_cycles: int,
+        stop_at_cycle: int | None = None,
+    ) -> StopReason:
+        """Fused run loop: :meth:`step` inlined with hot state in locals.
+
+        Equivalence notes (mirroring ``_run_observed`` + ``step``):
+
+        * the two cycle bounds fold into one precomputed ``next_stop``;
+          a tie resolves to CYCLE_BREAK because the reference loop
+          checks ``stop_at_cycle`` first;
+        * the inlined fetch only short-circuits a *dirty* cache hit
+          (parity in sync by construction); every other case — miss,
+          materialised parity, fetch fault — takes ``Cache.read`` for
+          exact counter and detection behaviour;
+        * ``cycle`` is incremented exactly where ``step`` does: after
+          the handler returns, never on a fetch/decode/execute fault.
+        """
+        self.fast_segments += 1
+        if stop_at_cycle is not None and stop_at_cycle <= max_cycles:
+            next_stop = stop_at_cycle
+            stop_reason = StopReason.CYCLE_BREAK
+        else:
+            next_stop = max_cycles
+            stop_reason = StopReason.CYCLE_LIMIT
+
+        icache = self.icache
+        ilines = icache.lines
+        imask = icache._index_mask
+        ibits = icache._index_bits
+        icache_read = icache.read
+        decode_cache = DECODER._cache
+        decode_slow = DECODER.decode
+        handlers = _HANDLERS
+        breakpoints = self.breakpoints
+        bind = object.__setattr__
+
+        while True:
+            if self.halted:
+                return StopReason.DETECTED if self.detection else StopReason.HALTED
+            cycle = self.cycle
+            if cycle >= next_stop:
+                return stop_reason
+            pc = self.pc
+            if breakpoints and pc in breakpoints:
+                return StopReason.BREAKPOINT
+
+            # -- fetch ------------------------------------------------
+            line = ilines[pc & imask]
+            if line._valid and line._dirty and line._tag == (pc >> ibits) & 0xFFFF:
+                icache.hits += 1
+                word = line._data
+            else:
+                try:
+                    word = icache_read(pc)
+                except CacheParityError as exc:
+                    self._detect(Mechanism.ICACHE_PARITY, str(exc))
+                    return StopReason.DETECTED
+                except MemoryViolation as exc:
+                    self._detect(Mechanism.MEM_VIOLATION, str(exc))
+                    return StopReason.DETECTED
+            self.ir = word
+
+            # -- decode -----------------------------------------------
+            inst = decode_cache.get(word)
+            if inst is None:
+                try:
+                    inst = decode_slow(word)
+                except IllegalOpcodeError as exc:
+                    self._detect(Mechanism.ILLEGAL_OPCODE, str(exc))
+                    return StopReason.DETECTED
+
+            # -- execute ----------------------------------------------
+            handler = inst.handler
+            if handler is None:
+                handler = handlers[inst.op]
+                bind(inst, "handler", handler)
+            try:
+                stop = handler(self, inst)
+            except CacheParityError as exc:
+                self._detect(Mechanism.DCACHE_PARITY, str(exc))
+                return StopReason.DETECTED
+            except MemoryViolation as exc:
+                self._detect(Mechanism.MEM_VIOLATION, str(exc))
+                return StopReason.DETECTED
+
+            self.cycle = cycle + 1
             if stop is not None:
                 return stop
 
@@ -366,165 +516,12 @@ class ThorCPU:
             raise MemoryViolation("stack", sp)
 
     def _execute(self, inst: Instruction) -> StopReason | None:
-        op = inst.op
-        regs = self.regs
-        next_pc = (self.pc + 1) & 0xFFFF
-
-        if op is Op.NOP:
-            pass
-        elif op is Op.HALT:
-            self.halted = True
-            self.pc = next_pc
-            return StopReason.HALTED
-        elif op is Op.LDI:
-            regs[inst.rd] = inst.imm
-        elif op is Op.LDIH:
-            regs[inst.rd] = (regs[inst.rd] & 0xFFFF) | ((inst.imm & 0xFFFF) << 16)
-        elif op is Op.LDA:
-            regs[inst.rd] = self._data_read(inst.imm)
-        elif op is Op.STA:
-            self._data_write(inst.imm, regs[inst.rd])
-        elif op is Op.LD:
-            regs[inst.rd] = self._data_read(regs[inst.ra] + inst.imm)
-        elif op is Op.ST:
-            self._data_write(regs[inst.ra] + inst.imm, regs[inst.rd])
-        elif op is Op.MOV:
-            regs[inst.rd] = regs[inst.ra]
-        elif op is Op.PUSH:
-            sp = (regs[REG_SP] - 1) & WORD_MASK
-            try:
-                self._check_stack(sp & 0xFFFF)
-            except MemoryViolation:
-                self._detect(Mechanism.STACK, f"stack overflow, sp=0x{sp:08X}")
-                return StopReason.DETECTED
-            regs[REG_SP] = sp
-            self._data_write(sp, regs[inst.rd])
-        elif op is Op.POP:
-            sp = regs[REG_SP]
-            try:
-                self._check_stack(sp & 0xFFFF)
-            except MemoryViolation:
-                self._detect(Mechanism.STACK, f"stack underflow, sp=0x{sp:08X}")
-                return StopReason.DETECTED
-            regs[inst.rd] = self._data_read(sp)
-            regs[REG_SP] = (sp + 1) & WORD_MASK
-        elif op is Op.ADD:
-            result = self._add(regs[inst.ra], regs[inst.rb])
-            if self.trap_on_overflow and self.flag_v:
-                self._detect(Mechanism.OVERFLOW, "ADD overflow")
-                return StopReason.DETECTED
-            regs[inst.rd] = result
-        elif op is Op.SUB:
-            result = self._sub(regs[inst.ra], regs[inst.rb])
-            if self.trap_on_overflow and self.flag_v:
-                self._detect(Mechanism.OVERFLOW, "SUB overflow")
-                return StopReason.DETECTED
-            regs[inst.rd] = result
-        elif op is Op.MUL:
-            full = to_signed(regs[inst.ra]) * to_signed(regs[inst.rb])
-            result = full & WORD_MASK
-            self.flag_v = 1 if full != to_signed(result) else 0
-            if self.trap_on_overflow and self.flag_v:
-                self._detect(Mechanism.OVERFLOW, "MUL overflow")
-                return StopReason.DETECTED
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.DIV or op is Op.MOD:
-            divisor = to_signed(regs[inst.rb])
-            if divisor == 0:
-                self._detect(Mechanism.ARITHMETIC, f"{op.name} by zero")
-                return StopReason.DETECTED
-            dividend = to_signed(regs[inst.ra])
-            quotient = int(dividend / divisor)  # C-style truncation
-            remainder = dividend - quotient * divisor
-            result = to_word(quotient if op is Op.DIV else remainder)
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.AND:
-            result = regs[inst.ra] & regs[inst.rb]
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.OR:
-            result = regs[inst.ra] | regs[inst.rb]
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.XOR:
-            result = regs[inst.ra] ^ regs[inst.rb]
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.SHL:
-            shift = regs[inst.rb] & 31
-            result = (regs[inst.ra] << shift) & WORD_MASK
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.SHR:
-            shift = regs[inst.rb] & 31
-            result = regs[inst.ra] >> shift
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.SAR:
-            shift = regs[inst.rb] & 31
-            result = to_word(to_signed(regs[inst.ra]) >> shift)
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.NOT:
-            result = (~regs[inst.ra]) & WORD_MASK
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.NEG:
-            result = (-regs[inst.ra]) & WORD_MASK
-            self._set_zn(result)
-            regs[inst.rd] = result
-        elif op is Op.ADDI:
-            result = self._add(regs[inst.ra], to_word(inst.imm))
-            regs[inst.rd] = result
-        elif op is Op.CMP:
-            self._sub(regs[inst.ra], regs[inst.rb])
-        elif op is Op.CMPI:
-            self._sub(regs[inst.ra], to_word(inst.imm))
-        elif op in BRANCH_OPS:
-            if self._branch_taken(op):
-                self.pc = inst.imm & 0xFFFF
-                return None
-        elif op is Op.CALL:
-            sp = (regs[REG_SP] - 1) & WORD_MASK
-            try:
-                self._check_stack(sp & 0xFFFF)
-            except MemoryViolation:
-                self._detect(Mechanism.STACK, f"call stack overflow, sp=0x{sp:08X}")
-                return StopReason.DETECTED
-            regs[REG_SP] = sp
-            self._data_write(sp, next_pc)
-            self.pc = inst.imm & 0xFFFF
-            return None
-        elif op is Op.RET:
-            sp = regs[REG_SP]
-            try:
-                self._check_stack(sp & 0xFFFF)
-            except MemoryViolation:
-                self._detect(Mechanism.STACK, f"return stack underflow, sp=0x{sp:08X}")
-                return StopReason.DETECTED
-            self.pc = self._data_read(sp) & 0xFFFF
-            regs[REG_SP] = (sp + 1) & WORD_MASK
-            return None
-        elif op is Op.TRAP:
-            self._detect(Mechanism.SOFTWARE_TRAP, f"trap {inst.imm}")
-            return StopReason.DETECTED
-        elif op is Op.ITER:
-            self.iteration += 1
-            self.pc = next_pc
-            return StopReason.ITERATION
-        elif op is Op.IN:
-            regs[inst.rd] = self.input_ports.get(inst.imm, 0) & WORD_MASK
-        elif op is Op.OUT:
-            value = regs[inst.rd]
-            self.output_ports[inst.imm] = value
-            self.output_log.append((self.cycle, inst.imm, value))
-        else:  # pragma: no cover - all opcodes are handled above
-            raise AssertionError(f"unhandled opcode {op!r}")
-
-        self.pc = next_pc
-        return None
+        """Dispatch one decoded instruction through its bound handler."""
+        handler = inst.handler
+        if handler is None:
+            handler = _HANDLERS[inst.op]
+            object.__setattr__(inst, "handler", handler)
+        return handler(self, inst)
 
     def _branch_taken(self, op: Op) -> bool:
         if op is Op.BR:
@@ -546,3 +543,436 @@ class ThorCPU:
         if op is Op.BVS:
             return bool(self.flag_v)
         raise AssertionError(f"not a branch: {op!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Per-opcode handlers.
+#
+# Each handler implements the full semantics of one opcode, including
+# the PC update, and returns a StopReason (run-ending instruction) or
+# None.  The PC is written *last* so a data-memory fault raised mid-way
+# leaves it on the faulting instruction, exactly as the monolithic
+# dispatch did.  Faults (CacheParityError, MemoryViolation from memory
+# accesses) propagate to the caller; only the stack-limit checks of
+# PUSH/POP/CALL/RET map their violation locally onto the STACK EDM.
+# ----------------------------------------------------------------------
+
+
+def _h_nop(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_halt(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.halted = True
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return StopReason.HALTED
+
+
+def _h_ldi(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.regs[inst.rd] = inst.imm
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_ldih(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    regs[inst.rd] = (regs[inst.rd] & 0xFFFF) | ((inst.imm & 0xFFFF) << 16)
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_lda(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.regs[inst.rd] = cpu._data_read(inst.imm)
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_sta(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu._data_write(inst.imm, cpu.regs[inst.rd])
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_ld(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    regs[inst.rd] = cpu._data_read(regs[inst.ra] + inst.imm)
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_st(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    cpu._data_write(regs[inst.ra] + inst.imm, regs[inst.rd])
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_mov(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    regs[inst.rd] = regs[inst.ra]
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_push(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    sp = (regs[REG_SP] - 1) & WORD_MASK
+    if not cpu.memory.map.in_data(sp & 0xFFFF):
+        cpu._detect(Mechanism.STACK, f"stack overflow, sp=0x{sp:08X}")
+        return StopReason.DETECTED
+    regs[REG_SP] = sp
+    cpu._data_write(sp, regs[inst.rd])
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_pop(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    sp = regs[REG_SP]
+    if not cpu.memory.map.in_data(sp & 0xFFFF):
+        cpu._detect(Mechanism.STACK, f"stack underflow, sp=0x{sp:08X}")
+        return StopReason.DETECTED
+    regs[inst.rd] = cpu._data_read(sp)
+    regs[REG_SP] = (sp + 1) & WORD_MASK
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_add(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    a = regs[inst.ra]
+    b = regs[inst.rb]
+    full = a + b
+    result = full & WORD_MASK
+    cpu.flag_c = 1 if full > WORD_MASK else 0
+    cpu.flag_v = flag_v = 1 if ((a ^ result) & (b ^ result)) >> 31 & 1 else 0
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    if flag_v and cpu.trap_on_overflow:
+        cpu._detect(Mechanism.OVERFLOW, "ADD overflow")
+        return StopReason.DETECTED
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_sub(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    a = regs[inst.ra]
+    b = regs[inst.rb]
+    result = (a - b) & WORD_MASK
+    cpu.flag_c = 1 if a < b else 0  # borrow
+    cpu.flag_v = flag_v = 1 if ((a ^ b) & (a ^ result)) >> 31 & 1 else 0
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    if flag_v and cpu.trap_on_overflow:
+        cpu._detect(Mechanism.OVERFLOW, "SUB overflow")
+        return StopReason.DETECTED
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_mul(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    full = to_signed(regs[inst.ra]) * to_signed(regs[inst.rb])
+    result = full & WORD_MASK
+    cpu.flag_v = flag_v = 1 if full != to_signed(result) else 0
+    if flag_v and cpu.trap_on_overflow:
+        cpu._detect(Mechanism.OVERFLOW, "MUL overflow")
+        return StopReason.DETECTED
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_divmod(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    op = inst.op
+    divisor = to_signed(regs[inst.rb])
+    if divisor == 0:
+        cpu._detect(Mechanism.ARITHMETIC, f"{op.name} by zero")
+        return StopReason.DETECTED
+    dividend = to_signed(regs[inst.ra])
+    quotient = int(dividend / divisor)  # C-style truncation
+    remainder = dividend - quotient * divisor
+    result = (quotient if op is Op.DIV else remainder) & WORD_MASK
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_and(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    result = regs[inst.ra] & regs[inst.rb]
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_or(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    result = regs[inst.ra] | regs[inst.rb]
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_xor(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    result = regs[inst.ra] ^ regs[inst.rb]
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_shl(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    shift = regs[inst.rb] & 31
+    result = (regs[inst.ra] << shift) & WORD_MASK
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_shr(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    shift = regs[inst.rb] & 31
+    result = regs[inst.ra] >> shift
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_sar(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    shift = regs[inst.rb] & 31
+    result = (to_signed(regs[inst.ra]) >> shift) & WORD_MASK
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_not(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    result = (~regs[inst.ra]) & WORD_MASK
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_neg(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    result = (-regs[inst.ra]) & WORD_MASK
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_addi(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    a = regs[inst.ra]
+    b = inst.imm & WORD_MASK
+    full = a + b
+    result = full & WORD_MASK
+    cpu.flag_c = 1 if full > WORD_MASK else 0
+    cpu.flag_v = 1 if ((a ^ result) & (b ^ result)) >> 31 & 1 else 0
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    regs[inst.rd] = result
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_cmp(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    a = regs[inst.ra]
+    b = regs[inst.rb]
+    result = (a - b) & WORD_MASK
+    cpu.flag_c = 1 if a < b else 0  # borrow
+    cpu.flag_v = 1 if ((a ^ b) & (a ^ result)) >> 31 & 1 else 0
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_cmpi(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    a = cpu.regs[inst.ra]
+    b = inst.imm & WORD_MASK
+    result = (a - b) & WORD_MASK
+    cpu.flag_c = 1 if a < b else 0  # borrow
+    cpu.flag_v = 1 if ((a ^ b) & (a ^ result)) >> 31 & 1 else 0
+    cpu.flag_z = 1 if result == 0 else 0
+    cpu.flag_n = (result >> 31) & 1
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_br(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = inst.imm & 0xFFFF
+    return None
+
+
+def _h_beq(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = inst.imm & 0xFFFF if cpu.flag_z else (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_bne(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = (cpu.pc + 1) & 0xFFFF if cpu.flag_z else inst.imm & 0xFFFF
+    return None
+
+
+def _h_blt(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = inst.imm & 0xFFFF if cpu.flag_n != cpu.flag_v else (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_ble(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    if cpu.flag_z or cpu.flag_n != cpu.flag_v:
+        cpu.pc = inst.imm & 0xFFFF
+    else:
+        cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_bgt(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    if not cpu.flag_z and cpu.flag_n == cpu.flag_v:
+        cpu.pc = inst.imm & 0xFFFF
+    else:
+        cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_bge(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = inst.imm & 0xFFFF if cpu.flag_n == cpu.flag_v else (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_bcs(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = inst.imm & 0xFFFF if cpu.flag_c else (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_bvs(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.pc = inst.imm & 0xFFFF if cpu.flag_v else (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_call(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    next_pc = (cpu.pc + 1) & 0xFFFF
+    sp = (regs[REG_SP] - 1) & WORD_MASK
+    if not cpu.memory.map.in_data(sp & 0xFFFF):
+        cpu._detect(Mechanism.STACK, f"call stack overflow, sp=0x{sp:08X}")
+        return StopReason.DETECTED
+    regs[REG_SP] = sp
+    cpu._data_write(sp, next_pc)
+    cpu.pc = inst.imm & 0xFFFF
+    return None
+
+
+def _h_ret(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    regs = cpu.regs
+    sp = regs[REG_SP]
+    if not cpu.memory.map.in_data(sp & 0xFFFF):
+        cpu._detect(Mechanism.STACK, f"return stack underflow, sp=0x{sp:08X}")
+        return StopReason.DETECTED
+    cpu.pc = cpu._data_read(sp) & 0xFFFF
+    regs[REG_SP] = (sp + 1) & WORD_MASK
+    return None
+
+
+def _h_trap(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu._detect(Mechanism.SOFTWARE_TRAP, f"trap {inst.imm}")
+    return StopReason.DETECTED
+
+
+def _h_iter(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.iteration += 1
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return StopReason.ITERATION
+
+
+def _h_in(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    cpu.regs[inst.rd] = cpu.input_ports.get(inst.imm, 0) & WORD_MASK
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+def _h_out(cpu: ThorCPU, inst: Instruction) -> StopReason | None:
+    value = cpu.regs[inst.rd]
+    cpu.output_ports[inst.imm] = value
+    cpu.output_log.append((cpu.cycle, inst.imm, value))
+    cpu.pc = (cpu.pc + 1) & 0xFFFF
+    return None
+
+
+_HANDLERS: dict[Op, Callable[[ThorCPU, Instruction], StopReason | None]] = {
+    Op.NOP: _h_nop,
+    Op.HALT: _h_halt,
+    Op.RET: _h_ret,
+    Op.ITER: _h_iter,
+    Op.LDI: _h_ldi,
+    Op.LDIH: _h_ldih,
+    Op.LDA: _h_lda,
+    Op.STA: _h_sta,
+    Op.LD: _h_ld,
+    Op.ST: _h_st,
+    Op.MOV: _h_mov,
+    Op.PUSH: _h_push,
+    Op.POP: _h_pop,
+    Op.ADD: _h_add,
+    Op.SUB: _h_sub,
+    Op.MUL: _h_mul,
+    Op.DIV: _h_divmod,
+    Op.MOD: _h_divmod,
+    Op.AND: _h_and,
+    Op.OR: _h_or,
+    Op.XOR: _h_xor,
+    Op.SHL: _h_shl,
+    Op.SHR: _h_shr,
+    Op.SAR: _h_sar,
+    Op.NOT: _h_not,
+    Op.NEG: _h_neg,
+    Op.ADDI: _h_addi,
+    Op.CMP: _h_cmp,
+    Op.CMPI: _h_cmpi,
+    Op.BR: _h_br,
+    Op.BEQ: _h_beq,
+    Op.BNE: _h_bne,
+    Op.BLT: _h_blt,
+    Op.BLE: _h_ble,
+    Op.BGT: _h_bgt,
+    Op.BGE: _h_bge,
+    Op.BCS: _h_bcs,
+    Op.BVS: _h_bvs,
+    Op.CALL: _h_call,
+    Op.TRAP: _h_trap,
+    Op.IN: _h_in,
+    Op.OUT: _h_out,
+}
+
+assert set(_HANDLERS) == set(Op), "every opcode needs a handler"

@@ -366,6 +366,15 @@ class ThorTargetInterface(TargetSystemInterface):
         return self._environment
 
     # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+    def set_fast_path(self, enabled: bool) -> None:
+        self.card.cpu.fast = bool(enabled)
+
+    def execution_stats(self) -> dict:
+        return {"fast_segments": self.card.cpu.fast_segments}
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def save_state(self) -> dict:

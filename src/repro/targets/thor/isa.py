@@ -25,7 +25,7 @@ instruction *format*; the decoder extracts the fields the format uses.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 WORD_BITS = 32
 WORD_MASK = 0xFFFFFFFF
@@ -191,6 +191,12 @@ class Instruction:
     ra: int = 0
     rb: int = 0
     imm: int = 0
+    #: Execution-engine slot: the CPU binds its semantic handler here the
+    #: first time the instruction is dispatched, so subsequent executions
+    #: of the same decoded word are a single callable invocation.  Not
+    #: part of the instruction's identity (excluded from eq/hash/repr);
+    #: written through ``object.__setattr__`` despite the frozen class.
+    handler: object = field(default=None, compare=False, repr=False)
 
     @property
     def format(self) -> Format:

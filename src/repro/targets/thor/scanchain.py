@@ -50,13 +50,58 @@ def _attr_element(cpu: ThorCPU, name: str, attr: str, width: int, writable: bool
 
 
 def _cache_element(cpu: ThorCPU, cache_name: str, fld: str, width: int) -> ScanElement:
+    # Bind the line object and attribute once at chain-build time instead
+    # of re-parsing the "<cache>.line<i>.<attr>" path on every access —
+    # full-chain dumps touch hundreds of these cells per experiment.
+    # Safe because Cache.restore_state mutates lines in place, so the
+    # bound CacheLine objects stay the cache's physical lines.
+    #
+    # The closures are specialised per field to keep full-chain shifts
+    # cheap while preserving the lazy-parity contract:
+    # * reading valid/tag/data can use the raw slots — materialising the
+    #   parity bit does not change them;
+    # * reading parity goes through the property (materialises);
+    # * writing an *unchanged* value is skipped — the stored fields and
+    #   every later parity observation are identical either way, since
+    #   deferred parity depends only on the payload;
+    # * writing a changed value goes through the property, which settles
+    #   the pending parity first (external-mutation semantics).
     cache = getattr(cpu, cache_name)
+    line, attr = cache._locate(fld)
+    if attr == "valid":
 
-    def getter() -> int:
-        return cache.scan_get(fld)
+        def getter() -> int:
+            return line._valid
 
-    def setter(value: int) -> None:
-        cache.scan_set(fld, value)
+        def setter(value: int) -> None:
+            if value != line._valid:
+                line.valid = value
+
+    elif attr == "tag":
+
+        def getter() -> int:
+            return line._tag
+
+        def setter(value: int) -> None:
+            if value != line._tag:
+                line.tag = value
+
+    elif attr == "data":
+
+        def getter() -> int:
+            return line._data
+
+        def setter(value: int) -> None:
+            if value != line._data:
+                line.data = value
+
+    else:  # parity
+
+        def getter() -> int:
+            return line.parity
+
+        def setter(value: int) -> None:
+            line.parity = value
 
     return ScanElement(fld, width, getter, setter)
 

@@ -1,0 +1,419 @@
+"""Fast-loop equivalence: the fused execution engine vs the reference loop.
+
+``ThorCPU.run`` and ``StackMachine.run`` dispatch to a fused fast path
+whenever nothing observes individual steps; the slow observable step
+loop (``_run_observed``) is the semantics contract.  These tests pin the
+equivalence down where the two loops are easiest to drive apart:
+
+* runs under observation (trace/memory hooks force the reference loop);
+* hooks attached *mid-run*, after a fast segment already executed;
+* address breakpoints landing inside a fused segment;
+* stop-at-cycle boundaries, including the tie with the cycle budget;
+* instruction words rewritten mid-run (the decode caches key on the raw
+  word, so self-modified code needs no invalidation);
+* whole campaigns — SCIFI, pre-runtime SWIFI, runtime SWIFI, pin-level,
+  serial/parallel/checkpointed — whose logged rows must be bit-identical
+  between ``fast=True`` and ``fast=False``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_campaign
+from repro import CampaignConfig, GoofiSession, ObservationSpec, Termination
+from repro.targets.stack import StackMachine, s_load
+from repro.targets.thor.assembler import assemble
+from repro.targets.thor.cpu import StopReason, ThorCPU
+from repro.targets.thor.testcard import TestCard
+
+
+LOOP_SOURCE = """
+    LDI r1, 0
+    LDI r2, 40
+loop:
+    ADD r1, r1, r2
+    ADDI r2, r2, -1
+    CMPI r2, 0
+    BGT loop
+    HALT
+"""
+
+
+def fresh_cpu(source: str = LOOP_SOURCE, fast: bool = True) -> ThorCPU:
+    cpu = ThorCPU()
+    cpu.fast = fast
+    program = assemble(source)
+    cpu.memory.load_image(program.program_base, program.program)
+    if program.data:
+        cpu.memory.load_image(program.data_base, program.data)
+    cpu.reset(entry_point=program.entry_point)
+    return cpu
+
+
+def fresh_machine(workload: str = "s_fib", fast: bool = True) -> StackMachine:
+    machine = StackMachine()
+    machine.fast = fast
+    program = s_load(workload)
+    machine.memory[: len(program.program)] = program.program
+    for offset, word in enumerate(program.data):
+        machine.memory[program.data_base + offset] = word
+    machine.reset(program.entry_point)
+    return machine
+
+
+def rows_by_name(db, campaign: str) -> dict:
+    """Logged rows keyed by the campaign-relative experiment name,
+    stripped of ``createdAt`` and insertion order."""
+    return {
+        record.experiment_name.split("/", 1)[1]: (
+            record.experiment_data,
+            record.state_vector,
+            record.parent_experiment,
+        )
+        for record in db.iter_experiments(campaign)
+    }
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_fast_path_engages_on_plain_run(self):
+        cpu = fresh_cpu()
+        assert cpu.run(10_000) is StopReason.HALTED
+        assert cpu.fast_segments > 0
+
+    def test_fast_false_forces_reference_loop(self):
+        cpu = fresh_cpu(fast=False)
+        assert cpu.run(10_000) is StopReason.HALTED
+        assert cpu.fast_segments == 0
+
+    def test_trace_hook_forces_reference_loop(self):
+        cpu = fresh_cpu()
+        steps: list[int] = []
+        cpu.trace_hook = lambda cycle, pc, name: steps.append(cycle)
+        assert cpu.run(10_000) is StopReason.HALTED
+        assert cpu.fast_segments == 0
+        assert len(steps) == cpu.cycle
+
+    def test_mem_hook_forces_reference_loop(self):
+        cpu = fresh_cpu()
+        cpu.mem_hook = lambda access: None
+        cpu.run(10_000)
+        assert cpu.fast_segments == 0
+
+    def test_post_step_hook_forces_reference_loop(self):
+        cpu = fresh_cpu()
+        cpu.post_step_hooks.append(lambda c: None)
+        cpu.run(10_000)
+        assert cpu.fast_segments == 0
+
+    def test_register_parity_forces_reference_loop(self):
+        cpu = ThorCPU(register_parity=True)
+        program = assemble(LOOP_SOURCE)
+        cpu.memory.load_image(program.program_base, program.program)
+        cpu.reset(entry_point=program.entry_point)
+        cpu.run(10_000)
+        assert cpu.fast_segments == 0
+
+    def test_stack_trace_hook_forces_reference_loop(self):
+        machine = fresh_machine()
+        machine.trace_hook = lambda cycle, pc, name: None
+        machine.run(10_000)
+        assert machine.fast_segments == 0
+
+
+# ----------------------------------------------------------------------
+# State equivalence on the Thor core
+# ----------------------------------------------------------------------
+class TestThorEquivalence:
+    def run_both(self, source: str, max_cycles: int = 10_000, **kwargs):
+        fast = fresh_cpu(source)
+        ref = fresh_cpu(source, fast=False)
+        fast_stop = fast.run(max_cycles, **kwargs)
+        ref_stop = ref.run(max_cycles, **kwargs)
+        assert fast_stop is ref_stop
+        assert fast.save_state() == ref.save_state()
+        return fast, ref
+
+    def test_plain_run_to_halt(self):
+        fast, _ = self.run_both(LOOP_SOURCE)
+        assert fast.halted
+
+    def test_traced_run_matches_fast_final_state(self):
+        fast = fresh_cpu()
+        fast.run(10_000)
+        traced = fresh_cpu()
+        trace: list[tuple] = []
+        traced.trace_hook = lambda cycle, pc, name: trace.append((cycle, pc, name))
+        traced.run(10_000)
+        assert traced.save_state() == fast.save_state()
+        assert trace, "trace hook never fired"
+        assert trace[0][0] == 0 and trace[-1][0] == traced.cycle - 1
+
+    def test_cycle_limit(self):
+        fast, _ = self.run_both("spin: BR spin", max_cycles=77)
+        assert fast.cycle == 77
+
+    def test_stop_at_cycle_inside_fused_segment(self):
+        fast, ref = self.run_both(LOOP_SOURCE, stop_at_cycle=13)
+        assert fast.cycle == 13
+        assert not fast.halted
+
+    def test_stop_at_cycle_equal_to_budget_is_cycle_break(self):
+        # The reference loop checks stop-at-cycle before the budget; the
+        # fast path folds both into one bound and must keep that order.
+        fast = fresh_cpu("spin: BR spin")
+        ref = fresh_cpu("spin: BR spin", fast=False)
+        assert fast.run(5, stop_at_cycle=5) is StopReason.CYCLE_BREAK
+        assert ref.run(5, stop_at_cycle=5) is StopReason.CYCLE_BREAK
+        assert fast.save_state() == ref.save_state()
+
+    def test_stop_at_cycle_beyond_budget_is_cycle_limit(self):
+        fast = fresh_cpu("spin: BR spin")
+        assert fast.run(5, stop_at_cycle=9) is StopReason.CYCLE_LIMIT
+        assert fast.cycle == 5
+
+    def test_breakpoint_inside_fused_segment(self):
+        # Address 4 is the CMPI inside the loop body: the fast path must
+        # stop there mid-segment, before executing it, like the
+        # reference loop does.
+        fast = fresh_cpu()
+        ref = fresh_cpu(fast=False)
+        for cpu in (fast, ref):
+            cpu.breakpoints.add(4)
+            assert cpu.run(10_000) is StopReason.BREAKPOINT
+            assert cpu.pc == 4
+        assert fast.save_state() == ref.save_state()
+        # Re-running without moving PC reports the breakpoint again.
+        assert fast.run(10_000) is StopReason.BREAKPOINT
+        assert fast.save_state() == ref.save_state()
+        # Clearing it resumes both to the same final state.
+        for cpu in (fast, ref):
+            cpu.breakpoints.clear()
+            assert cpu.run(10_000) is StopReason.HALTED
+        assert fast.save_state() == ref.save_state()
+
+    def test_hooks_attached_mid_run(self):
+        # First segment runs fused; the hook attached at the break must
+        # then see every remaining step, and the final state must match
+        # an unobserved run.
+        plain = fresh_cpu()
+        plain.run(10_000)
+
+        cpu = fresh_cpu()
+        assert cpu.run(10_000, stop_at_cycle=10) is StopReason.CYCLE_BREAK
+        assert cpu.fast_segments == 1
+        seen: list[int] = []
+        cpu.post_step_hooks.append(lambda c: seen.append(c.cycle))
+        cpu.mem_hook = lambda access: None
+        assert cpu.run(10_000) is StopReason.HALTED
+        assert cpu.fast_segments == 1  # second segment took the reference loop
+        assert seen == list(range(11, cpu.cycle + 1))
+        assert cpu.save_state() == plain.save_state()
+
+    def test_detection_equivalence_illegal_opcode(self):
+        fast = ThorCPU()
+        ref = ThorCPU()
+        ref.fast = False
+        for cpu in (fast, ref):
+            cpu.memory.load_image(0, [0xEE000000])
+            cpu.reset()
+            assert cpu.run(100) is StopReason.DETECTED
+        assert fast.save_state() == ref.save_state()
+
+    def test_store_to_program_region_detected_identically(self):
+        # A "self-modifying" store through the CPU hits the MPU: both
+        # engines must detect it on the same cycle with the same state.
+        source = """
+            LDI r1, 0x1234
+            LDI r2, 1
+            ST r1, [r2]      ; address 1 is inside the program region
+            HALT
+        """
+        fast, ref = self.run_both(source)
+        assert fast.detection is not None
+
+    def test_host_rewritten_instruction_mid_run(self):
+        # Host DMA rewrites an instruction word between run segments
+        # (the runtime-SWIFI path).  The decode caches key on the raw
+        # word, so both engines must pick up the new instruction.
+        source = """
+        loop:
+            ADDI r1, r1, 1
+            CMPI r1, 100
+            BLT loop
+            HALT
+        """
+        patch = assemble(source.replace("CMPI r1, 100", "CMPI r1, 20")).program[1]
+        states = []
+        for fast in (True, False):
+            card = TestCard()
+            card.init_target()
+            cpu = card.cpu
+            cpu.fast = fast
+            program = assemble(source)
+            card.load_workload(program)
+            assert cpu.run(10_000, stop_at_cycle=30) is StopReason.CYCLE_BREAK
+            card.write_memory(1, patch)
+            assert cpu.run(10_000) is StopReason.HALTED
+            states.append(cpu.save_state())
+            assert cpu.regs[1] < 100  # the patched bound took effect
+        assert states[0] == states[1]
+
+
+# ----------------------------------------------------------------------
+# State equivalence on the stack machine
+# ----------------------------------------------------------------------
+class TestStackEquivalence:
+    @pytest.mark.parametrize("workload", ["s_fib", "s_checksum", "s_sumvec"])
+    def test_plain_run_to_halt(self, workload):
+        fast = fresh_machine(workload)
+        ref = fresh_machine(workload, fast=False)
+        assert fast.run(10_000) == ref.run(10_000)
+        assert fast.save_state() == ref.save_state()
+        assert fast.fast_segments > 0 and ref.fast_segments == 0
+
+    def test_stop_at_cycle_and_resume(self):
+        fast = fresh_machine()
+        ref = fresh_machine(fast=False)
+        assert fast.run(10_000, stop_at_cycle=17) == ref.run(10_000, stop_at_cycle=17)
+        assert fast.save_state() == ref.save_state()
+        assert fast.run(10_000) == ref.run(10_000)
+        assert fast.save_state() == ref.save_state()
+
+    def test_stop_at_cycle_equal_to_budget(self):
+        fast = fresh_machine()
+        ref = fresh_machine(fast=False)
+        assert fast.run(9, stop_at_cycle=9) == ref.run(9, stop_at_cycle=9)
+        assert fast.save_state() == ref.save_state()
+
+    def test_hooks_attached_mid_run(self):
+        plain = fresh_machine()
+        plain.run(10_000)
+
+        machine = fresh_machine()
+        machine.run(10_000, stop_at_cycle=10)
+        assert machine.fast_segments == 1
+        seen: list[int] = []
+        machine.post_step_hooks.append(lambda m: seen.append(m.cycle))
+        machine.run(10_000)
+        assert machine.fast_segments == 1
+        assert seen == list(range(11, machine.cycle + 1))
+        assert machine.save_state() == plain.save_state()
+
+
+# ----------------------------------------------------------------------
+# Campaign-level equivalence (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestCampaignEquivalence:
+    def fast_vs_reference(self, build, **run_kwargs):
+        """Run the same campaign with the fast path and with the
+        reference loop forced; the logged rows must be bit-identical."""
+        with GoofiSession() as session:
+            build(session, "fast")
+            result = session.run_campaign("fast", **run_kwargs)
+            assert not result.aborted
+            fast_rows = rows_by_name(session.db, "fast")
+            assert fast_rows
+
+            build(session, "ref")
+            result = session.run_campaign("ref", fast=False, **run_kwargs)
+            assert not result.aborted
+            assert rows_by_name(session.db, "ref") == fast_rows
+        return fast_rows
+
+    def test_scifi_serial(self):
+        self.fast_vs_reference(
+            lambda session, name: make_campaign(session, name, num_experiments=12)
+        )
+
+    def test_scifi_parallel(self):
+        self.fast_vs_reference(
+            lambda session, name: make_campaign(session, name, num_experiments=12),
+            workers=2,
+        )
+
+    def test_scifi_checkpointed(self):
+        self.fast_vs_reference(
+            lambda session, name: make_campaign(session, name, num_experiments=12),
+            checkpoints=True,
+        )
+
+    def test_swifi_preruntime(self):
+        self.fast_vs_reference(
+            lambda session, name: make_campaign(
+                session,
+                name,
+                technique="swifi_preruntime",
+                locations=("memory:program", "memory:data"),
+                num_experiments=10,
+            )
+        )
+
+    def test_swifi_runtime(self):
+        self.fast_vs_reference(
+            lambda session, name: make_campaign(
+                session,
+                name,
+                technique="swifi_runtime",
+                locations=("memory:data", "internal:regs.*"),
+                num_experiments=10,
+            )
+        )
+
+    def test_pinlevel(self):
+        self.fast_vs_reference(
+            lambda session, name: make_campaign(
+                session,
+                name,
+                workload="adc_filter",
+                technique="pinlevel",
+                locations=("boundary:pins.IN0",),
+                num_experiments=10,
+            )
+        )
+
+    def test_stack_target_scifi(self):
+        with GoofiSession(target_name="thor-sm") as session:
+            session.target.init_test_card()
+            session.target.load_workload("s_checksum")
+            data = session.target.location_space().region("data")
+            rows = {}
+            for name, fast in (("fast", True), ("ref", False)):
+                config = CampaignConfig(
+                    name=name,
+                    target="thor-sm",
+                    technique="scifi",
+                    workload="s_checksum",
+                    location_patterns=("internal:ctrl.DSP", "internal:ctrl.PC"),
+                    num_experiments=12,
+                    termination=Termination(max_cycles=5_000),
+                    observation=ObservationSpec(
+                        scan_elements=("internal:ctrl.DSP",),
+                        memory_ranges=((data.base, data.words),),
+                    ),
+                    seed=9,
+                )
+                session.setup_campaign(config)
+                session.run_campaign(name, fast=fast)
+                rows[name] = rows_by_name(session.db, name)
+            assert rows["fast"] == rows["ref"]
+
+    def test_fast_segments_reported_through_interface(self):
+        with GoofiSession() as session:
+            make_campaign(session, "stats", num_experiments=4)
+            session.run_campaign("stats")
+            assert session.target.execution_stats()["fast_segments"] > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_scifi_rows_identical_any_seed(self, seed):
+        self.fast_vs_reference(
+            lambda session, name: make_campaign(
+                session, name, num_experiments=6, seed=seed
+            )
+        )

@@ -1,0 +1,138 @@
+"""Telemetry overhead bench on the E10-shaped parallel-campaign workload.
+
+Regenerates: wall-clock cost of running the same campaign with
+telemetry off, at metrics level, and at spans level, plus the
+row-level invariance check (rows must be bit-identical in all three
+modes — telemetry measures a run, it must not perturb it).
+
+Writes ``BENCH_telemetry.json`` next to the text table
+(machine-readable, via :func:`conftest.write_result`).
+
+Timed unit: one full campaign run per mode.  Each round runs all three
+modes back to back (order rotated per round), and the overhead is the
+*median of the per-round paired ratios* — a burst of scheduler or GC
+noise inflates one round's ratio, which the median discards, where a
+ratio of minima would keep it forever.  The overhead ceiling (metrics
+mode < 3% over off) fires only in full mode; ``GOOFI_BENCH_QUICK=1``
+shrinks the campaign for CI smoke runs, where a few-hundred-millisecond
+run is too noisy to gate on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import build_campaign, write_result
+
+QUICK = os.environ.get("GOOFI_BENCH_QUICK") == "1"
+
+EXPERIMENTS = 60 if QUICK else 200
+RUNS = 2 if QUICK else 9
+#: Metrics-only overhead ceiling (fraction of the telemetry-off time).
+METRICS_OVERHEAD_CEILING = 0.03
+
+MODES = (None, "metrics", "spans")
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _rows(db, campaign: str) -> dict:
+    return {
+        record.experiment_name.split("/", 1)[1]: (
+            record.experiment_data,
+            record.state_vector,
+        )
+        for record in db.iter_experiments(campaign)
+    }
+
+
+def test_telemetry_overhead(bench_session):
+    build_campaign(
+        bench_session, "tele", workload="bubble_sort",
+        num_experiments=EXPERIMENTS, seed=10,
+    )
+
+    times: dict[str, list[float]] = {mode or "off": [] for mode in MODES}
+    rows: dict[str, dict] = {}
+    snapshots: dict[str, dict] = {}
+    # Warm caches (decode tables, SQLite pages) outside the timed runs,
+    # then interleave the modes — rotating the in-round order — so
+    # clock/thermal drift hits them all equally instead of biasing
+    # whichever mode happens to run last.
+    bench_session.run_campaign("tele")
+    for round_index in range(RUNS):
+        rotation = round_index % len(MODES)
+        for mode in MODES[rotation:] + MODES[:rotation]:
+            label = mode or "off"
+            # Clear the previous run's rows outside the timed region —
+            # re-running a campaign starts by deleting them, and the
+            # deletion cost depends on what the *previous* mode wrote
+            # (a spans run leaves 200 span rows behind).
+            bench_session.db.delete_campaign_experiments("tele")
+            started = time.perf_counter()
+            result = bench_session.run_campaign("tele", telemetry=mode)
+            elapsed = time.perf_counter() - started
+            assert result.experiments_run == EXPERIMENTS
+            times[label].append(elapsed)
+            rows[label] = _rows(bench_session.db, "tele")
+            if result.telemetry is not None:
+                snapshots[label] = result.telemetry
+            if mode == "spans":
+                span_rows = bench_session.db.count_spans("tele")
+    best = {label: min(samples) for label, samples in times.items()}
+
+    assert rows["metrics"] == rows["off"], "metrics mode perturbed the rows"
+    assert rows["spans"] == rows["off"], "spans mode perturbed the rows"
+    assert span_rows == EXPERIMENTS
+    assert snapshots["metrics"]["counters"]["experiments"] == EXPERIMENTS
+
+    overhead = {
+        label: _median(
+            [
+                sample / baseline
+                for sample, baseline in zip(times[label], times["off"])
+            ]
+        )
+        - 1.0
+        for label in ("metrics", "spans")
+    }
+    lines = [
+        "BENCH: telemetry overhead (campaign run, median paired ratio over "
+        f"{RUNS} rounds, {EXPERIMENTS} experiments)",
+        f"  off      : {best['off']:7.3f}s best "
+        f"({EXPERIMENTS / best['off']:6.1f} exp/s)",
+    ]
+    for label in ("metrics", "spans"):
+        lines.append(
+            f"  {label:<9}: {best[label]:7.3f}s best "
+            f"({EXPERIMENTS / best[label]:6.1f} exp/s, "
+            f"{overhead[label]:+6.1%} vs off)"
+        )
+    lines.append(
+        "  rows     : bit-identical across off/metrics/spans (asserted)"
+    )
+    write_result(
+        "BENCH_telemetry",
+        "\n".join(lines),
+        data={
+            "mode": "quick" if QUICK else "full",
+            "experiments": EXPERIMENTS,
+            "runs": RUNS,
+            "seconds": best,
+            "overhead_vs_off": overhead,
+            "rows_identical": True,
+        },
+    )
+
+    if not QUICK:
+        assert overhead["metrics"] < METRICS_OVERHEAD_CEILING, (
+            f"metrics telemetry costs {overhead['metrics']:.1%}, "
+            f"ceiling is {METRICS_OVERHEAD_CEILING:.0%}"
+        )

@@ -29,6 +29,13 @@ Quickstart::
 
 from __future__ import annotations
 
+import logging as _logging
+
+# Library-logging etiquette: the package stays silent unless the
+# application (or ``goofi`` via repro.logconfig.setup_logging) attaches
+# a handler.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from .core import plugins as _plugins
 from .core import (
     BranchTrigger,
@@ -49,15 +56,18 @@ from .core import (
     StuckAt,
     TargetError,
     TargetSystemInterface,
+    Telemetry,
     Termination,
     TimeTrigger,
     TransientBitFlip,
     console_observer,
     merge_campaigns,
     register_target_system,
+    resolve_telemetry,
     store_campaign,
 )
 from .db import GoofiDatabase
+from .logconfig import setup_logging
 from .session import GoofiSession
 
 __version__ = "1.0.0"
@@ -114,12 +124,15 @@ __all__ = [
     "StuckAt",
     "TargetError",
     "TargetSystemInterface",
+    "Telemetry",
     "Termination",
     "TimeTrigger",
     "TransientBitFlip",
     "console_observer",
     "merge_campaigns",
     "register_target_system",
+    "resolve_telemetry",
+    "setup_logging",
     "store_campaign",
     "__version__",
 ]

@@ -62,5 +62,11 @@ from .propagation import (
     propagation_summary,
 )
 from .reports import campaign_report, format_classification, format_measures
+from .telemetry_report import (
+    format_stats_report,
+    phase_breakdown,
+    stats_report,
+    throughput_summary,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

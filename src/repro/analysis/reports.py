@@ -99,4 +99,9 @@ def campaign_report(db: GoofiDatabase, campaign_name: str, time_bins: int = 8) -
         sections.extend(
             ["", format_latency_report(statistics, "Detection latency (cycles):")]
         )
+    from .telemetry_report import telemetry_section
+
+    telemetry = telemetry_section(db, campaign_name)
+    if telemetry is not None:
+        sections.extend(["", telemetry])
     return "\n".join(sections)

@@ -1,0 +1,199 @@
+"""Render campaign telemetry snapshots — the ``goofi stats`` surface.
+
+Works from the JSON-able snapshot a telemetered run stores in the
+``CampaignTelemetry`` table (or streams to JSONL): phase-time
+breakdown, throughput, fast-path and checkpoint hit rates, database
+batch latency, and — when the run logged spans — the slowest
+experiments.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import AnalysisError
+from ..db import GoofiDatabase
+
+
+def _fmt_secs(seconds: float) -> str:
+    """Adaptive duration formatting: µs/ms below a second, otherwise
+    the compact minutes form used by the progress line."""
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    return f"{minutes}m{secs:02d}s"
+
+
+def _fmt_count(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.1f}"
+
+
+def phase_breakdown(snapshot: dict) -> list[tuple[str, float, int]]:
+    """``(phase, total_seconds, calls)`` for every ``phase.*`` timer,
+    slowest first."""
+    rows = []
+    for name, stat in snapshot.get("timers", {}).items():
+        if name.startswith("phase."):
+            rows.append((name[len("phase."):], stat["seconds"], stat["count"]))
+    rows.sort(key=lambda row: -row[1])
+    return rows
+
+
+def _ratio_line(label: str, hits: float, total: float) -> str:
+    share = hits / total if total else 0.0
+    return f"  {label:<22}: {_fmt_count(hits)} of {_fmt_count(total)} ({share:.1%})"
+
+
+def format_stats_report(
+    campaign_name: str, snapshot: dict, spans: list[dict] | None = None,
+    slowest: int = 5,
+) -> str:
+    """The full ``goofi stats`` report for one campaign."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    timers = snapshot.get("timers", {})
+
+    workers = int(gauges.get("workers", 1))
+    elapsed = gauges.get("elapsed_seconds", 0.0)
+    experiments = counters.get("experiments", 0)
+    instructions = counters.get("instructions", 0)
+
+    lines = [
+        f"Telemetry for campaign {campaign_name!r} "
+        f"({workers} worker{'s' if workers != 1 else ''}):",
+    ]
+
+    phases = phase_breakdown(snapshot)
+    if phases:
+        phase_total = sum(seconds for _, seconds, _ in phases)
+        lines += [
+            "",
+            "Phase-time breakdown (summed across workers):",
+            f"  {'phase':<12}{'total':>10}{'calls':>8}{'mean':>10}{'share':>8}",
+        ]
+        for name, seconds, count in phases:
+            mean = seconds / count if count else 0.0
+            share = seconds / phase_total if phase_total else 0.0
+            lines.append(
+                f"  {name:<12}{_fmt_secs(seconds):>10}{count:>8}"
+                f"{_fmt_secs(mean):>10}{share:>8.1%}"
+            )
+
+    lines += ["", "Throughput:"]
+    lines.append(f"  {'experiments':<22}: {_fmt_count(experiments)}")
+    if elapsed:
+        lines.append(f"  {'wall-clock':<22}: {_fmt_secs(elapsed)}")
+        lines.append(
+            f"  {'experiments/s':<22}: {experiments / elapsed:,.1f}"
+        )
+    if instructions:
+        lines.append(f"  {'instructions (cycles)':<22}: {_fmt_count(instructions)}")
+        if elapsed:
+            lines.append(
+                f"  {'instructions/s':<22}: {instructions / elapsed:,.0f}"
+            )
+
+    fast = counters.get("engine.fast_segments", 0)
+    ref = counters.get("engine.ref_segments", 0)
+    if fast or ref:
+        lines += ["", "Execution engine:"]
+        lines.append(_ratio_line("fast-path segments", fast, fast + ref))
+
+    restores = counters.get("checkpoint.restores", 0)
+    misses = counters.get("checkpoint.misses", 0)
+    if restores or misses:
+        lines += ["", "Checkpointing:"]
+        lines.append(_ratio_line("restored prefixes", restores, restores + misses))
+        saves = counters.get("checkpoint.saves", 0)
+        evictions = counters.get("checkpoint.cache.evictions", 0)
+        lines.append(
+            f"  {'cache':<22}: {_fmt_count(saves)} saves, "
+            f"{_fmt_count(evictions)} evictions"
+        )
+
+    rows = counters.get("db.rows", 0)
+    batches = counters.get("db.batches", 0)
+    db_write = timers.get("phase.db_write")
+    if batches:
+        lines += ["", "Database:"]
+        lines.append(
+            f"  {'rows written':<22}: {_fmt_count(rows)} in "
+            f"{_fmt_count(batches)} batches"
+        )
+        if db_write and db_write["count"]:
+            lines.append(
+                f"  {'batch write':<22}: mean "
+                f"{_fmt_secs(db_write['seconds'] / db_write['count'])}, total "
+                f"{_fmt_secs(db_write['seconds'])}"
+            )
+
+    histogram = snapshot.get("histograms", {}).get("experiment.seconds")
+    if histogram and sum(histogram["counts"]):
+        lines += ["", "Experiment duration distribution:"]
+        buckets = []
+        for bound, count in zip(histogram["bounds"], histogram["counts"]):
+            if count:
+                buckets.append(f"<={_fmt_secs(bound)}: {count}")
+        overflow = histogram["counts"][len(histogram["bounds"])]
+        if overflow:
+            buckets.append(f">{_fmt_secs(histogram['bounds'][-1])}: {overflow}")
+        lines.append("  " + "   ".join(buckets))
+
+    if spans:
+        ranked = sorted(
+            spans, key=lambda span: -span.get("duration_seconds", 0.0)
+        )[:slowest]
+        lines += ["", f"Slowest experiments (of {len(spans)} spans):"]
+        for span in ranked:
+            span_phases = span.get("phases", {})
+            dominant = max(span_phases, key=span_phases.get) if span_phases else "-"
+            lines.append(
+                f"  {span['experiment']:<32} "
+                f"{_fmt_secs(span.get('duration_seconds', 0.0)):>10}  "
+                f"{span.get('outcome') or '?':<16} dominant: {dominant}"
+            )
+    return "\n".join(lines)
+
+
+def stats_report(
+    db: GoofiDatabase, campaign_name: str, slowest: int = 5
+) -> str:
+    """Load a campaign's stored telemetry and render the report."""
+    snapshot = db.load_campaign_telemetry(campaign_name)
+    spans = [record.span for record in db.iter_spans(campaign_name)]
+    return format_stats_report(
+        campaign_name, snapshot, spans=spans or None, slowest=slowest
+    )
+
+
+def telemetry_section(db: GoofiDatabase, campaign_name: str) -> str | None:
+    """The stats report when the campaign has a stored snapshot, else
+    ``None`` — lets :func:`repro.analysis.reports.campaign_report`
+    append telemetry without requiring it."""
+    try:
+        return stats_report(db, campaign_name)
+    except Exception:
+        return None
+
+
+def throughput_summary(snapshot: dict) -> dict:
+    """Machine-readable headline numbers (used by benches and tests)."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    elapsed = gauges.get("elapsed_seconds", 0.0)
+    experiments = counters.get("experiments", 0)
+    instructions = counters.get("instructions", 0)
+    if not experiments:
+        raise AnalysisError("telemetry snapshot holds no finished experiments")
+    return {
+        "experiments": experiments,
+        "instructions": instructions,
+        "elapsed_seconds": elapsed,
+        "experiments_per_second": experiments / elapsed if elapsed else None,
+        "instructions_per_second": instructions / elapsed if elapsed else None,
+        "workers": int(gauges.get("workers", 1)),
+    }

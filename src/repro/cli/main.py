@@ -14,6 +14,7 @@ All state lives in the GOOFI SQLite database given with ``--db``.
 from __future__ import annotations
 
 import argparse
+import os
 import json
 import sys
 from pathlib import Path
@@ -32,7 +33,9 @@ from ..analysis import (
     generate_analysis_script,
     generate_analysis_sql,
     run_generated_sql,
+    stats_report,
 )
+from ..logconfig import setup_logging
 from ..core import (
     DEFAULT_CHECKPOINT_CAPACITY,
     ProgressReporter,
@@ -193,6 +196,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             checkpoints=args.checkpoints,
             fast=args.fast,
+            telemetry=args.telemetry,
+            telemetry_jsonl=args.telemetry_jsonl,
         )
         status = "aborted" if result.aborted else "completed"
         rate = (
@@ -205,6 +210,26 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{result.experiments_run}/{result.experiments_planned} experiments "
             f"in {result.elapsed_seconds:.1f}s ({rate:.1f}/s)"
         )
+        if result.telemetry is not None:
+            print(
+                f"telemetry recorded; inspect with: "
+                f"goofi stats {result.campaign_name} --db {args.db}"
+            )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    with _session(args) as session:
+        if args.json:
+            print(
+                json.dumps(
+                    session.db.load_campaign_telemetry(args.campaign),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(stats_report(session.db, args.campaign, slowest=args.slowest))
     return 0
 
 
@@ -338,6 +363,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="goofi",
         description="GOOFI: generic object-oriented fault injection (DSN 2001 reproduction)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        dest="log_verbose",
+        help="library log verbosity: -v = INFO, -vv = DEBUG",
+    )
+    parser.add_argument(
+        "-q",
+        action="store_true",
+        dest="log_quiet",
+        help="log errors only",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     target = sub.add_parser("target", help="target-system configuration")
@@ -465,7 +504,43 @@ def build_parser() -> argparse.ArgumentParser:
              "--no-fast forces the reference step loop — logged rows "
              "are bit-identical either way)",
     )
+    run.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="metrics",
+        default=None,
+        choices=["off", "metrics", "spans"],
+        help="record campaign telemetry: --telemetry (= metrics) keeps "
+             "aggregate phase timers and counters; --telemetry=spans "
+             "also logs one structured record per experiment "
+             "(inspect with 'goofi stats'; logged rows are identical "
+             "either way)",
+    )
+    run.add_argument(
+        "--telemetry-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also stream span records and the final metrics snapshot "
+             "to a JSON-lines file (implies --telemetry=spans)",
+    )
     run.set_defaults(func=cmd_run)
+
+    stats = sub.add_parser(
+        "stats", help="telemetry report for a campaign run with --telemetry"
+    )
+    _add_db_argument(stats)
+    stats.add_argument("campaign")
+    stats.add_argument(
+        "--json", action="store_true", help="raw metrics snapshot as JSON"
+    )
+    stats.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="spans mode: list the N slowest experiments (default: 5)",
+    )
+    stats.set_defaults(func=cmd_stats)
 
     analyze = sub.add_parser("analyze", help="analysis phase")
     _add_db_argument(analyze)
@@ -521,11 +596,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(-1 if args.log_quiet else args.log_verbose)
     try:
         return args.func(args)
     except (GoofiError, DatabaseError) as exc:
         print(f"goofi: error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Reports piped into head/less close stdout early; exit quietly
+        # (and give the interpreter a closed fd so its shutdown flush
+        # doesn't raise again).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

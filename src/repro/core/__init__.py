@@ -74,7 +74,21 @@ from .plugins import (
 )
 from .parallel import ParallelCampaignRunner, WorkerFailure
 from .preinjection import LivenessAnalysis, PreInjectionFilter
-from .progress import ProgressEvent, ProgressReporter, console_observer
+from .progress import (
+    ProgressEvent,
+    ProgressReporter,
+    console_observer,
+    format_duration,
+)
+from .telemetry import (
+    MODE_METRICS,
+    MODE_OFF,
+    MODE_SPANS,
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+    resolve_telemetry,
+)
 from .triggers import (
     BranchTrigger,
     BreakpointTrigger,

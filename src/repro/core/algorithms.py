@@ -33,12 +33,15 @@ of each machine instruction."
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 
 from ..db import (
     CampaignRecord,
     ExperimentRecord,
     GoofiDatabase,
+    SpanRecord,
     TargetSystemRecord,
     reference_name,
 )
@@ -67,7 +70,10 @@ from .framework import (
 from .locations import KIND_MEMORY, KIND_SCAN
 from .plugins import create_environment, technique_method
 from .progress import ProgressReporter
+from .telemetry import NULL_SPAN, NULL_TELEMETRY, resolve_telemetry
 from .triggers import ReferenceTrace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(slots=True)
@@ -82,6 +88,9 @@ class CampaignResult:
     #: Checkpoint-cache counters (saves/restores/misses/evictions) when
     #: the run used checkpointing; ``None`` otherwise.
     checkpoint_stats: dict | None = None
+    #: Final :class:`~repro.core.telemetry.MetricsRegistry` snapshot when
+    #: the run was telemetered; ``None`` otherwise.
+    telemetry: dict | None = None
 
 
 class FaultInjectionAlgorithms:
@@ -125,6 +134,10 @@ class FaultInjectionAlgorithms:
         #: shipped to the parallel workers; the CLI exposes it as
         #: ``--checkpoint-capacity``).
         self.checkpoint_capacity: int = DEFAULT_CHECKPOINT_CAPACITY
+        #: Active telemetry handle.  ``NULL_TELEMETRY`` (every operation
+        #: a shared no-op) unless ``run_campaign(telemetry=...)`` turned
+        #: it on or a parallel worker installed a local instance.
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # Campaign entry points
@@ -136,6 +149,8 @@ class FaultInjectionAlgorithms:
         workers: int = 1,
         checkpoints: bool = False,
         fast: bool = True,
+        telemetry=None,
+        telemetry_jsonl=None,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -162,23 +177,37 @@ class FaultInjectionAlgorithms:
         instead of its fused fast path (a debugging escape hatch; the
         two engines log bit-identical rows).  The choice is applied to
         this session's target and shipped to any parallel workers.
+
+        ``telemetry`` turns on campaign telemetry (see
+        :func:`repro.core.telemetry.resolve_telemetry` for the accepted
+        values: a mode string, a bool, or a ready
+        :class:`~repro.core.telemetry.Telemetry`); ``telemetry_jsonl``
+        additionally streams span records and the final snapshot to a
+        JSON-lines file.  Telemetry never changes logged rows — it only
+        measures the run.
         """
         config = self.read_campaign_data(campaign_name)
         self.target.set_fast_path(fast)
-        if workers > 1:
-            from .parallel import ParallelCampaignRunner
+        tele = resolve_telemetry(telemetry, telemetry_jsonl)
+        self.telemetry = tele
+        try:
+            if workers > 1:
+                from .parallel import ParallelCampaignRunner
 
-            return ParallelCampaignRunner(self, workers=workers).run(
-                config, resume=resume, checkpoints=checkpoints, fast=fast
-            )
-        method_name = technique_method(config.technique)
-        method = getattr(self, method_name, None)
-        if method is None:
-            raise ConfigurationError(
-                f"technique {config.technique!r} maps to unknown algorithm "
-                f"{method_name!r}"
-            )
-        return method(campaign_name, resume=resume, checkpoints=checkpoints)
+                return ParallelCampaignRunner(self, workers=workers).run(
+                    config, resume=resume, checkpoints=checkpoints, fast=fast
+                )
+            method_name = technique_method(config.technique)
+            method = getattr(self, method_name, None)
+            if method is None:
+                raise ConfigurationError(
+                    f"technique {config.technique!r} maps to unknown algorithm "
+                    f"{method_name!r}"
+                )
+            return method(campaign_name, resume=resume, checkpoints=checkpoints)
+        finally:
+            tele.close()
+            self.telemetry = NULL_TELEMETRY
 
     def experiment_runner(self, technique: str):
         """The per-experiment body for ``technique`` (bound method taking
@@ -324,6 +353,7 @@ class FaultInjectionAlgorithms:
         resume: bool = False,
         checkpoints: bool = False,
     ) -> CampaignResult:
+        tele = self.telemetry
         if resume:
             already_logged = {
                 record.experiment_name
@@ -335,8 +365,12 @@ class FaultInjectionAlgorithms:
             # merged campaign).
             already_logged = set()
             self.db.delete_campaign_experiments(config.name)
-        trace = self.make_reference_run(config)
-        plan = PlanGenerator(config, self.target.location_space(), trace).generate()
+        with tele.time("phase.reference"):
+            trace = self.make_reference_run(config)
+        with tele.time("phase.plan"):
+            plan = PlanGenerator(
+                config, self.target.location_space(), trace
+            ).generate()
         remaining = [spec for spec in plan if spec.name not in already_logged]
         if checkpoints and self.target.supports_checkpoints:
             # First-injection order makes the breakpoint sequence
@@ -349,10 +383,18 @@ class FaultInjectionAlgorithms:
         progress = self.progress
         progress.start(config.name, len(remaining))
         self.db.set_campaign_status(config.name, "running")
+        logger.info(
+            "campaign %r: %d experiments to run (%d already logged)%s",
+            config.name,
+            len(remaining),
+            len(already_logged),
+            ", checkpointing" if self.checkpoints is not None else "",
+        )
         completed = 0
         aborted = False
         failed = False
         checkpoint_stats: dict | None = None
+        snapshot: dict | None = None
         pending: list[ExperimentRecord] = []
         try:
             for spec in remaining:
@@ -362,7 +404,7 @@ class FaultInjectionAlgorithms:
                 record = run_experiment(config, spec, trace)
                 pending.append(record)
                 if len(pending) >= 64:
-                    self.db.save_experiments(pending)
+                    self._flush_batch(config.name, pending)
                     pending = []
                 completed += 1
                 outcome = record.state_vector["termination"]["outcome"]
@@ -379,7 +421,7 @@ class FaultInjectionAlgorithms:
             # "running" — flush and mark aborted before propagating.
             try:
                 if pending:
-                    self.db.save_experiments(pending)
+                    self._flush_batch(config.name, pending)
             except Exception:
                 if not failed:
                     raise
@@ -387,6 +429,16 @@ class FaultInjectionAlgorithms:
             self.db.set_campaign_status(
                 config.name, "aborted" if (aborted or failed) else "completed"
             )
+            logger.info(
+                "campaign %r %s: %d/%d experiments in %.1fs",
+                config.name,
+                "aborted" if (aborted or failed) else "completed",
+                completed,
+                len(remaining),
+                progress.elapsed_seconds,
+            )
+            if tele.enabled and not failed:
+                snapshot = self._finish_telemetry(config.name, checkpoint_stats)
         return CampaignResult(
             campaign_name=config.name,
             experiments_run=completed,
@@ -394,7 +446,67 @@ class FaultInjectionAlgorithms:
             aborted=aborted,
             elapsed_seconds=progress.elapsed_seconds,
             checkpoint_stats=checkpoint_stats,
+            telemetry=snapshot,
         )
+
+    def _flush_batch(
+        self, campaign_name: str, records: list[ExperimentRecord]
+    ) -> None:
+        """Persist one batch of experiment rows — plus any span records
+        drained since the last flush — timing the write when telemetry
+        is on."""
+        tele = self.telemetry
+        if not tele.enabled:
+            self.db.save_experiments(records)
+            return
+        spans = tele.drain_spans()
+        started = time.perf_counter()
+        self.db.save_experiments(records)
+        if spans:
+            self.db.save_spans(
+                [
+                    SpanRecord(
+                        experiment_name=span["experiment"],
+                        campaign_name=campaign_name,
+                        span=span,
+                    )
+                    for span in spans
+                ]
+            )
+        elapsed = time.perf_counter() - started
+        metrics = tele.metrics
+        metrics.add_time("phase.db_write", elapsed)
+        metrics.observe("db.batch_seconds", elapsed)
+        metrics.inc("db.rows", len(records))
+        metrics.inc("db.batches")
+
+    def _finish_telemetry(
+        self, campaign_name: str, checkpoint_stats: dict | None = None
+    ) -> dict:
+        """Close out a telemetered campaign: fold the execution-engine
+        and checkpoint-cache counters into the registry, write the
+        final snapshot to the database (and the JSONL sink, when one is
+        configured), and return it."""
+        tele = self.telemetry
+        metrics = tele.metrics
+        for key, value in self.target.execution_stats().items():
+            if key == "cycles":
+                continue  # point-in-time, not a counter — summing it lies
+            metrics.inc(f"engine.{key}", value)
+        if checkpoint_stats:
+            for key, value in checkpoint_stats.items():
+                metrics.inc(f"checkpoint.cache.{key}", value)
+        metrics.gauges.setdefault("workers", 1)
+        metrics.set_gauge("elapsed_seconds", self.progress.elapsed_seconds)
+        snapshot = tele.write_snapshot()
+        self.db.save_campaign_telemetry(campaign_name, snapshot)
+        logger.debug(
+            "campaign %r: telemetry snapshot saved (%d counters, %d timers)",
+            campaign_name,
+            len(snapshot["counters"]),
+            len(snapshot["timers"]),
+        )
+        return snapshot
 
     # ------------------------------------------------------------------
     # Experiment bodies
@@ -412,7 +524,7 @@ class FaultInjectionAlgorithms:
         target.set_environment(environment)
         target.load_workload(config.workload)
 
-    def _arm_target(self, config: CampaignConfig, schedule) -> None:
+    def _arm_target(self, config: CampaignConfig, schedule, span=NULL_SPAN) -> None:
         """Bring the target to the armed, fault-free state every
         breakpoint-driven experiment starts from: restore the nearest
         checkpoint at or before the first injection when one is cached,
@@ -421,58 +533,75 @@ class FaultInjectionAlgorithms:
         if cache is not None and schedule:
             checkpoint = cache.nearest(schedule[0][0])
             if checkpoint is not None:
-                self.target.restore_state(checkpoint.state)
+                with span.phase("restore"):
+                    self.target.restore_state(checkpoint.state)
+                span.add("checkpoint.restores")
                 return
-        self._prepare_target(config)
-        self.target.run_workload()
+            span.add("checkpoint.misses")
+        with span.phase("setup"):
+            self._prepare_target(config)
+            self.target.run_workload()
 
-    def _save_checkpoint(self, cycle: int) -> None:
+    def _save_checkpoint(self, cycle: int, span=NULL_SPAN) -> None:
         """Snapshot the target at an experiment's *first* breakpoint —
         guaranteed fault-free, since nothing has been injected yet."""
         cache = self.checkpoints
         if cache is not None and not cache.has(cycle):
             cache.save(cycle, self.target.save_state())
+            span.add("checkpoint.saves")
 
     def _run_scifi_experiment(
         self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
     ) -> ExperimentRecord:
         """One SCIFI experiment: the inner loop of Figure 2."""
         target = self.target
+        span = self.telemetry.span(spec.name)
         schedule = self._injection_schedule(spec, trace)
-        self._arm_target(config, schedule)
+        self._arm_target(config, schedule, span)
+        armed_cycle = 0 if span is NULL_SPAN else target.current_cycle()
 
         applied: list[dict] = []
         ended_early: TerminationInfo | None = None
         for position, (cycle, fault) in enumerate(schedule):
-            ended_early = target.wait_for_breakpoint(cycle)
+            with span.phase("execution"):
+                ended_early = target.wait_for_breakpoint(cycle)
             if position == 0 and ended_early is None:
-                self._save_checkpoint(cycle)
+                self._save_checkpoint(cycle, span)
             if ended_early is not None:
                 applied.append(self._fault_entry(fault, cycle, applied_flag=False))
                 continue
-            self._apply_scan_fault(fault, cycle, spec.seed)
+            with span.phase("injection"):
+                self._apply_scan_fault(fault, cycle, spec.seed)
+            span.add("injections")
             applied.append(self._fault_entry(fault, cycle, applied_flag=True))
 
-        return self._finish_experiment(config, spec, applied, ended_early)
+        return self._finish_experiment(
+            config, spec, applied, ended_early, span, armed_cycle
+        )
 
     def _run_swifi_preruntime_experiment(
         self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
     ) -> ExperimentRecord:
         """One pre-runtime SWIFI experiment: corrupt the image, run."""
         target = self.target
-        self._prepare_target(config)
+        span = self.telemetry.span(spec.name)
+        with span.phase("setup"):
+            self._prepare_target(config)
         applied: list[dict] = []
-        for fault in spec.faults:
-            location = fault.location
-            if location.kind != KIND_MEMORY:
-                raise ConfigurationError(
-                    f"pre-runtime SWIFI cannot inject into {location.label()}"
-                )
-            word = target.read_memory(location.address, 1)[0]
-            target.write_memory(location.address, [word ^ (1 << location.bit)])
-            applied.append(self._fault_entry(fault, 0, applied_flag=True))
+        with span.phase("injection"):
+            for fault in spec.faults:
+                location = fault.location
+                if location.kind != KIND_MEMORY:
+                    raise ConfigurationError(
+                        f"pre-runtime SWIFI cannot inject into {location.label()}"
+                    )
+                word = target.read_memory(location.address, 1)[0]
+                target.write_memory(location.address, [word ^ (1 << location.bit)])
+                applied.append(self._fault_entry(fault, 0, applied_flag=True))
+        span.add("injections", len(applied))
         target.run_workload()
-        return self._finish_experiment(config, spec, applied, None)
+        armed_cycle = 0 if span is NULL_SPAN else target.current_cycle()
+        return self._finish_experiment(config, spec, applied, None, span, armed_cycle)
 
     def _run_swifi_runtime_experiment(
         self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
@@ -481,32 +610,41 @@ class FaultInjectionAlgorithms:
         memory (or an architecturally visible register) via the host
         debugger link, then resume."""
         target = self.target
+        span = self.telemetry.span(spec.name)
         schedule = self._injection_schedule(spec, trace)
-        self._arm_target(config, schedule)
+        self._arm_target(config, schedule, span)
+        armed_cycle = 0 if span is NULL_SPAN else target.current_cycle()
 
         applied: list[dict] = []
         ended_early: TerminationInfo | None = None
         for position, (cycle, fault) in enumerate(schedule):
-            ended_early = target.wait_for_breakpoint(cycle)
+            with span.phase("execution"):
+                ended_early = target.wait_for_breakpoint(cycle)
             if position == 0 and ended_early is None:
-                self._save_checkpoint(cycle)
+                self._save_checkpoint(cycle, span)
             if ended_early is not None:
                 applied.append(self._fault_entry(fault, cycle, applied_flag=False))
                 continue
-            location = fault.location
-            if location.kind == KIND_MEMORY:
-                word = target.read_memory(location.address, 1)[0]
-                target.write_memory(location.address, [word ^ (1 << location.bit)])
-            elif location.element.startswith("regs."):
-                self._apply_scan_fault(fault, cycle, spec.seed)
-            else:
-                raise ConfigurationError(
-                    f"runtime SWIFI reaches memory and registers only, "
-                    f"not {location.label()}"
-                )
+            with span.phase("injection"):
+                location = fault.location
+                if location.kind == KIND_MEMORY:
+                    word = target.read_memory(location.address, 1)[0]
+                    target.write_memory(
+                        location.address, [word ^ (1 << location.bit)]
+                    )
+                elif location.element.startswith("regs."):
+                    self._apply_scan_fault(fault, cycle, spec.seed)
+                else:
+                    raise ConfigurationError(
+                        f"runtime SWIFI reaches memory and registers only, "
+                        f"not {location.label()}"
+                    )
+            span.add("injections")
             applied.append(self._fault_entry(fault, cycle, applied_flag=True))
 
-        return self._finish_experiment(config, spec, applied, ended_early)
+        return self._finish_experiment(
+            config, spec, applied, ended_early, span, armed_cycle
+        )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -547,6 +685,8 @@ class FaultInjectionAlgorithms:
         spec: ExperimentSpec,
         applied: list[dict],
         ended_early: TerminationInfo | None,
+        span=NULL_SPAN,
+        armed_cycle: int = 0,
     ) -> ExperimentRecord:
         """waitForTermination + readMemory + readScanChain: run to the
         end and log the observed state."""
@@ -554,14 +694,23 @@ class FaultInjectionAlgorithms:
             info = ended_early
             steps: list[dict] | None = None
         elif config.logging_mode == LOGGING_DETAIL:
-            info, steps = self._detailed_run(config)
+            with span.phase("execution"):
+                info, steps = self._detailed_run(config)
         else:
-            info = self.target.wait_for_termination(config.termination)
+            with span.phase("execution"):
+                info = self.target.wait_for_termination(config.termination)
             steps = None
-        final_state = self.target.capture_state(config.observation)
+        with span.phase("readout"):
+            final_state = self.target.capture_state(config.observation)
         state_vector: dict = {"termination": info.to_dict(), "final": final_state}
         if steps is not None:
             state_vector["steps"] = steps
+        if span is not NULL_SPAN:
+            # Cycles simulated by this experiment (after arming) — a
+            # deterministic work measure: serial and parallel runs of
+            # the same plan total the same count.
+            span.add("instructions", self.target.current_cycle() - armed_cycle)
+        span.finish(info.outcome)
         return ExperimentRecord(
             experiment_name=spec.name,
             campaign_name=config.name,

@@ -282,9 +282,12 @@ class TargetSystemInterface(abc.ABC):
         with a single engine — e.g. real hardware — ignore this."""
 
     def execution_stats(self) -> dict:
-        """Diagnostic counters of the execution engine (e.g. how many
-        fused-loop segments ran).  Empty for targets without a fast
-        path; never part of checkpointed state."""
+        """Diagnostic counters of the execution engine, surfaced into
+        the telemetry registry by the campaign engines.  Simulated
+        targets report ``fast_segments`` / ``ref_segments`` (run-loop
+        segments executed by each engine) and ``cycles`` (the current
+        cycle counter); empty for targets without instrumentation.
+        Never part of checkpointed state."""
         return {}
 
     # ------------------------------------------------------------------

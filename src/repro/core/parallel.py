@@ -28,15 +28,20 @@ Design rules:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_module
+import time
 import traceback
 
-from ..db import ExperimentRecord, GoofiDatabase
+from ..db import ExperimentRecord, GoofiDatabase, SpanRecord
 from .campaign import CampaignConfig, ExperimentSpec, PlanGenerator
 from .checkpoint import CheckpointCache, sort_plan_by_first_injection
 from .errors import ConfigurationError, GoofiError
 from .progress import ProgressReporter
+from .telemetry import MODE_OFF, Telemetry
+
+logger = logging.getLogger(__name__)
 
 #: Consecutive empty queue polls (of ``_POLL_SECONDS`` each) after a
 #: worker process died before it is written off as crashed.
@@ -65,12 +70,17 @@ def _worker_main(
     checkpoints=False,
     checkpoint_capacity=None,
     fast=True,
+    telemetry_mode=MODE_OFF,
 ):
     """Run one shard of the plan and stream results back.
 
     Message protocol (all picklable builtins):
 
     * ``("result", worker_id, record_fields)`` per finished experiment;
+    * ``("spans", worker_id, span_records)`` right after a result, when
+      the run is telemetered at span level;
+    * ``("metrics", worker_id, registry_snapshot)`` once after the
+      shard, when telemetry is on (the coordinator merges it);
     * ``("error", worker_id, traceback_text)`` once on failure;
     * ``("done", worker_id, None)`` always, as the last message.
 
@@ -78,6 +88,10 @@ def _worker_main(
     snapshots hold live target references and never cross the process
     boundary; each shard of the (coordinator-sorted) plan is itself in
     first-injection order, so per-worker caches stay effective.
+
+    With ``telemetry_mode`` the worker keeps a local
+    :class:`~repro.core.telemetry.Telemetry` (never a file or database
+    sink — persistence stays with the single-writer coordinator).
     """
     try:
         import repro  # noqa: F401  (registers built-in targets under spawn)
@@ -89,13 +103,16 @@ def _worker_main(
         target = create_target(config.target)
         target.set_fast_path(fast)
         algorithms = FaultInjectionAlgorithms(target, db=None)
+        tele = Telemetry(telemetry_mode)
+        algorithms.telemetry = tele
         if checkpoints and target.supports_checkpoints:
             algorithms.checkpoints = (
                 CheckpointCache(checkpoint_capacity)
                 if checkpoint_capacity
                 else CheckpointCache()
             )
-        _info, trace = algorithms.compute_reference_trace(config)
+        with tele.time("phase.reference"):
+            _info, trace = algorithms.compute_reference_trace(config)
         run_experiment = algorithms.experiment_runner(config.technique)
         for spec_dict in spec_dicts:
             if abort_event.is_set():
@@ -114,6 +131,14 @@ def _worker_main(
                     },
                 )
             )
+            if tele.spans_enabled:
+                result_queue.put(("spans", worker_id, tele.drain_spans()))
+        if tele.enabled:
+            for key, value in target.execution_stats().items():
+                if key == "cycles":
+                    continue  # point-in-time, not a counter
+                tele.metrics.inc(f"engine.{key}", value)
+            result_queue.put(("metrics", worker_id, tele.metrics.snapshot()))
     except Exception:
         result_queue.put(("error", worker_id, traceback.format_exc()))
     finally:
@@ -165,6 +190,7 @@ class ParallelCampaignRunner:
         algorithms = self.algorithms
         db: GoofiDatabase = algorithms.db
         progress: ProgressReporter = algorithms.progress
+        tele = algorithms.telemetry
         if resume:
             already_logged = {
                 record.experiment_name for record in db.iter_experiments(config.name)
@@ -174,8 +200,12 @@ class ParallelCampaignRunner:
             db.delete_campaign_experiments(config.name)
         # The reference run stays in the coordinator: it is the one row
         # the workers must not race to write.
-        trace = algorithms.make_reference_run(config)
-        plan = PlanGenerator(config, algorithms.target.location_space(), trace).generate()
+        with tele.time("phase.reference"):
+            trace = algorithms.make_reference_run(config)
+        with tele.time("phase.plan"):
+            plan = PlanGenerator(
+                config, algorithms.target.location_space(), trace
+            ).generate()
         remaining = [spec for spec in plan if spec.name not in already_logged]
         use_checkpoints = checkpoints and algorithms.target.supports_checkpoints
         if use_checkpoints:
@@ -193,12 +223,19 @@ class ParallelCampaignRunner:
                 experiments_planned=0,
                 aborted=False,
                 elapsed_seconds=progress.elapsed_seconds,
+                telemetry=(
+                    algorithms._finish_telemetry(config.name)
+                    if tele.enabled
+                    else None
+                ),
             )
 
         context = _start_context()
         result_queue = context.Queue()
         abort_event = context.Event()
         worker_count = min(self.workers, len(remaining))
+        if tele.enabled:
+            tele.metrics.set_gauge("workers", worker_count)
         # Round-robin sharding keeps the shards balanced even when
         # experiment cost correlates with plan position.
         shards = [remaining[start::worker_count] for start in range(worker_count)]
@@ -214,11 +251,18 @@ class ParallelCampaignRunner:
                     use_checkpoints,
                     algorithms.checkpoint_capacity,
                     fast,
+                    tele.mode,
                 ),
                 daemon=True,
             )
             for worker_id, shard in enumerate(shards)
         ]
+        logger.info(
+            "campaign %r: sharding %d experiments over %d workers",
+            config.name,
+            len(remaining),
+            worker_count,
+        )
         for process in processes:
             process.start()
 
@@ -227,8 +271,31 @@ class ParallelCampaignRunner:
         failed = False
         failures: list[str] = []
         pending: list[ExperimentRecord] = []
+        pending_spans: list[SpanRecord] = []
         live = set(range(worker_count))
         dead_polls = dict.fromkeys(live, 0)
+
+        def flush_pending() -> None:
+            """Write the batched rows (and any relayed span records),
+            timing the write when telemetry is on."""
+            nonlocal pending, pending_spans
+            if not (pending or pending_spans):
+                return
+            started = time.perf_counter()
+            if pending:
+                db.save_experiments(pending)
+            if pending_spans:
+                db.save_spans(pending_spans)
+            if tele.enabled:
+                elapsed = time.perf_counter() - started
+                metrics = tele.metrics
+                metrics.add_time("phase.db_write", elapsed)
+                metrics.observe("db.batch_seconds", elapsed)
+                metrics.inc("db.rows", len(pending))
+                metrics.inc("db.batches")
+            pending = []
+            pending_spans = []
+
         try:
             while live:
                 if progress.abort_requested and not abort_event.is_set():
@@ -256,14 +323,25 @@ class ParallelCampaignRunner:
                 if kind == "result":
                     pending.append(ExperimentRecord(**payload))
                     if len(pending) >= self.batch_size:
-                        db.save_experiments(pending)
-                        pending = []
+                        flush_pending()
                     completed += 1
                     progress.experiment_done(
                         payload["experiment_name"],
                         payload["state_vector"]["termination"]["outcome"],
                     )
+                elif kind == "spans":
+                    pending_spans.extend(
+                        SpanRecord(
+                            experiment_name=span["experiment"],
+                            campaign_name=config.name,
+                            span=span,
+                        )
+                        for span in payload
+                    )
+                elif kind == "metrics":
+                    tele.metrics.merge(payload)
                 elif kind == "error":
+                    logger.error("worker %d failed:\n%s", worker_id, payload)
                     failures.append(f"worker {worker_id} failed:\n{payload}")
                     abort_event.set()
                 elif kind == "done":
@@ -282,8 +360,7 @@ class ParallelCampaignRunner:
                     process.join()
             result_queue.close()
             try:
-                if pending:
-                    db.save_experiments(pending)
+                flush_pending()
             except Exception:
                 if not failed:
                     raise
@@ -297,10 +374,14 @@ class ParallelCampaignRunner:
                 f"parallel campaign {config.name!r} aborted; "
                 + "; ".join(failures)
             )
+        snapshot = (
+            algorithms._finish_telemetry(config.name) if tele.enabled else None
+        )
         return CampaignResult(
             campaign_name=config.name,
             experiments_run=completed,
             experiments_planned=len(remaining),
             aborted=aborted,
             elapsed_seconds=progress.elapsed_seconds,
+            telemetry=snapshot,
         )

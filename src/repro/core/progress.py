@@ -11,8 +11,25 @@ callbacks; tests attach recording observers.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
+
+#: Completion timestamps kept for the rolling-throughput window.
+_RATE_WINDOW = 50
+
+
+def format_duration(seconds: float) -> str:
+    """``90.5`` → ``"1m31s"`` — compact durations for progress lines
+    and the stats report."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.1f}s" if seconds < 10 else f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,6 +42,12 @@ class ProgressEvent:
     experiment_name: str
     outcome: str
     elapsed_seconds: float
+    #: Rolling throughput (experiments/s) over the last
+    #: ``_RATE_WINDOW`` experiments; ``0.0`` until two have finished.
+    rate: float = 0.0
+    #: Estimated seconds to campaign completion at the rolling rate;
+    #: ``None`` until the rate is known.
+    eta_seconds: float | None = None
 
     @property
     def fraction(self) -> float:
@@ -49,6 +72,7 @@ class ProgressReporter:
     _paused: bool = False
     _abort_requested: bool = False
     _started_at: float = 0.0
+    _recent: deque = field(default_factory=lambda: deque(maxlen=_RATE_WINDOW))
 
     # ------------------------------------------------------------------
     # Control (the pause / restart / end buttons)
@@ -82,18 +106,31 @@ class ProgressReporter:
         self._abort_requested = False
         self._paused = False
         self._started_at = time.monotonic()
+        self._recent.clear()
 
     def experiment_done(self, experiment_name: str, outcome: str) -> None:
         """Record one finished experiment and notify observers.  Blocks
         while paused (unless an end request arrives)."""
         self.completed += 1
+        now = time.monotonic()
+        self._recent.append(now)
+        rate = 0.0
+        eta: float | None = None
+        if len(self._recent) >= 2:
+            window = now - self._recent[0]
+            if window > 0:
+                rate = (len(self._recent) - 1) / window
+                if self.total:
+                    eta = max(self.total - self.completed, 0) / rate
         event = ProgressEvent(
             campaign_name=self.campaign_name,
             completed=self.completed,
             total=self.total,
             experiment_name=experiment_name,
             outcome=outcome,
-            elapsed_seconds=time.monotonic() - self._started_at,
+            elapsed_seconds=now - self._started_at,
+            rate=rate,
+            eta_seconds=eta,
         )
         for observer in self.observers:
             observer(event)
@@ -109,9 +146,16 @@ class ProgressReporter:
 
 
 def console_observer(event: ProgressEvent) -> None:
-    """A ready-made observer printing one line per experiment block."""
+    """A ready-made observer printing one line per experiment block,
+    with the rolling throughput and ETA once they are known."""
     if event.completed == event.total or event.completed % 50 == 0:
+        extra = ""
+        if event.rate:
+            extra = f", {event.rate:.1f} exp/s"
+            if event.eta_seconds is not None and event.completed < event.total:
+                extra += f", ETA {format_duration(event.eta_seconds)}"
         print(
             f"[{event.campaign_name}] {event.completed}/{event.total} "
-            f"experiments ({event.fraction:.0%}), last outcome: {event.outcome}"
+            f"experiments ({event.fraction:.0%}){extra}, "
+            f"last outcome: {event.outcome}"
         )

@@ -1,8 +1,15 @@
 """GOOFI database layer: SQLite storage with the paper's three tables
-(``TargetSystemData``, ``CampaignData``, ``LoggedSystemState``)."""
+(``TargetSystemData``, ``CampaignData``, ``LoggedSystemState``) plus
+the v2 telemetry tables (``CampaignTelemetry``, ``ExperimentSpan``)."""
 
 from .database import DatabaseError, GoofiDatabase
-from .models import CampaignRecord, ExperimentRecord, TargetSystemRecord, utc_now
+from .models import (
+    CampaignRecord,
+    ExperimentRecord,
+    SpanRecord,
+    TargetSystemRecord,
+    utc_now,
+)
 from .schema import REFERENCE_EXPERIMENT, SCHEMA_VERSION, reference_name
 
 __all__ = [
@@ -12,6 +19,7 @@ __all__ = [
     "GoofiDatabase",
     "REFERENCE_EXPERIMENT",
     "SCHEMA_VERSION",
+    "SpanRecord",
     "TargetSystemRecord",
     "reference_name",
     "utc_now",

@@ -8,13 +8,17 @@ works with the row dataclasses of :mod:`repro.db.models`.
 
 from __future__ import annotations
 
+import json
+import logging
 import sqlite3
 from collections.abc import Iterator
 from contextlib import contextmanager
 from pathlib import Path
 
-from .models import CampaignRecord, ExperimentRecord, TargetSystemRecord
-from .schema import CREATE_TABLES, SCHEMA_VERSION
+from .models import CampaignRecord, ExperimentRecord, SpanRecord, TargetSystemRecord
+from .schema import CREATE_TABLES, MIGRATIONS, SCHEMA_VERSION
+
+logger = logging.getLogger(__name__)
 
 
 class DatabaseError(Exception):
@@ -45,9 +49,31 @@ class GoofiDatabase:
         if row is None:
             self._conn.execute("INSERT INTO SchemaInfo (version) VALUES (?)", (SCHEMA_VERSION,))
             self._conn.commit()
+        elif row[0] < SCHEMA_VERSION:
+            self._migrate(int(row[0]))
         elif row[0] != SCHEMA_VERSION:
             raise DatabaseError(
                 f"database schema version {row[0]} != supported {SCHEMA_VERSION}"
+            )
+
+    def _migrate(self, from_version: int) -> None:
+        """Upgrade an older database in place, one version at a time.
+        Migrations are additive, so existing rows are untouched."""
+        version = from_version
+        while version < SCHEMA_VERSION:
+            script = MIGRATIONS.get(version)
+            if script is None:
+                raise DatabaseError(
+                    f"no migration path from schema version {version} "
+                    f"to {SCHEMA_VERSION}"
+                )
+            self._conn.executescript(script)
+            version += 1
+            self._conn.execute("UPDATE SchemaInfo SET version = ?", (version,))
+            self._conn.commit()
+            logger.info(
+                "migrated %s from schema version %d to %d",
+                self.path, version - 1, version,
             )
 
     # ------------------------------------------------------------------
@@ -225,9 +251,17 @@ class GoofiDatabase:
 
     def delete_campaign_experiments(self, campaign_name: str) -> int:
         """Drop all logged experiments of a campaign (a fresh run of the
-        same campaign replaces its old results).  Returns the number of
+        same campaign replaces its old results), along with their spans
+        and the stale metric snapshot.  Returns the number of experiment
         rows removed."""
         with self.transaction() as conn:
+            conn.execute(
+                "DELETE FROM ExperimentSpan WHERE campaignName = ?", (campaign_name,)
+            )
+            conn.execute(
+                "DELETE FROM CampaignTelemetry WHERE campaignName = ?",
+                (campaign_name,),
+            )
             cur = conn.execute(
                 "DELETE FROM LoggedSystemState WHERE campaignName = ?",
                 (campaign_name,),
@@ -277,12 +311,93 @@ class GoofiDatabase:
         return [ExperimentRecord.from_row(row) for row in cur.fetchall()]
 
     def delete_campaign(self, campaign_name: str) -> None:
-        """Remove a campaign and its logged experiments."""
+        """Remove a campaign, its logged experiments, and its telemetry."""
         with self.transaction() as conn:
+            conn.execute(
+                "DELETE FROM ExperimentSpan WHERE campaignName = ?", (campaign_name,)
+            )
+            conn.execute(
+                "DELETE FROM CampaignTelemetry WHERE campaignName = ?",
+                (campaign_name,),
+            )
             conn.execute(
                 "DELETE FROM LoggedSystemState WHERE campaignName = ?", (campaign_name,)
             )
             conn.execute("DELETE FROM CampaignData WHERE campaignName = ?", (campaign_name,))
+
+    # ------------------------------------------------------------------
+    # Telemetry: CampaignTelemetry and ExperimentSpan
+    # ------------------------------------------------------------------
+    def save_campaign_telemetry(self, campaign_name: str, snapshot: dict) -> None:
+        """Store (or replace) a campaign's metric snapshot — one row per
+        campaign, written by the coordinator when a telemetry-enabled
+        run finishes."""
+        from .models import utc_now
+
+        try:
+            with self.transaction() as conn:
+                conn.execute(
+                    "INSERT INTO CampaignTelemetry "
+                    "(campaignName, snapshotJson, createdAt) VALUES (?, ?, ?) "
+                    "ON CONFLICT (campaignName) DO UPDATE SET "
+                    "snapshotJson = excluded.snapshotJson, "
+                    "createdAt = excluded.createdAt",
+                    (campaign_name, json.dumps(snapshot, sort_keys=True), utc_now()),
+                )
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(
+                f"telemetry snapshot references unknown campaign "
+                f"{campaign_name!r}: {exc}"
+            ) from exc
+
+    def load_campaign_telemetry(self, campaign_name: str) -> dict:
+        cur = self._conn.execute(
+            "SELECT snapshotJson FROM CampaignTelemetry WHERE campaignName = ?",
+            (campaign_name,),
+        )
+        row = cur.fetchone()
+        if row is None:
+            raise DatabaseError(
+                f"no telemetry snapshot for campaign {campaign_name!r} — "
+                f"run it with telemetry enabled (goofi run --telemetry)"
+            )
+        return json.loads(row[0])
+
+    def save_spans(self, records: list[SpanRecord]) -> None:
+        """Batch-upsert per-experiment span rows (one ``executemany``
+        per campaign flush, mirroring :meth:`save_experiments`)."""
+        if not records:
+            return
+        try:
+            with self.transaction() as conn:
+                conn.executemany(
+                    "INSERT INTO ExperimentSpan "
+                    "(experimentName, campaignName, spanJson, createdAt) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT (experimentName) DO UPDATE SET "
+                    "campaignName = excluded.campaignName, "
+                    "spanJson = excluded.spanJson, "
+                    "createdAt = excluded.createdAt",
+                    [record.to_row() for record in records],
+                )
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(f"batch span insert failed: {exc}") from exc
+
+    def iter_spans(self, campaign_name: str) -> Iterator[SpanRecord]:
+        cur = self._conn.execute(
+            "SELECT experimentName, campaignName, spanJson, createdAt "
+            "FROM ExperimentSpan WHERE campaignName = ? ORDER BY rowid",
+            (campaign_name,),
+        )
+        for row in cur:
+            yield SpanRecord.from_row(row)
+
+    def count_spans(self, campaign_name: str) -> int:
+        cur = self._conn.execute(
+            "SELECT COUNT(*) FROM ExperimentSpan WHERE campaignName = ?",
+            (campaign_name,),
+        )
+        return int(cur.fetchone()[0])
 
     # ------------------------------------------------------------------
     @staticmethod

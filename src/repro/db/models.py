@@ -123,3 +123,34 @@ class ExperimentRecord:
             parent_experiment=parent,
             created_at=created,
         )
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One row of ``ExperimentSpan``: the structured per-experiment
+    telemetry record (phase timings, execution counters, outcome)
+    emitted by a ``--telemetry=spans`` run.  ``span`` is the record
+    built by :class:`repro.core.telemetry.ExperimentSpan`."""
+
+    experiment_name: str
+    campaign_name: str
+    span: dict
+    created_at: str = field(default_factory=utc_now)
+
+    def to_row(self) -> tuple:
+        return (
+            self.experiment_name,
+            self.campaign_name,
+            json.dumps(self.span, sort_keys=True),
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "SpanRecord":
+        name, campaign, span_json, created = row
+        return cls(
+            experiment_name=name,
+            campaign_name=campaign,
+            span=json.loads(span_json),
+            created_at=created,
+        )

@@ -24,11 +24,24 @@ them with ``PRAGMA foreign_keys = ON``, which
 Structured configuration lives in JSON columns: the tool is written
 against a generic schema, so target- and technique-specific data must
 not require DDL changes (the paper's core genericity requirement).
+
+Version 2 adds the telemetry tables:
+
+* ``CampaignTelemetry`` — one metric snapshot (counters, gauges, phase
+  timers, histograms as JSON) per campaign run, written by the
+  coordinator when a telemetry-enabled run finishes.
+* ``ExperimentSpan`` — optional per-experiment span records (phase
+  timings, execution counters) logged when the run used
+  ``--telemetry=spans``; keyed like ``LoggedSystemState`` so spans and
+  result rows join on ``experimentName``.
+
+Opening an older database migrates it in place: migrations are pure
+``CREATE TABLE IF NOT EXISTS`` additions, so v1 data is untouched.
 """
 
 from __future__ import annotations
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 CREATE_TABLES = """
 CREATE TABLE IF NOT EXISTS SchemaInfo (
@@ -65,7 +78,47 @@ CREATE INDEX IF NOT EXISTS idx_logged_campaign
     ON LoggedSystemState(campaignName);
 CREATE INDEX IF NOT EXISTS idx_logged_parent
     ON LoggedSystemState(parentExperiment);
+
+CREATE TABLE IF NOT EXISTS CampaignTelemetry (
+    campaignName TEXT PRIMARY KEY REFERENCES CampaignData(campaignName),
+    snapshotJson TEXT NOT NULL,
+    createdAt    TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS ExperimentSpan (
+    experimentName TEXT PRIMARY KEY,
+    campaignName   TEXT NOT NULL REFERENCES CampaignData(campaignName),
+    spanJson       TEXT NOT NULL,
+    createdAt      TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_span_campaign
+    ON ExperimentSpan(campaignName);
 """
+
+#: Stepwise in-place migrations: ``MIGRATIONS[n]`` upgrades a version-n
+#: database to version n+1.  Each script must be additive (old rows
+#: keep their meaning) — the version bump itself is handled by
+#: :class:`repro.db.database.GoofiDatabase`.
+MIGRATIONS: dict[int, str] = {
+    1: """
+CREATE TABLE IF NOT EXISTS CampaignTelemetry (
+    campaignName TEXT PRIMARY KEY REFERENCES CampaignData(campaignName),
+    snapshotJson TEXT NOT NULL,
+    createdAt    TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS ExperimentSpan (
+    experimentName TEXT PRIMARY KEY,
+    campaignName   TEXT NOT NULL REFERENCES CampaignData(campaignName),
+    spanJson       TEXT NOT NULL,
+    createdAt      TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_span_campaign
+    ON ExperimentSpan(campaignName);
+""",
+}
 
 #: Name of the fault-free reference experiment within every campaign.
 REFERENCE_EXPERIMENT = "__reference__"

@@ -1,0 +1,52 @@
+"""Library logging policy and the CLI's verbosity switch.
+
+``repro`` follows the standard library-logging etiquette: the package
+root logger gets a :class:`logging.NullHandler` on import (done in
+:mod:`repro.__init__`), modules log through ``logging.getLogger(
+__name__)``, and nothing below the CLI ever calls ``basicConfig`` or
+touches handlers — an embedding application keeps full control.
+
+:func:`setup_logging` is the one place a handler is attached: the
+``goofi`` entry point calls it with the count of ``-v``/``-q`` flags.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: The package root logger every repro module hangs under.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    ``verbosity`` follows the usual CLI convention: ``0`` → WARNING
+    (default), ``1`` (``-v``) → INFO, ``2+`` (``-vv``) → DEBUG, and
+    negative (``-q``) → ERROR.  Calling it again replaces the handler
+    instead of stacking duplicates, so tests and REPL sessions can
+    re-invoke it freely.
+    """
+    if verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    elif verbosity < 0:
+        level = logging.ERROR
+    else:
+        level = logging.WARNING
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if isinstance(handler, logging.StreamHandler) and getattr(
+            handler, "_repro_cli", False
+        ):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

@@ -140,6 +140,8 @@ class GoofiSession:
         workers: int = 1,
         checkpoints: bool = False,
         fast: bool = True,
+        telemetry=None,
+        telemetry_jsonl=None,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
@@ -147,15 +149,26 @@ class GoofiSession:
         fault-free prefix state between experiments
         (:mod:`repro.core.checkpoint`); ``fast=False`` forces the
         target's reference execution loop instead of the fused fast
-        path.  Logged rows are identical to the plain serial loop in
-        all cases."""
+        path.  ``telemetry`` records campaign metrics (and, at
+        ``"spans"``, per-experiment phase records) into the database —
+        see :mod:`repro.core.telemetry`; ``telemetry_jsonl`` also
+        streams them to a JSON-lines file.  Logged rows are identical
+        to the plain serial loop in all cases."""
         return self.algorithms.run_campaign(
             campaign_name,
             resume=resume,
             workers=workers,
             checkpoints=checkpoints,
             fast=fast,
+            telemetry=telemetry,
+            telemetry_jsonl=telemetry_jsonl,
         )
+
+    def stats(self, campaign_name: str) -> str:
+        """The telemetry report for a campaign run with telemetry on."""
+        from .analysis import stats_report
+
+        return stats_report(self.db, campaign_name)
 
     # ------------------------------------------------------------------
     # Analysis phase

@@ -357,7 +357,12 @@ class StackTargetInterface(TargetSystemInterface):
         self.machine.fast = bool(enabled)
 
     def execution_stats(self) -> dict:
-        return {"fast_segments": self.machine.fast_segments}
+        machine = self.machine
+        return {
+            "fast_segments": machine.fast_segments,
+            "ref_segments": machine.ref_segments,
+            "cycles": machine.cycle,
+        }
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -86,9 +86,11 @@ class StackMachine:
         #: Fast-path control, mirroring the Thor CPU: when True and no
         #: observers are attached, :meth:`run` uses the fused loop.
         self.fast = True
-        #: Diagnostic count of fused-loop segments entered; not
-        #: architectural state, so not checkpointed.
+        #: Diagnostic counts of run-loop segments entered (fused fast
+        #: loop vs. reference step loop); not architectural state, so
+        #: not checkpointed.
         self.fast_segments = 0
+        self.ref_segments = 0
 
     # ------------------------------------------------------------------
     def reset(self, entry_point: int = 0) -> None:
@@ -312,6 +314,7 @@ class StackMachine:
 
     def _run_observed(self, max_cycles: int, stop_at_cycle: int | None = None) -> str:
         """Reference run loop: one observable :meth:`step` at a time."""
+        self.ref_segments += 1
         while True:
             if self.halted:
                 return "detected" if self.detection else "halted"

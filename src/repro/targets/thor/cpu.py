@@ -162,11 +162,12 @@ class ThorCPU:
         #: :meth:`run` uses the fused loop.  Set False to force the
         #: reference step loop (the ``fast=False`` escape hatch).
         self.fast = True
-        #: Diagnostic count of fused-loop segments entered.  Not
-        #: architectural state: deliberately excluded from
-        #: ``save_state`` so checkpointed and plain runs snapshot
-        #: identically.
+        #: Diagnostic counts of run-loop segments entered (fused fast
+        #: loop vs. observable reference loop).  Not architectural
+        #: state: deliberately excluded from ``save_state`` so
+        #: checkpointed and plain runs snapshot identically.
         self.fast_segments = 0
+        self.ref_segments = 0
 
     # ------------------------------------------------------------------
     # State management
@@ -365,6 +366,7 @@ class ThorCPU:
         against; it is also the only loop that dispatches trace/memory
         hooks, post-step fault overlays, and the register-parity EDM.
         """
+        self.ref_segments += 1
         breakpoints = self.breakpoints
         while True:
             if self.halted:

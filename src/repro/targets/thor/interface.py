@@ -372,7 +372,12 @@ class ThorTargetInterface(TargetSystemInterface):
         self.card.cpu.fast = bool(enabled)
 
     def execution_stats(self) -> dict:
-        return {"fast_segments": self.card.cpu.fast_segments}
+        cpu = self.card.cpu
+        return {
+            "fast_segments": cpu.fast_segments,
+            "ref_segments": cpu.ref_segments,
+            "cycles": cpu.cycle,
+        }
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -1,0 +1,127 @@
+"""Propagation-probe overhead bench.
+
+Regenerates: wall-clock cost of running the same campaign with probes
+off and with probes at the default period, plus the row-level
+invariance check (probed rows must be bit-identical to un-probed rows —
+probes observe a run, they must not perturb it).
+
+Writes ``BENCH_probes.json`` next to the text table (machine-readable,
+via :func:`conftest.write_result`).
+
+Timed unit: one full campaign run per mode.  Each round runs every
+mode twice, interleaved with rotated order, and keeps the per-mode
+best — scheduler spikes on a busy box are one-sided additive noise, so
+the within-round minimum is the honest reading.  The overhead is the
+median of the per-round paired (best-vs-best) ratios.  The overhead
+ceiling (probed run < 10% over off at the default probe period) fires
+only in full mode; ``GOOFI_BENCH_QUICK=1`` shrinks the campaign for CI
+smoke runs.  The row-invariance assertion fires in both modes — it is
+the point of the design.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import build_campaign, write_result
+
+from repro.core import DEFAULT_PROBE_PERIOD
+
+QUICK = os.environ.get("GOOFI_BENCH_QUICK") == "1"
+
+EXPERIMENTS = 60 if QUICK else 200
+RUNS = 2 if QUICK else 9
+#: Probed-run overhead ceiling (fraction of the probes-off time) at the
+#: default probe period.
+PROBE_OVERHEAD_CEILING = 0.10
+
+MODES = (None, DEFAULT_PROBE_PERIOD)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _rows(db, campaign: str) -> dict:
+    return {
+        record.experiment_name.split("/", 1)[1]: (
+            record.experiment_data,
+            record.state_vector,
+        )
+        for record in db.iter_experiments(campaign)
+    }
+
+
+def test_probe_overhead(bench_session):
+    build_campaign(
+        bench_session, "probed", workload="bubble_sort",
+        num_experiments=EXPERIMENTS, seed=10,
+    )
+
+    ratios: list[float] = []
+    best: dict[str, float] = {}
+    rows: dict[str, dict] = {}
+    # Warm caches outside the timed region, then interleave the modes
+    # with rotated in-round order so drift hits both equally.
+    bench_session.run_campaign("probed")
+    for round_index in range(RUNS):
+        rotation = round_index % len(MODES)
+        round_best: dict[str, float] = {}
+        for _ in range(2):
+            for probes in MODES[rotation:] + MODES[:rotation]:
+                label = "off" if probes is None else "probes"
+                bench_session.db.delete_campaign_experiments("probed")
+                started = time.perf_counter()
+                result = bench_session.run_campaign("probed", probes=probes)
+                elapsed = time.perf_counter() - started
+                assert result.experiments_run == EXPERIMENTS
+                round_best[label] = min(
+                    round_best.get(label, elapsed), elapsed
+                )
+                rows[label] = _rows(bench_session.db, "probed")
+                if probes is not None:
+                    probe_rows = bench_session.db.count_probes("probed")
+        ratios.append(round_best["probes"] / round_best["off"])
+        for label, elapsed in round_best.items():
+            best[label] = min(best.get(label, elapsed), elapsed)
+
+    assert rows["probes"] == rows["off"], "probes perturbed the logged rows"
+    assert probe_rows == EXPERIMENTS
+
+    overhead = _median(ratios) - 1.0
+    lines = [
+        "BENCH: propagation-probe overhead (campaign run, median paired "
+        f"best-of-2 ratio over {RUNS} rounds, {EXPERIMENTS} experiments, "
+        f"period {DEFAULT_PROBE_PERIOD})",
+        f"  off      : {best['off']:7.3f}s best "
+        f"({EXPERIMENTS / best['off']:6.1f} exp/s)",
+        f"  probes   : {best['probes']:7.3f}s best "
+        f"({EXPERIMENTS / best['probes']:6.1f} exp/s, {overhead:+6.1%} vs off)",
+        f"  rows     : bit-identical off vs probed (asserted); "
+        f"{EXPERIMENTS} probe summaries stored",
+    ]
+    write_result(
+        "BENCH_probes",
+        "\n".join(lines),
+        data={
+            "mode": "quick" if QUICK else "full",
+            "experiments": EXPERIMENTS,
+            "runs": RUNS,
+            "probe_period": DEFAULT_PROBE_PERIOD,
+            "seconds": best,
+            "overhead_vs_off": overhead,
+            "rows_identical": True,
+            "probe_rows": probe_rows,
+        },
+    )
+
+    if not QUICK:
+        assert overhead < PROBE_OVERHEAD_CEILING, (
+            f"probes cost {overhead:.1%} at period {DEFAULT_PROBE_PERIOD}, "
+            f"ceiling is {PROBE_OVERHEAD_CEILING:.0%}"
+        )

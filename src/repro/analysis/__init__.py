@@ -55,11 +55,12 @@ from .measures import (
     per_time_breakdown,
     proportion,
 )
-from .propagation import (
-    PropagationAnalysis,
-    TimelinePoint,
-    analyze_propagation,
-    propagation_summary,
+from .probes_report import (
+    EdmCoverage,
+    edm_coverage,
+    format_propagation_report,
+    infection_percentiles,
+    propagation_report,
 )
 from .reports import campaign_report, format_classification, format_measures
 from .telemetry_report import (
@@ -68,5 +69,31 @@ from .telemetry_report import (
     stats_report,
     throughput_summary,
 )
+from .traceexport import build_trace, validate_trace, write_trace
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+#: Names served lazily from :mod:`repro.analysis.propagation`.  That
+#: module imports :mod:`networkx` at module scope, which costs ~0.2 s —
+#: paid by every ``goofi run`` if imported eagerly here, despite the
+#: graph analysis only being needed by ``goofi analyze --graph`` style
+#: consumers.  A module-level ``__getattr__`` (PEP 562) defers the
+#: import until one of these names is first touched.
+_PROPAGATION_NAMES = {
+    "PropagationAnalysis",
+    "TimelinePoint",
+    "analyze_propagation",
+    "propagation_summary",
+}
+
+__all__ = [name for name in dir() if not name.startswith("_")] + sorted(
+    _PROPAGATION_NAMES
+)
+
+
+def __getattr__(name: str):
+    if name in _PROPAGATION_NAMES:
+        from . import propagation
+
+        value = getattr(propagation, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,178 @@
+"""Aggregate propagation-probe summaries — the ``goofi analyze
+--propagation`` surface.
+
+Works from the per-experiment payloads a probed run stores in the
+``PropagationProbe`` table (:mod:`repro.core.probes`): an EDM coverage
+matrix (injected location class × detecting mechanism), dormancy and
+infection-curve percentiles, and the share of experiments whose faults
+ever became visible in the probed scan chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import AnalysisError
+from ..db import GoofiDatabase
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile on a sorted copy (no numpy dependency —
+    the sample sizes here are campaign sizes, not vectors)."""
+    if not values:
+        raise AnalysisError("percentile of an empty sample")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def load_probe_payloads(db: GoofiDatabase, campaign_name: str) -> list[dict]:
+    """All stored probe summaries for a campaign, in storage order."""
+    payloads = [record.probe for record in db.iter_probes(campaign_name)]
+    if not payloads:
+        raise AnalysisError(
+            f"campaign {campaign_name!r} has no propagation probes — "
+            "run it with probes on (goofi run --probes)"
+        )
+    return payloads
+
+
+#: Matrix column for experiments no EDM detected.
+NO_DETECTION = "none"
+
+
+@dataclass(frozen=True, slots=True)
+class EdmCoverage:
+    """The EDM coverage matrix: for each injected location class, how
+    many experiments ended in each detecting mechanism (or none).
+
+    ``counts[location_class][mechanism]`` counts experiments — an
+    experiment injecting into two classes contributes one count to each
+    of its classes, but only once per class."""
+
+    classes: tuple[str, ...]
+    mechanisms: tuple[str, ...]
+    counts: dict[str, dict[str, int]]
+
+    def row_total(self, location_class: str) -> int:
+        return sum(self.counts[location_class].values())
+
+    def coverage(self, location_class: str) -> float:
+        """Detected share for one injected class: experiments where any
+        EDM fired over all experiments injecting there."""
+        total = self.row_total(location_class)
+        if not total:
+            return 0.0
+        detected = total - self.counts[location_class].get(NO_DETECTION, 0)
+        return detected / total
+
+
+def _detecting_mechanism(payload: dict) -> str:
+    detection = payload.get("detection")
+    if detection:
+        return str(detection.get("mechanism", "?"))
+    return NO_DETECTION
+
+
+def edm_coverage(payloads: list[dict]) -> EdmCoverage:
+    """Fold probe summaries into the coverage matrix."""
+    counts: dict[str, dict[str, int]] = {}
+    mechanisms: set[str] = set()
+    for payload in payloads:
+        mechanism = _detecting_mechanism(payload)
+        mechanisms.add(mechanism)
+        for location_class in payload.get("injected_classes", []):
+            row = counts.setdefault(location_class, {})
+            row[mechanism] = row.get(mechanism, 0) + 1
+    ordered_mechanisms = sorted(mechanisms - {NO_DETECTION})
+    if NO_DETECTION in mechanisms:
+        ordered_mechanisms.append(NO_DETECTION)
+    return EdmCoverage(
+        classes=tuple(sorted(counts)),
+        mechanisms=tuple(ordered_mechanisms),
+        counts=counts,
+    )
+
+
+def infection_percentiles(
+    payloads: list[dict], fractions: tuple[float, ...] = (0.5, 0.9, 0.99)
+) -> dict:
+    """Headline propagation statistics across a campaign.
+
+    Percentiles are over the experiments whose fault ever diverged from
+    the golden run in the probed chains; ``diverged_share`` reports how
+    many that was."""
+    diverged = [p for p in payloads if p.get("first_divergence") is not None]
+    result: dict = {
+        "experiments": len(payloads),
+        "diverged": len(diverged),
+        "diverged_share": len(diverged) / len(payloads) if payloads else 0.0,
+        "dormancy": None,
+        "peak_infection": None,
+        "final_infection": None,
+    }
+    if not diverged:
+        return result
+    for key in ("dormancy", "peak_infection", "final_infection"):
+        values = [float(p[key]) for p in diverged if p.get(key) is not None]
+        if values:
+            result[key] = {
+                f"p{int(fraction * 100)}": _percentile(values, fraction)
+                for fraction in fractions
+            }
+    return result
+
+
+def format_propagation_report(campaign_name: str, payloads: list[dict]) -> str:
+    """Render the coverage matrix and percentile summary as text."""
+    matrix = edm_coverage(payloads)
+    stats = infection_percentiles(payloads)
+    period = payloads[0].get("probe_period", "?") if payloads else "?"
+
+    lines = [
+        f"Propagation probes for campaign {campaign_name!r} "
+        f"({stats['experiments']} experiments, probe period {period} cycles):",
+        "",
+        f"Fault visibility: {stats['diverged']} of {stats['experiments']} "
+        f"experiments diverged from the golden run in the probed chains "
+        f"({stats['diverged_share']:.1%}).",
+    ]
+
+    for key, label, unit in (
+        ("dormancy", "Dormancy", "cycles"),
+        ("peak_infection", "Peak infection", "elements"),
+        ("final_infection", "Final infection", "elements"),
+    ):
+        percentiles = stats.get(key)
+        if percentiles:
+            rendered = ", ".join(
+                f"{name}={value:g}" for name, value in percentiles.items()
+            )
+            lines.append(f"  {label:<16}: {rendered} ({unit})")
+
+    if matrix.classes:
+        label_width = max(12, max(len(c) for c in matrix.classes) + 2)
+        column_width = max(9, max(len(m) for m in matrix.mechanisms) + 2)
+        lines += ["", "EDM coverage matrix (experiments per injected class):"]
+        header = " " * label_width + "".join(
+            f"{mechanism:>{column_width}}" for mechanism in matrix.mechanisms
+        )
+        lines.append(header + f"{'coverage':>10}")
+        for location_class in matrix.classes:
+            row = matrix.counts[location_class]
+            cells = "".join(
+                f"{row.get(mechanism, 0):>{column_width}}"
+                for mechanism in matrix.mechanisms
+            )
+            lines.append(
+                f"{location_class:<{label_width}}{cells}"
+                f"{matrix.coverage(location_class):>10.1%}"
+            )
+    return "\n".join(lines)
+
+
+def propagation_report(db: GoofiDatabase, campaign_name: str) -> str:
+    """Load a campaign's stored probe summaries and render the report."""
+    return format_propagation_report(
+        campaign_name, load_probe_payloads(db, campaign_name)
+    )

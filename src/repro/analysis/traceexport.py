@@ -1,0 +1,234 @@
+"""Chrome/Perfetto trace export — the ``goofi trace export`` surface.
+
+Turns a campaign's stored observability data into one Trace Event JSON
+file loadable in ``ui.perfetto.dev`` (or ``chrome://tracing``):
+
+* **Process 1 — wall clock.**  One lane per worker; each experiment
+  span (``--telemetry=spans``) becomes a duration event at its real
+  wall-clock time with its timed phase blocks nested inside.
+* **Process 2 — simulation timeline.**  One lane per probed experiment
+  (``--probes``), plotted in *simulated cycles* (1 cycle = 1µs of trace
+  time): instant events for each probe's infection count, a duration
+  event spanning the infected region (first divergence to detection or
+  end), and an instant marking the EDM that fired.
+
+The JSON shape follows the Trace Event Format: a ``traceEvents`` list
+of ``ph``-typed events with microsecond ``ts`` timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.errors import AnalysisError
+from ..db import GoofiDatabase
+
+#: Trace process ids for the two timelines.
+PID_WALL_CLOCK = 1
+PID_SIMULATION = 2
+
+_SECONDS_TO_US = 1e6
+
+
+def _metadata(name: str, pid: int, tid: int, value: str) -> dict:
+    return {
+        "ph": "M",
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": value},
+    }
+
+
+def _span_events(spans: list[dict]) -> list[dict]:
+    """Wall-clock lanes: experiment duration events (one lane per
+    worker) with their phase blocks nested inside."""
+    events: list[dict] = []
+    base = min(span.get("started_at", 0.0) for span in spans)
+    workers = sorted({int(span.get("worker", 0)) for span in spans})
+    events.append(
+        _metadata("process_name", PID_WALL_CLOCK, 0, "goofi campaign (wall clock)")
+    )
+    for worker in workers:
+        events.append(
+            _metadata("thread_name", PID_WALL_CLOCK, worker, f"worker {worker}")
+        )
+    for span in spans:
+        worker = int(span.get("worker", 0))
+        start_us = (span.get("started_at", base) - base) * _SECONDS_TO_US
+        events.append(
+            {
+                "ph": "X",
+                "name": span["experiment"],
+                "cat": "experiment",
+                "pid": PID_WALL_CLOCK,
+                "tid": worker,
+                "ts": start_us,
+                "dur": span.get("duration_seconds", 0.0) * _SECONDS_TO_US,
+                "args": {
+                    "outcome": span.get("outcome"),
+                    "counters": span.get("counters", {}),
+                },
+            }
+        )
+        for name, offset, duration in span.get("events", []):
+            events.append(
+                {
+                    "ph": "X",
+                    "name": name,
+                    "cat": "phase",
+                    "pid": PID_WALL_CLOCK,
+                    "tid": worker,
+                    "ts": start_us + offset * _SECONDS_TO_US,
+                    "dur": duration * _SECONDS_TO_US,
+                }
+            )
+    return events
+
+
+def _probe_events(payloads: list[dict]) -> list[dict]:
+    """Simulation-timeline lanes: one per probed experiment, in cycles
+    (1 cycle rendered as 1µs of trace time)."""
+    events: list[dict] = [
+        _metadata(
+            "process_name", PID_SIMULATION, 0, "simulation timeline (cycles)"
+        )
+    ]
+    for payload in payloads:
+        tid = int(payload.get("index", 0))
+        events.append(
+            _metadata(
+                "thread_name", PID_SIMULATION, tid, payload["experiment"]
+            )
+        )
+        events.append(
+            {
+                "ph": "i",
+                "name": "first injection",
+                "cat": "injection",
+                "pid": PID_SIMULATION,
+                "tid": tid,
+                "ts": float(payload.get("first_injection_cycle", 0)),
+                "s": "t",
+                "args": {"classes": payload.get("injected_classes", [])},
+            }
+        )
+        for cycle, count in payload.get("infection_curve", []):
+            events.append(
+                {
+                    "ph": "i",
+                    "name": f"infected={count}",
+                    "cat": "probe",
+                    "pid": PID_SIMULATION,
+                    "tid": tid,
+                    "ts": float(cycle),
+                    "s": "t",
+                    "args": {"infected_elements": count},
+                }
+            )
+        first_divergence = payload.get("first_divergence")
+        if first_divergence is not None:
+            until = payload.get("detection_cycle") or payload.get(
+                "end_cycle", first_divergence
+            )
+            events.append(
+                {
+                    "ph": "X",
+                    "name": "infected",
+                    "cat": "propagation",
+                    "pid": PID_SIMULATION,
+                    "tid": tid,
+                    "ts": float(first_divergence),
+                    "dur": float(max(0, until - first_divergence)),
+                    "args": {
+                        "peak_infection": payload.get("peak_infection"),
+                        "infected_classes": payload.get("infected_classes", []),
+                    },
+                }
+            )
+        detection = payload.get("detection")
+        if detection:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": f"EDM: {detection.get('mechanism', '?')}",
+                    "cat": "detection",
+                    "pid": PID_SIMULATION,
+                    "tid": tid,
+                    "ts": float(payload.get("detection_cycle") or 0),
+                    "s": "t",
+                    "args": detection,
+                }
+            )
+    return events
+
+
+def build_trace(db: GoofiDatabase, campaign_name: str) -> dict:
+    """Assemble the Trace Event JSON document for one campaign from
+    whatever observability data it stored — spans, probes, or both."""
+    spans = [record.span for record in db.iter_spans(campaign_name)]
+    payloads = [record.probe for record in db.iter_probes(campaign_name)]
+    if not spans and not payloads:
+        raise AnalysisError(
+            f"campaign {campaign_name!r} has no spans or probes to export — "
+            "run it with --telemetry=spans and/or --probes"
+        )
+    events: list[dict] = []
+    if spans:
+        events.extend(_span_events(spans))
+    if payloads:
+        events.extend(_probe_events(payloads))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "campaign": campaign_name,
+            "spans": len(spans),
+            "probes": len(payloads),
+        },
+    }
+
+
+_REQUIRED_KEYS = ("ph", "name", "pid", "tid")
+
+
+def validate_trace(trace: dict) -> None:
+    """Check the Trace Event JSON shape (used by tests and the CI quick
+    pipeline); raises :class:`AnalysisError` on the first violation."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise AnalysisError("trace must be an object with a traceEvents list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise AnalysisError("traceEvents must be a non-empty list")
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise AnalysisError(f"traceEvents[{position}] is not an object")
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise AnalysisError(
+                    f"traceEvents[{position}] is missing {key!r}"
+                )
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        timestamp = event.get("ts")
+        if not isinstance(timestamp, (int, float)) or timestamp < 0:
+            raise AnalysisError(
+                f"traceEvents[{position}] has invalid ts {timestamp!r}"
+            )
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise AnalysisError(
+                    f"traceEvents[{position}] has invalid dur {duration!r}"
+                )
+    json.dumps(trace)  # must round-trip: nothing non-serialisable inside
+
+
+def write_trace(db: GoofiDatabase, campaign_name: str, path: str | Path) -> dict:
+    """Build, validate, and write the trace; returns the document."""
+    trace = build_trace(db, campaign_name)
+    validate_trace(trace)
+    Path(path).write_text(json.dumps(trace, indent=1), encoding="utf-8")
+    return trace

@@ -38,6 +38,7 @@ from ..analysis import (
 from ..logconfig import setup_logging
 from ..core import (
     DEFAULT_CHECKPOINT_CAPACITY,
+    DEFAULT_PROBE_PERIOD,
     ProgressReporter,
     registered_targets,
     registered_techniques,
@@ -198,6 +199,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             fast=args.fast,
             telemetry=args.telemetry,
             telemetry_jsonl=args.telemetry_jsonl,
+            probes=args.probes,
         )
         status = "aborted" if result.aborted else "completed"
         rate = (
@@ -250,6 +252,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
             table = bit_sensitivity(session.db, args.campaign)
             print(format_sensitivity_map(table))
+            return 0
+        if args.propagation:
+            from ..analysis import propagation_report
+
+            print(propagation_report(session.db, args.campaign))
             return 0
         if args.latency:
             from ..analysis import detection_latencies, format_latency_report
@@ -334,6 +341,23 @@ def cmd_rerun(args: argparse.Namespace) -> int:
             f"{record.experiment_name!r} ({steps} logged steps, parent "
             f"tracked via parentExperiment)"
         )
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    from ..analysis import build_trace, validate_trace, write_trace
+
+    with _session(args) as session:
+        if args.out:
+            trace = write_trace(session.db, args.campaign, args.out)
+            print(
+                f"wrote {len(trace['traceEvents'])} trace events to "
+                f"{args.out} (open in ui.perfetto.dev)"
+            )
+        else:
+            trace = build_trace(session.db, args.campaign)
+            validate_trace(trace)
+            print(json.dumps(trace, indent=1))
     return 0
 
 
@@ -523,6 +547,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also stream span records and the final metrics snapshot "
              "to a JSON-lines file (implies --telemetry=spans)",
     )
+    run.add_argument(
+        "--probes",
+        nargs="?",
+        const=DEFAULT_PROBE_PERIOD,
+        default=None,
+        type=int,
+        metavar="PERIOD",
+        help="take periodic propagation probes during every experiment "
+             f"(default period: {DEFAULT_PROBE_PERIOD} cycles) and store "
+             "a fault-effect summary per experiment (inspect with "
+             "'goofi analyze --propagation' or 'goofi trace export'; "
+             "logged rows are identical either way)",
+    )
     run.set_defaults(func=cmd_run)
 
     stats = sub.add_parser(
@@ -555,6 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-location, per-bit fault-sensitivity heat map",
     )
     analyze.add_argument(
+        "--propagation", action="store_true",
+        help="EDM coverage matrix and infection-curve percentiles from a "
+             "campaign run with --probes",
+    )
+    analyze.add_argument(
         "--fault-rate", type=float, default=None,
         help="faults/hour: also print the analytical reliability/availability model",
     )
@@ -578,6 +620,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="allow differing fault lists (cross-target comparisons)",
     )
     compare.set_defaults(func=cmd_compare)
+
+    trace = sub.add_parser(
+        "trace", help="Chrome/Perfetto trace export of campaign observability"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="export spans (--telemetry=spans) and probes (--probes) as "
+             "Trace Event JSON for ui.perfetto.dev",
+    )
+    _add_db_argument(trace_export)
+    trace_export.add_argument("campaign")
+    trace_export.add_argument(
+        "--out", default=None, help="trace JSON path (default: stdout)"
+    )
+    trace_export.set_defaults(func=cmd_trace_export)
 
     rerun = sub.add_parser("rerun", help="re-run an experiment in detail mode")
     _add_db_argument(rerun)

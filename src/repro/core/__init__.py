@@ -74,6 +74,14 @@ from .plugins import (
 )
 from .parallel import ParallelCampaignRunner, WorkerFailure
 from .preinjection import LivenessAnalysis, PreInjectionFilter
+from .probes import (
+    DEFAULT_PROBE_PERIOD,
+    GoldenSnapshots,
+    ProbeConfig,
+    ProbeSession,
+    location_class,
+    resolve_probes,
+)
 from .progress import (
     ProgressEvent,
     ProgressReporter,

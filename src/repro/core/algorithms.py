@@ -41,6 +41,7 @@ from ..db import (
     CampaignRecord,
     ExperimentRecord,
     GoofiDatabase,
+    ProbeRecord,
     SpanRecord,
     TargetSystemRecord,
     reference_name,
@@ -69,6 +70,7 @@ from .framework import (
 )
 from .locations import KIND_MEMORY, KIND_SCAN
 from .plugins import create_environment, technique_method
+from .probes import ProbeConfig, ProbeSession, resolve_probes
 from .progress import ProgressReporter
 from .telemetry import NULL_SPAN, NULL_TELEMETRY, resolve_telemetry
 from .triggers import ReferenceTrace
@@ -138,6 +140,18 @@ class FaultInjectionAlgorithms:
         #: a shared no-op) unless ``run_campaign(telemetry=...)`` turned
         #: it on or a parallel worker installed a local instance.
         self.telemetry = NULL_TELEMETRY
+        #: Requested probe configuration for the current campaign run
+        #: (``run_campaign(probes=...)``); ``None`` when probing is off.
+        self.probe_config: ProbeConfig | None = None
+        #: Active probe session (golden snapshots + pending summaries).
+        #: Set for the duration of a probed campaign, or installed
+        #: directly by a parallel worker; the experiment bodies route
+        #: their execution segments through it when present.
+        self.probes: ProbeSession | None = None
+        #: Config key the cached ``reference_trace`` was recorded under —
+        #: guards the detail-rerun fast path against reusing a trace
+        #: from a different campaign/workload.
+        self._reference_trace_key: tuple | None = None
 
     # ------------------------------------------------------------------
     # Campaign entry points
@@ -151,6 +165,7 @@ class FaultInjectionAlgorithms:
         fast: bool = True,
         telemetry=None,
         telemetry_jsonl=None,
+        probes=None,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -185,11 +200,27 @@ class FaultInjectionAlgorithms:
         additionally streams span records and the final snapshot to a
         JSON-lines file.  Telemetry never changes logged rows — it only
         measures the run.
+
+        ``probes`` turns on campaign-scale propagation probes (see
+        :func:`repro.core.probes.resolve_probes` for the accepted
+        values: ``True``, a probe period in cycles, a dict, or a ready
+        :class:`~repro.core.probes.ProbeConfig`).  Every experiment then
+        yields a compact propagation summary (``PropagationProbe``
+        table; ``goofi analyze --propagation``).  Probing never changes
+        logged rows either — probe stops fold into the execution loop
+        like breakpoints and the dumps are read-only.
         """
         config = self.read_campaign_data(campaign_name)
         self.target.set_fast_path(fast)
         tele = resolve_telemetry(telemetry, telemetry_jsonl)
         self.telemetry = tele
+        probe_config = resolve_probes(probes)
+        if probe_config is not None and not self.target.supports_probes:
+            raise ConfigurationError(
+                f"target {self.target.target_name!r} does not support "
+                f"propagation probes"
+            )
+        self.probe_config = probe_config
         try:
             if workers > 1:
                 from .parallel import ParallelCampaignRunner
@@ -208,6 +239,7 @@ class FaultInjectionAlgorithms:
         finally:
             tele.close()
             self.telemetry = NULL_TELEMETRY
+            self.probe_config = None
 
     def experiment_runner(self, technique: str):
         """The per-experiment body for ``technique`` (bound method taking
@@ -344,7 +376,21 @@ class FaultInjectionAlgorithms:
         )
         self.db.replace_experiment(record)
         self.reference_trace = trace
+        self._reference_trace_key = self._trace_cache_key(config)
         return trace
+
+    @staticmethod
+    def _trace_cache_key(config: CampaignConfig) -> tuple:
+        """Identity of a cached reference trace: every config field the
+        trace depends on.  A mismatch only forces a recompute, so a
+        conservative key is always safe."""
+        return (
+            config.target,
+            config.workload,
+            config.termination.max_cycles,
+            config.termination.max_iterations,
+            repr(config.environment),
+        )
 
     def _campaign_loop(
         self,
@@ -371,6 +417,16 @@ class FaultInjectionAlgorithms:
             plan = PlanGenerator(
                 config, self.target.location_space(), trace
             ).generate()
+        if self.probe_config is not None:
+            # One extra fault-free pass captures the golden snapshots
+            # every experiment's probes diff against.
+            with tele.time("phase.golden"):
+                self.probes = ProbeSession.create(
+                    self.target,
+                    lambda: self._prepare_target(config),
+                    config.termination,
+                    self.probe_config,
+                )
         remaining = [spec for spec in plan if spec.name not in already_logged]
         if checkpoints and self.target.supports_checkpoints:
             # First-injection order makes the breakpoint sequence
@@ -420,11 +476,13 @@ class FaultInjectionAlgorithms:
             # accumulated before it, nor leave the campaign stuck at
             # "running" — flush and mark aborted before propagating.
             try:
-                if pending:
+                if pending or (self.probes is not None and self.probes.has_pending):
                     self._flush_batch(config.name, pending)
             except Exception:
                 if not failed:
                     raise
+            finally:
+                self.probes = None
             progress.finish()
             self.db.set_campaign_status(
                 config.name, "aborted" if (aborted or failed) else "completed"
@@ -453,15 +511,35 @@ class FaultInjectionAlgorithms:
         self, campaign_name: str, records: list[ExperimentRecord]
     ) -> None:
         """Persist one batch of experiment rows — plus any span records
-        drained since the last flush — timing the write when telemetry
-        is on."""
+        and probe summaries drained since the last flush — timing the
+        write when telemetry is on."""
         tele = self.telemetry
+        probe_records = (
+            [
+                ProbeRecord(
+                    experiment_name=payload["experiment"],
+                    campaign_name=campaign_name,
+                    probe=payload,
+                )
+                for payload in self.probes.drain()
+            ]
+            if self.probes is not None
+            else []
+        )
         if not tele.enabled:
-            self.db.save_experiments(records)
+            if records:
+                self.db.save_experiments(records)
+            self.db.save_probes(probe_records)
             return
         spans = tele.drain_spans()
+        for span in spans:
+            # Lane annotation for the trace export; parallel runs tag
+            # the worker id instead.
+            span.setdefault("worker", 0)
         started = time.perf_counter()
-        self.db.save_experiments(records)
+        if records:
+            self.db.save_experiments(records)
+        self.db.save_probes(probe_records)
         if spans:
             self.db.save_spans(
                 [
@@ -557,6 +635,7 @@ class FaultInjectionAlgorithms:
         target = self.target
         span = self.telemetry.span(spec.name)
         schedule = self._injection_schedule(spec, trace)
+        probe = self._observe(spec, schedule)
         self._arm_target(config, schedule, span)
         armed_cycle = 0 if span is NULL_SPAN else target.current_cycle()
 
@@ -564,7 +643,10 @@ class FaultInjectionAlgorithms:
         ended_early: TerminationInfo | None = None
         for position, (cycle, fault) in enumerate(schedule):
             with span.phase("execution"):
-                ended_early = target.wait_for_breakpoint(cycle)
+                if probe is None:
+                    ended_early = target.wait_for_breakpoint(cycle)
+                else:
+                    ended_early = probe.run_to_breakpoint(target, cycle)
             if position == 0 and ended_early is None:
                 self._save_checkpoint(cycle, span)
             if ended_early is not None:
@@ -576,7 +658,7 @@ class FaultInjectionAlgorithms:
             applied.append(self._fault_entry(fault, cycle, applied_flag=True))
 
         return self._finish_experiment(
-            config, spec, applied, ended_early, span, armed_cycle
+            config, spec, applied, ended_early, span, armed_cycle, probe
         )
 
     def _run_swifi_preruntime_experiment(
@@ -601,7 +683,10 @@ class FaultInjectionAlgorithms:
         span.add("injections", len(applied))
         target.run_workload()
         armed_cycle = 0 if span is NULL_SPAN else target.current_cycle()
-        return self._finish_experiment(config, spec, applied, None, span, armed_cycle)
+        probe = self._observe(spec, schedule=[])
+        return self._finish_experiment(
+            config, spec, applied, None, span, armed_cycle, probe
+        )
 
     def _run_swifi_runtime_experiment(
         self, config: CampaignConfig, spec: ExperimentSpec, trace: ReferenceTrace
@@ -612,6 +697,7 @@ class FaultInjectionAlgorithms:
         target = self.target
         span = self.telemetry.span(spec.name)
         schedule = self._injection_schedule(spec, trace)
+        probe = self._observe(spec, schedule)
         self._arm_target(config, schedule, span)
         armed_cycle = 0 if span is NULL_SPAN else target.current_cycle()
 
@@ -619,7 +705,10 @@ class FaultInjectionAlgorithms:
         ended_early: TerminationInfo | None = None
         for position, (cycle, fault) in enumerate(schedule):
             with span.phase("execution"):
-                ended_early = target.wait_for_breakpoint(cycle)
+                if probe is None:
+                    ended_early = target.wait_for_breakpoint(cycle)
+                else:
+                    ended_early = probe.run_to_breakpoint(target, cycle)
             if position == 0 and ended_early is None:
                 self._save_checkpoint(cycle, span)
             if ended_early is not None:
@@ -643,12 +732,22 @@ class FaultInjectionAlgorithms:
             applied.append(self._fault_entry(fault, cycle, applied_flag=True))
 
         return self._finish_experiment(
-            config, spec, applied, ended_early, span, armed_cycle
+            config, spec, applied, ended_early, span, armed_cycle, probe
         )
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _observe(self, spec: ExperimentSpec, schedule):
+        """An :class:`~repro.core.probes.ExperimentProbe` for this
+        experiment when a probe session is active, else ``None``.  The
+        first injection cycle anchors the probe schedule (probes sample
+        strictly after it)."""
+        probes = self.probes
+        if probes is None:
+            return None
+        first_injection = schedule[0][0] if schedule else 0
+        return probes.observe(spec.name, spec.index, first_injection)
     @staticmethod
     def _injection_schedule(
         spec: ExperimentSpec, trace: ReferenceTrace
@@ -687,6 +786,7 @@ class FaultInjectionAlgorithms:
         ended_early: TerminationInfo | None,
         span=NULL_SPAN,
         armed_cycle: int = 0,
+        probe=None,
     ) -> ExperimentRecord:
         """waitForTermination + readMemory + readScanChain: run to the
         end and log the observed state."""
@@ -694,12 +794,21 @@ class FaultInjectionAlgorithms:
             info = ended_early
             steps: list[dict] | None = None
         elif config.logging_mode == LOGGING_DETAIL:
+            # Detail mode already observes every instruction; probes
+            # sample only in the breakpoint segments before it.
             with span.phase("execution"):
                 info, steps = self._detailed_run(config)
         else:
             with span.phase("execution"):
-                info = self.target.wait_for_termination(config.termination)
+                if probe is None:
+                    info = self.target.wait_for_termination(config.termination)
+                else:
+                    info = probe.run_to_termination(
+                        self.target, config.termination
+                    )
             steps = None
+        if probe is not None:
+            probe.finish(info, applied)
         with span.phase("readout"):
             final_state = self.target.capture_state(config.observation)
         state_vector: dict = {"termination": info.to_dict(), "final": final_state}
@@ -777,11 +886,17 @@ class FaultInjectionAlgorithms:
             faults=tuple(faults),
             seed=int(parent.experiment_data.get("seed", detail_config.seed)),
         )
-        trace = self.reference_trace
+        # Reuse the cached reference trace only when it was recorded
+        # under a config with the same trace-relevant fields — a stale
+        # trace from another campaign/workload would silently resolve
+        # triggers against the wrong execution.
+        key = self._trace_cache_key(detail_config)
+        trace = self.reference_trace if self._reference_trace_key == key else None
         if trace is None:
             self._prepare_target(detail_config)
             _, trace = self.target.record_trace(detail_config.termination)
             self.reference_trace = trace
+            self._reference_trace_key = key
         try:
             runner = self.experiment_runner(technique)
         except ConfigurationError:

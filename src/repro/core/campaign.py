@@ -102,7 +102,12 @@ class CampaignConfig:
     #: TIME_TASK_SWITCH strategy ("when task switches occur", §4).
     task_switch_address: int | None = None
     logging_mode: str = LOGGING_NORMAL
-    detail_period: int = 1  # log every Nth instruction in detail mode
+    #: Detail mode: log the system state every Nth *executed
+    #: instruction* (not every Nth cycle).  The logged ``cycle`` field
+    #: is the target's cycle counter at the sample, so on targets where
+    #: an instruction advances the counter by more than one cycle the
+    #: stride between logged cycles can exceed ``detail_period``.
+    detail_period: int = 1
     seed: int = 1
     use_preinjection_analysis: bool = False
     #: Environment-simulator configuration, e.g.

@@ -133,6 +133,13 @@ class TargetSystemInterface(abc.ABC):
     #: The campaign engines only use checkpointing on targets that
     #: declare support; a real hardware board typically cannot.
     supports_checkpoints: bool = False
+    #: Whether :meth:`run_until_cycle` is implemented (and therefore the
+    #: campaign-scale propagation probes of :mod:`repro.core.probes` can
+    #: stop the run at probe cycles without losing the termination
+    #: conditions).  Requires the target to fold the probe stop into its
+    #: normal run loop the same way time breakpoints fold in, so probed
+    #: and un-probed runs stay bit-identical.
+    supports_probes: bool = False
 
     def __init__(self) -> None:
         self._scan_buffers: dict[str, int] = {}
@@ -172,6 +179,49 @@ class TargetSystemInterface(abc.ABC):
     @abc.abstractmethod
     def wait_for_termination(self, termination: Termination) -> TerminationInfo:
         """Resume and run until a termination condition (§3.2)."""
+
+    def run_until_cycle(
+        self, cycle: int, termination: Termination
+    ) -> TerminationInfo | None:
+        """Run until ``cycle`` *or* until a termination condition fires,
+        whichever comes first — the probe-stop primitive.
+
+        Unlike :meth:`wait_for_breakpoint` (which only bounds the run by
+        the breakpoint cycle), the full termination conditions — the
+        watchdog ``max_cycles`` *and* the ``max_iterations`` loop limit —
+        stay armed while running to the stop cycle, so slicing a
+        run-to-termination segment at probe cycles observes exactly the
+        outcome an unsliced :meth:`wait_for_termination` would.  Returns
+        ``None`` when the stop cycle was reached, or the
+        :class:`TerminationInfo` when the run ended first.
+
+        Only targets declaring ``supports_probes`` implement this;
+        simulated targets fold the stop cycle into their fused fast loop
+        exactly like a time breakpoint."""
+        raise TargetError(
+            f"target {self.target_name!r} does not support probe stops"
+        )
+
+    def probe_scan_chain(self, chain: str) -> tuple[int, ...]:
+        """Read-only snapshot for propagation probes: every element's
+        value in chain order, *without* touching the stateful injection
+        buffer of :meth:`read_scan_chain`, so probing mid-experiment can
+        never disturb a pending read/inject/write sequence.  Returns the
+        per-element tuple rather than the packed bit vector — probes
+        diff snapshots element-wise, and skipping the bit-vector
+        assembly roughly halves the per-probe cost.
+
+        Only targets declaring ``supports_probes`` implement this."""
+        raise TargetError(
+            f"target {self.target_name!r} does not support propagation probes"
+        )
+
+    def probe_element_names(self, chain: str) -> list[str]:
+        """Element names of ``chain`` in :meth:`probe_scan_chain`
+        snapshot order.  Only probe-capable targets implement this."""
+        raise TargetError(
+            f"target {self.target_name!r} does not support propagation probes"
+        )
 
     @abc.abstractmethod
     def _scan_read_raw(self, chain: str) -> int:

@@ -34,10 +34,11 @@ import queue as queue_module
 import time
 import traceback
 
-from ..db import ExperimentRecord, GoofiDatabase, SpanRecord
+from ..db import ExperimentRecord, GoofiDatabase, ProbeRecord, SpanRecord
 from .campaign import CampaignConfig, ExperimentSpec, PlanGenerator
 from .checkpoint import CheckpointCache, sort_plan_by_first_injection
 from .errors import ConfigurationError, GoofiError
+from .probes import GoldenSnapshots, ProbeConfig, ProbeSession, capture_golden_snapshots
 from .progress import ProgressReporter
 from .telemetry import MODE_OFF, Telemetry
 
@@ -71,6 +72,7 @@ def _worker_main(
     checkpoint_capacity=None,
     fast=True,
     telemetry_mode=MODE_OFF,
+    probes_payload=None,
 ):
     """Run one shard of the plan and stream results back.
 
@@ -79,6 +81,8 @@ def _worker_main(
     * ``("result", worker_id, record_fields)`` per finished experiment;
     * ``("spans", worker_id, span_records)`` right after a result, when
       the run is telemetered at span level;
+    * ``("probes", worker_id, probe_payloads)`` right after a result,
+      when the run is probed;
     * ``("metrics", worker_id, registry_snapshot)`` once after the
       shard, when telemetry is on (the coordinator merges it);
     * ``("error", worker_id, traceback_text)`` once on failure;
@@ -92,6 +96,11 @@ def _worker_main(
     With ``telemetry_mode`` the worker keeps a local
     :class:`~repro.core.telemetry.Telemetry` (never a file or database
     sink — persistence stays with the single-writer coordinator).
+
+    With ``probes_payload`` (``{"config": ..., "golden": ...}``) the
+    worker rebuilds a local probe session around the coordinator's
+    golden snapshots — the snapshots are deterministic, so every worker
+    diffs against the very same fault-free images.
     """
     try:
         import repro  # noqa: F401  (registers built-in targets under spawn)
@@ -113,6 +122,16 @@ def _worker_main(
             )
         with tele.time("phase.reference"):
             _info, trace = algorithms.compute_reference_trace(config)
+        probes = None
+        if probes_payload is not None:
+            probes = ProbeSession.create(
+                target,
+                lambda: algorithms._prepare_target(config),
+                config.termination,
+                ProbeConfig.from_dict(probes_payload["config"]),
+                golden=GoldenSnapshots.from_payload(probes_payload["golden"]),
+            )
+            algorithms.probes = probes
         run_experiment = algorithms.experiment_runner(config.technique)
         for spec_dict in spec_dicts:
             if abort_event.is_set():
@@ -133,6 +152,8 @@ def _worker_main(
             )
             if tele.spans_enabled:
                 result_queue.put(("spans", worker_id, tele.drain_spans()))
+            if probes is not None and probes.has_pending:
+                result_queue.put(("probes", worker_id, probes.drain()))
         if tele.enabled:
             for key, value in target.execution_stats().items():
                 if key == "cycles":
@@ -207,6 +228,22 @@ class ParallelCampaignRunner:
                 config, algorithms.target.location_space(), trace
             ).generate()
         remaining = [spec for spec in plan if spec.name not in already_logged]
+        probes_payload = None
+        if algorithms.probe_config is not None:
+            # The golden snapshots are captured once, here, and shipped
+            # to every worker: experiments in all shards diff against
+            # the same fault-free images.
+            with tele.time("phase.golden"):
+                golden = capture_golden_snapshots(
+                    algorithms.target,
+                    lambda: algorithms._prepare_target(config),
+                    config.termination,
+                    algorithms.probe_config,
+                )
+            probes_payload = {
+                "config": algorithms.probe_config.to_dict(),
+                "golden": golden.to_payload(),
+            }
         use_checkpoints = checkpoints and algorithms.target.supports_checkpoints
         if use_checkpoints:
             # Sorting before the round-robin sharding keeps every shard
@@ -252,6 +289,7 @@ class ParallelCampaignRunner:
                     algorithms.checkpoint_capacity,
                     fast,
                     tele.mode,
+                    probes_payload,
                 ),
                 daemon=True,
             )
@@ -272,20 +310,23 @@ class ParallelCampaignRunner:
         failures: list[str] = []
         pending: list[ExperimentRecord] = []
         pending_spans: list[SpanRecord] = []
+        pending_probes: list[ProbeRecord] = []
         live = set(range(worker_count))
         dead_polls = dict.fromkeys(live, 0)
 
         def flush_pending() -> None:
-            """Write the batched rows (and any relayed span records),
-            timing the write when telemetry is on."""
-            nonlocal pending, pending_spans
-            if not (pending or pending_spans):
+            """Write the batched rows (and any relayed span records and
+            probe summaries), timing the write when telemetry is on."""
+            nonlocal pending, pending_spans, pending_probes
+            if not (pending or pending_spans or pending_probes):
                 return
             started = time.perf_counter()
             if pending:
                 db.save_experiments(pending)
             if pending_spans:
                 db.save_spans(pending_spans)
+            if pending_probes:
+                db.save_probes(pending_probes)
             if tele.enabled:
                 elapsed = time.perf_counter() - started
                 metrics = tele.metrics
@@ -295,6 +336,7 @@ class ParallelCampaignRunner:
                 metrics.inc("db.batches")
             pending = []
             pending_spans = []
+            pending_probes = []
 
         try:
             while live:
@@ -330,6 +372,9 @@ class ParallelCampaignRunner:
                         payload["state_vector"]["termination"]["outcome"],
                     )
                 elif kind == "spans":
+                    for span in payload:
+                        # Lane annotation for the trace export.
+                        span.setdefault("worker", worker_id)
                     pending_spans.extend(
                         SpanRecord(
                             experiment_name=span["experiment"],
@@ -337,6 +382,15 @@ class ParallelCampaignRunner:
                             span=span,
                         )
                         for span in payload
+                    )
+                elif kind == "probes":
+                    pending_probes.extend(
+                        ProbeRecord(
+                            experiment_name=probe["experiment"],
+                            campaign_name=config.name,
+                            probe=probe,
+                        )
+                        for probe in payload
                     )
                 elif kind == "metrics":
                     tele.metrics.merge(payload)

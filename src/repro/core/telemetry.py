@@ -294,9 +294,16 @@ class MetricsSpan:
 
 class ExperimentSpan(MetricsSpan):
     """Full span: feeds the registry like :class:`MetricsSpan` *and*
-    builds one structured record of the experiment's pipeline phases."""
+    builds one structured record of the experiment's pipeline phases.
 
-    __slots__ = ("name", "phases", "counters", "outcome", "_telemetry")
+    Besides the aggregate ``phases`` dict the record carries a wall-clock
+    ``started_at`` timestamp and an ``events`` list of individual timed
+    phase blocks ``[name, offset_seconds, duration_seconds]`` (offsets
+    relative to the span start) — enough to reconstruct the experiment's
+    timeline in a Chrome/Perfetto trace (``goofi trace export``)."""
+
+    __slots__ = ("name", "phases", "counters", "outcome", "started_at",
+                 "events", "_telemetry")
 
     def __init__(self, name: str, telemetry: "Telemetry") -> None:
         super().__init__(telemetry.metrics)
@@ -304,6 +311,8 @@ class ExperimentSpan(MetricsSpan):
         self.phases: dict[str, float] = {}
         self.counters: dict[str, float] = {}
         self.outcome: str | None = None
+        self.started_at = time.time()
+        self.events: list[list] = []
         self._telemetry = telemetry
 
     def phase(self, name: str) -> _SpanPhaseContext:
@@ -312,6 +321,8 @@ class ExperimentSpan(MetricsSpan):
     def _record_phase(self, name: str, seconds: float) -> None:
         self._registry.add_time(_phase_key(name), seconds)
         self.phases[name] = self.phases.get(name, 0.0) + seconds
+        offset = time.perf_counter() - seconds - self._started
+        self.events.append([name, round(max(offset, 0.0), 9), round(seconds, 9)])
 
     def add(self, name: str, value: float = 1) -> None:
         self._registry.inc(name, value)
@@ -324,8 +335,10 @@ class ExperimentSpan(MetricsSpan):
             {
                 "experiment": self.name,
                 "outcome": outcome,
+                "started_at": self.started_at,
                 "duration_seconds": time.perf_counter() - self._started,
                 "phases": {name: round(s, 9) for name, s in self.phases.items()},
+                "events": self.events,
                 "counters": dict(self.counters),
             }
         )

@@ -1,11 +1,13 @@
 """GOOFI database layer: SQLite storage with the paper's three tables
 (``TargetSystemData``, ``CampaignData``, ``LoggedSystemState``) plus
-the v2 telemetry tables (``CampaignTelemetry``, ``ExperimentSpan``)."""
+the v2 telemetry tables (``CampaignTelemetry``, ``ExperimentSpan``) and
+the v3 propagation-probe table (``PropagationProbe``)."""
 
 from .database import DatabaseError, GoofiDatabase
 from .models import (
     CampaignRecord,
     ExperimentRecord,
+    ProbeRecord,
     SpanRecord,
     TargetSystemRecord,
     utc_now,
@@ -17,6 +19,7 @@ __all__ = [
     "DatabaseError",
     "ExperimentRecord",
     "GoofiDatabase",
+    "ProbeRecord",
     "REFERENCE_EXPERIMENT",
     "SCHEMA_VERSION",
     "SpanRecord",

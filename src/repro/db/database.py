@@ -15,7 +15,13 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from pathlib import Path
 
-from .models import CampaignRecord, ExperimentRecord, SpanRecord, TargetSystemRecord
+from .models import (
+    CampaignRecord,
+    ExperimentRecord,
+    ProbeRecord,
+    SpanRecord,
+    TargetSystemRecord,
+)
 from .schema import CREATE_TABLES, MIGRATIONS, SCHEMA_VERSION
 
 logger = logging.getLogger(__name__)
@@ -259,6 +265,10 @@ class GoofiDatabase:
                 "DELETE FROM ExperimentSpan WHERE campaignName = ?", (campaign_name,)
             )
             conn.execute(
+                "DELETE FROM PropagationProbe WHERE campaignName = ?",
+                (campaign_name,),
+            )
+            conn.execute(
                 "DELETE FROM CampaignTelemetry WHERE campaignName = ?",
                 (campaign_name,),
             )
@@ -315,6 +325,10 @@ class GoofiDatabase:
         with self.transaction() as conn:
             conn.execute(
                 "DELETE FROM ExperimentSpan WHERE campaignName = ?", (campaign_name,)
+            )
+            conn.execute(
+                "DELETE FROM PropagationProbe WHERE campaignName = ?",
+                (campaign_name,),
             )
             conn.execute(
                 "DELETE FROM CampaignTelemetry WHERE campaignName = ?",
@@ -395,6 +409,45 @@ class GoofiDatabase:
     def count_spans(self, campaign_name: str) -> int:
         cur = self._conn.execute(
             "SELECT COUNT(*) FROM ExperimentSpan WHERE campaignName = ?",
+            (campaign_name,),
+        )
+        return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # PropagationProbe
+    # ------------------------------------------------------------------
+    def save_probes(self, records: list[ProbeRecord]) -> None:
+        """Batch-upsert per-experiment propagation summaries (one
+        ``executemany`` per campaign flush, like :meth:`save_spans`)."""
+        if not records:
+            return
+        try:
+            with self.transaction() as conn:
+                conn.executemany(
+                    "INSERT INTO PropagationProbe "
+                    "(experimentName, campaignName, probeJson, createdAt) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT (experimentName) DO UPDATE SET "
+                    "campaignName = excluded.campaignName, "
+                    "probeJson = excluded.probeJson, "
+                    "createdAt = excluded.createdAt",
+                    [record.to_row() for record in records],
+                )
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(f"batch probe insert failed: {exc}") from exc
+
+    def iter_probes(self, campaign_name: str) -> Iterator[ProbeRecord]:
+        cur = self._conn.execute(
+            "SELECT experimentName, campaignName, probeJson, createdAt "
+            "FROM PropagationProbe WHERE campaignName = ? ORDER BY rowid",
+            (campaign_name,),
+        )
+        for row in cur:
+            yield ProbeRecord.from_row(row)
+
+    def count_probes(self, campaign_name: str) -> int:
+        cur = self._conn.execute(
+            "SELECT COUNT(*) FROM PropagationProbe WHERE campaignName = ?",
             (campaign_name,),
         )
         return int(cur.fetchone()[0])

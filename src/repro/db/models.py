@@ -126,6 +126,38 @@ class ExperimentRecord:
 
 
 @dataclass(slots=True)
+class ProbeRecord:
+    """One row of ``PropagationProbe``: the compact per-experiment
+    propagation summary (first divergence, dormancy, infection curve,
+    infected location classes, firing EDM) produced by a probed campaign
+    run (``goofi run --probes``).  ``probe`` is the payload built by
+    :class:`repro.core.probes.ExperimentProbe`."""
+
+    experiment_name: str
+    campaign_name: str
+    probe: dict
+    created_at: str = field(default_factory=utc_now)
+
+    def to_row(self) -> tuple:
+        return (
+            self.experiment_name,
+            self.campaign_name,
+            json.dumps(self.probe, sort_keys=True),
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "ProbeRecord":
+        name, campaign, probe_json, created = row
+        return cls(
+            experiment_name=name,
+            campaign_name=campaign,
+            probe=json.loads(probe_json),
+            created_at=created,
+        )
+
+
+@dataclass(slots=True)
 class SpanRecord:
     """One row of ``ExperimentSpan``: the structured per-experiment
     telemetry record (phase timings, execution counters, outcome)

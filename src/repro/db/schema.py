@@ -35,13 +35,20 @@ Version 2 adds the telemetry tables:
   ``--telemetry=spans``; keyed like ``LoggedSystemState`` so spans and
   result rows join on ``experimentName``.
 
+Version 3 adds the propagation-probe table:
+
+* ``PropagationProbe`` — one compact propagation summary per probed
+  experiment (first-divergence cycle, dormancy, infection-count curve,
+  infected location classes, firing EDM), written by ``goofi run
+  --probes`` runs and aggregated by ``goofi analyze --propagation``.
+
 Opening an older database migrates it in place: migrations are pure
-``CREATE TABLE IF NOT EXISTS`` additions, so v1 data is untouched.
+``CREATE TABLE IF NOT EXISTS`` additions, so v1/v2 data is untouched.
 """
 
 from __future__ import annotations
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 CREATE_TABLES = """
 CREATE TABLE IF NOT EXISTS SchemaInfo (
@@ -94,6 +101,16 @@ CREATE TABLE IF NOT EXISTS ExperimentSpan (
 
 CREATE INDEX IF NOT EXISTS idx_span_campaign
     ON ExperimentSpan(campaignName);
+
+CREATE TABLE IF NOT EXISTS PropagationProbe (
+    experimentName TEXT PRIMARY KEY,
+    campaignName   TEXT NOT NULL REFERENCES CampaignData(campaignName),
+    probeJson      TEXT NOT NULL,
+    createdAt      TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_probe_campaign
+    ON PropagationProbe(campaignName);
 """
 
 #: Stepwise in-place migrations: ``MIGRATIONS[n]`` upgrades a version-n
@@ -117,6 +134,17 @@ CREATE TABLE IF NOT EXISTS ExperimentSpan (
 
 CREATE INDEX IF NOT EXISTS idx_span_campaign
     ON ExperimentSpan(campaignName);
+""",
+    2: """
+CREATE TABLE IF NOT EXISTS PropagationProbe (
+    experimentName TEXT PRIMARY KEY,
+    campaignName   TEXT NOT NULL REFERENCES CampaignData(campaignName),
+    probeJson      TEXT NOT NULL,
+    createdAt      TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_probe_campaign
+    ON PropagationProbe(campaignName);
 """,
 }
 

@@ -142,6 +142,7 @@ class GoofiSession:
         fast: bool = True,
         telemetry=None,
         telemetry_jsonl=None,
+        probes=None,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
@@ -152,8 +153,12 @@ class GoofiSession:
         path.  ``telemetry`` records campaign metrics (and, at
         ``"spans"``, per-experiment phase records) into the database —
         see :mod:`repro.core.telemetry`; ``telemetry_jsonl`` also
-        streams them to a JSON-lines file.  Logged rows are identical
-        to the plain serial loop in all cases."""
+        streams them to a JSON-lines file.  ``probes`` turns on
+        propagation probes (``True``, a probe period, or a
+        :class:`repro.core.probes.ProbeConfig`) which record a
+        fault-effect summary per experiment — see
+        :mod:`repro.core.probes`.  Logged rows are identical to the
+        plain serial loop in all cases."""
         return self.algorithms.run_campaign(
             campaign_name,
             resume=resume,
@@ -162,6 +167,7 @@ class GoofiSession:
             fast=fast,
             telemetry=telemetry,
             telemetry_jsonl=telemetry_jsonl,
+            probes=probes,
         )
 
     def stats(self, campaign_name: str) -> str:

@@ -65,6 +65,9 @@ class ScanChain:
             for e in self.elements
             if e.setter is not None
         ]
+        self._snapshot_plan: list[Callable[[], int]] = [
+            e.getter for e in self.elements
+        ]
 
     # ------------------------------------------------------------------
     def element(self, name: str) -> ScanElement:
@@ -97,6 +100,16 @@ class ScanChain:
         for getter, mask, offset in self._read_plan:
             value |= (getter() & mask) << offset
         return value
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Capture every element's raw value, in element order.
+
+        The read-only probe path: propagation probes diff snapshots
+        element-wise against a golden snapshot taken the same way, so
+        this skips both the bit-vector packing of :meth:`read` (the
+        expensive half of a full shift-out) and the per-element masking
+        (raw values compare consistently on both sides)."""
+        return tuple(getter() for getter in self._snapshot_plan)
 
     def write(self, value: int) -> None:
         """Shift a bit vector in: update every writable element.

@@ -106,6 +106,7 @@ class StackTargetInterface(TargetSystemInterface):
     target_name = TARGET_NAME
     test_card_name = "sim-stack-debug-port"
     supports_checkpoints = True
+    supports_probes = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -187,9 +188,40 @@ class StackTargetInterface(TargetSystemInterface):
         reason = self._run(termination.max_cycles, termination.max_iterations)
         return self._map_reason(reason)
 
+    def run_until_cycle(
+        self, cycle: int, termination: Termination
+    ) -> TerminationInfo | None:
+        self._require_running()
+        machine = self.machine
+        if machine.halted:
+            return self._info_from_machine()
+        if cycle < machine.cycle:
+            raise TargetError(f"probe stop at cycle {cycle} is in the past")
+        # Like wait_for_breakpoint the stop cycle folds into the fused
+        # run loop, but the iteration limit stays armed across stops.
+        reason = self._run(
+            termination.max_cycles, termination.max_iterations,
+            stop_at_cycle=cycle,
+        )
+        if reason == "cycle_break":
+            return None
+        return self._map_reason(reason)
+
     def _scan_read_raw(self, chain: str) -> int:
         try:
             return self.chains[chain].read()
+        except KeyError:
+            raise TargetError(f"thor-sm has no scan chain {chain!r}") from None
+
+    def probe_scan_chain(self, chain: str) -> tuple[int, ...]:
+        try:
+            return self.chains[chain].snapshot()
+        except KeyError:
+            raise TargetError(f"thor-sm has no scan chain {chain!r}") from None
+
+    def probe_element_names(self, chain: str) -> list[str]:
+        try:
+            return self.chains[chain].element_names()
         except KeyError:
             raise TargetError(f"thor-sm has no scan chain {chain!r}") from None
 

@@ -63,6 +63,7 @@ class ThorTargetInterface(TargetSystemInterface):
     target_name = TARGET_NAME
     test_card_name = "sim-scan-test-card"
     supports_checkpoints = True
+    supports_probes = True
 
     def __init__(
         self,
@@ -144,9 +145,48 @@ class ThorTargetInterface(TargetSystemInterface):
         )
         return self._map_result(result)
 
+    def run_until_cycle(
+        self, cycle: int, termination: Termination
+    ) -> TerminationInfo | None:
+        self._require_running()
+        cpu = self.card.cpu
+        if cpu.halted:
+            return self._map_result_from_cpu(cpu)
+        if cycle < cpu.cycle:
+            raise TargetError(
+                f"probe stop at cycle {cycle} is in the past "
+                f"(target is at cycle {cpu.cycle})"
+            )
+        # The stop cycle folds into the fused run loop exactly like a
+        # time breakpoint, but the *full* termination conditions stay
+        # armed: max_iterations keeps counting across probe stops, so a
+        # sliced run ends exactly where an unsliced one would.
+        result = self.card.run(
+            TerminationCondition(
+                max_cycles=termination.max_cycles,
+                max_iterations=termination.max_iterations,
+            ),
+            stop_at_cycle=cycle,
+        )
+        if result.reason is StopReason.CYCLE_BREAK:
+            return None
+        return self._map_result(result)
+
     def _scan_read_raw(self, chain: str) -> int:
         try:
             return self.card.read_scan_chain(chain)
+        except KeyError as exc:
+            raise TargetError(str(exc)) from exc
+
+    def probe_scan_chain(self, chain: str) -> tuple[int, ...]:
+        try:
+            return self.card.scan_chain(chain).snapshot()
+        except KeyError as exc:
+            raise TargetError(str(exc)) from exc
+
+    def probe_element_names(self, chain: str) -> list[str]:
+        try:
+            return self.card.scan_chain(chain).element_names()
         except KeyError as exc:
             raise TargetError(str(exc)) from exc
 

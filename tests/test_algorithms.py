@@ -222,6 +222,39 @@ class TestDetailMode:
         steps_5 = session.db.load_experiment(experiment_name("d5", 0)).state_vector["steps"]
         assert len(steps_5) <= len(steps_1) // 4
 
+    def test_detail_period_counts_executed_instructions(self, session):
+        """``detail_period`` thins by *executed instructions*, not by
+        cycles: the period-N run logs exactly every Nth sample of the
+        period-1 run (plus the termination sample), whatever cycle
+        stride each instruction produces."""
+        make_campaign(
+            session, "p1", num_experiments=1, logging_mode="detail",
+            injection_window=(1, 50),
+        )
+        make_campaign(
+            session, "p3", num_experiments=1, logging_mode="detail",
+            detail_period=3, injection_window=(1, 50),
+        )
+        session.run_campaign("p1")
+        session.run_campaign("p3")
+        cycles_1 = [
+            s["cycle"]
+            for s in session.db.load_experiment(
+                experiment_name("p1", 0)
+            ).state_vector["steps"]
+        ]
+        cycles_3 = [
+            s["cycle"]
+            for s in session.db.load_experiment(
+                experiment_name("p3", 0)
+            ).state_vector["steps"]
+        ]
+        # Every 3rd executed instruction of the period-1 log...
+        expected = cycles_1[2::3]
+        assert cycles_3[: len(expected)] == expected
+        # ...plus at most the extra termination sample.
+        assert cycles_3[len(expected):] in ([], [cycles_1[-1]])
+
     def test_rerun_detailed_links_parent(self, session):
         make_campaign(session, "c", num_experiments=3)
         session.run_campaign("c")
@@ -238,6 +271,40 @@ class TestDetailMode:
         ]
         # And reaches the same final state.
         assert record.state_vector["final"] == parent.state_vector["final"]
+
+    def test_rerun_after_other_campaign_records_fresh_trace(self, session):
+        """Regression: the detail re-run caches the reference trace on
+        the algorithms object.  After running a *different* campaign on
+        the same session, a re-run must not resolve the parent's
+        triggers against the other campaign's stale trace."""
+        make_campaign(
+            session, "a", workload="fibonacci", num_experiments=3,
+            time_strategy="branch",
+        )
+        session.run_campaign("a")
+        original = experiment_name("a", 1)
+        parent = session.db.load_experiment(original)
+        # Poison the cached trace with another workload's execution.
+        make_campaign(session, "other", workload="crc32", num_experiments=2)
+        session.run_campaign("other")
+        record = session.algorithms.rerun_experiment_detailed(original)
+        assert [f["injection_cycle"] for f in record.experiment_data["faults"]] == [
+            f["injection_cycle"] for f in parent.experiment_data["faults"]
+        ]
+        assert record.state_vector["final"] == parent.state_vector["final"]
+
+    def test_rerun_twice_reuses_matching_trace(self, session):
+        """The cache still helps when it is valid: two re-runs from the
+        same campaign give identical records."""
+        make_campaign(session, "a", num_experiments=3)
+        session.run_campaign("a")
+        first = session.algorithms.rerun_experiment_detailed(
+            experiment_name("a", 0), new_experiment_name="a/exp00000/d1"
+        )
+        second = session.algorithms.rerun_experiment_detailed(
+            experiment_name("a", 0), new_experiment_name="a/exp00000/d2"
+        )
+        assert first.state_vector == second.state_vector
 
 
 class TestProgressControl:

@@ -264,3 +264,44 @@ class TestEndToEndClassification:
         by_time = per_time_breakdown(session.db, "c", bins=4)
         assert sum(b.total for b in by_time) == 30
         assert len(by_time) <= 4
+
+
+class TestLazyPropagationImport:
+    def test_networkx_not_imported_eagerly(self):
+        """``repro.analysis.propagation`` pulls in networkx (~0.2 s) —
+        every ``goofi run`` would pay that if the package imported it
+        eagerly.  It must load only when a propagation name is touched."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        source_root = Path(repro.__file__).resolve().parents[1]
+        script = (
+            "import sys\n"
+            "import repro\n"
+            "import repro.analysis\n"
+            "assert 'networkx' not in sys.modules, 'networkx imported eagerly'\n"
+            "assert 'repro.analysis.propagation' not in sys.modules\n"
+            "from repro.analysis import analyze_propagation\n"
+            "assert 'networkx' in sys.modules\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", script], check=True,
+            env={"PYTHONPATH": str(source_root)},
+        )
+
+    def test_lazy_names_still_exported(self):
+        import repro.analysis as analysis
+
+        for name in ("PropagationAnalysis", "TimelinePoint",
+                     "analyze_propagation", "propagation_summary"):
+            assert name in analysis.__all__
+            assert getattr(analysis, name) is not None
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.analysis as analysis
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            analysis.does_not_exist

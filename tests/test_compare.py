@@ -13,7 +13,20 @@ from repro.analysis.compare import (
     format_comparison,
 )
 from repro.core.errors import AnalysisError
+from repro.db import ExperimentRecord, reference_name
 from repro.targets.thor.interface import ThorTargetInterface
+
+
+def _copy_row(record: ExperimentRecord, campaign: str, name: str) -> ExperimentRecord:
+    """A deep copy of an experiment row re-homed into another campaign."""
+    import json
+
+    return ExperimentRecord(
+        experiment_name=name,
+        campaign_name=campaign,
+        experiment_data=json.loads(json.dumps(record.experiment_data)),
+        state_vector=json.loads(json.dumps(record.state_vector)),
+    )
 
 
 class TestComparisonMath:
@@ -93,6 +106,50 @@ class TestPairingFromDatabase:
         assert comparison.total == 5
         assert not comparison.changed()
         assert comparison.improvement() == 0
+
+    def test_disjoint_indices_rejected(self, session):
+        """Campaigns whose experiment index sets do not intersect have
+        nothing to pair — that must be a loud error, not an empty (and
+        apparently clean) comparison."""
+        make_campaign(session, "a", num_experiments=5, seed=71)
+        session.run_campaign("a")
+        make_campaign(session, "b", num_experiments=5, seed=71)
+        # Populate "b" with a's rows shifted to a disjoint index range.
+        session.db.save_experiment(
+            _copy_row(session.db.load_experiment(reference_name("a")), "b",
+                      reference_name("b"))
+        )
+        for position in range(5):
+            record = _copy_row(
+                session.db.load_experiment(f"a/exp{position:05d}"), "b",
+                f"b/exp{position:05d}",
+            )
+            record.experiment_data["index"] = 100 + position
+            session.db.save_experiment(record)
+        with pytest.raises(AnalysisError, match="share no experiment indices"):
+            compare_campaigns(session.db, "a", "b")
+
+    def test_duplicate_indices_last_row_wins(self, session):
+        """Two rows claiming the same plan index collapse to one pair,
+        and the later row's verdict is the one compared (pinning the
+        ``_by_index`` last-wins behaviour)."""
+        make_campaign(session, "a", num_experiments=3, seed=71)
+        session.run_campaign("a")
+        make_campaign(session, "b", num_experiments=3, seed=71)
+        session.db.save_experiment(
+            _copy_row(session.db.load_experiment(reference_name("a")), "b",
+                      reference_name("b"))
+        )
+        source = session.db.load_experiment("a/exp00000")
+        first = _copy_row(source, "b", "b/dup0")
+        second = _copy_row(source, "b", "b/dup1")
+        second.state_vector["termination"]["outcome"] = "timeout"
+        session.db.save_experiment(first)
+        session.db.save_experiment(second)
+        comparison = compare_campaigns(session.db, "a", "b")
+        assert comparison.total == 1  # one shared index, counted once
+        # The timeout verdict of the *later* duplicate is what pairs.
+        assert comparison.pairs[0].outcome_b == "escaped"
 
     def test_edm_ablation_pairs_show_detected_transitions(self, tmp_path):
         """The E11 design through the comparison API: same faults, one

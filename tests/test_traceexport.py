@@ -1,0 +1,218 @@
+"""Tests for the Chrome/Perfetto trace export (repro.analysis.traceexport)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.conftest import make_campaign
+from repro import GoofiSession
+from repro.analysis import (
+    build_trace,
+    edm_coverage,
+    format_propagation_report,
+    infection_percentiles,
+    propagation_report,
+    validate_trace,
+    write_trace,
+)
+from repro.analysis.probes_report import NO_DETECTION
+from repro.core.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def observed_session():
+    """One campaign run with both spans and probes on."""
+    with GoofiSession() as session:
+        make_campaign(
+            session,
+            "obs",
+            workload="control_protected",
+            locations=("internal:*",),
+            num_experiments=16,
+        )
+        session.run_campaign("obs", probes=32, telemetry="spans")
+        yield session
+
+
+class TestBuildTrace:
+    def test_trace_shape_validates(self, observed_session):
+        trace = build_trace(observed_session.db, "obs")
+        validate_trace(trace)
+        assert trace["otherData"]["spans"] == 16
+        assert trace["otherData"]["probes"] == 16
+
+    def test_wall_clock_lane_per_experiment(self, observed_session):
+        trace = build_trace(observed_session.db, "obs")
+        experiments = [
+            e
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "experiment"
+        ]
+        assert len(experiments) == 16
+        for event in experiments:
+            assert event["pid"] == 1
+            assert event["ts"] >= 0
+            assert event["dur"] > 0
+
+    def test_phase_blocks_nest_inside_their_span(self, observed_session):
+        trace = build_trace(observed_session.db, "obs")
+        spans = {
+            e["name"]: e
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "experiment"
+        }
+        phases = [
+            e for e in trace["traceEvents"] if e["ph"] == "X" and e.get("cat") == "phase"
+        ]
+        assert phases
+        # Every phase block lies inside some experiment span on its lane.
+        for phase in phases:
+            containers = [
+                s
+                for s in spans.values()
+                if s["tid"] == phase["tid"]
+                and s["ts"] - 1 <= phase["ts"]
+                and phase["ts"] + phase["dur"] <= s["ts"] + s["dur"] + 1
+            ]
+            assert containers, f"phase block {phase['name']} outside every span"
+
+    def test_simulation_lane_events(self, observed_session):
+        trace = build_trace(observed_session.db, "obs")
+        simulation = [e for e in trace["traceEvents"] if e["pid"] == 2]
+        assert any(e["ph"] == "i" and e.get("cat") == "probe" for e in simulation)
+        assert any(e["ph"] == "i" and e.get("cat") == "injection" for e in simulation)
+        detections = [e for e in simulation if e.get("cat") == "detection"]
+        assert detections
+        for event in detections:
+            assert event["name"].startswith("EDM: ")
+
+    def test_trace_round_trips_through_json(self, observed_session, tmp_path):
+        out = tmp_path / "trace.json"
+        trace = write_trace(observed_session.db, "obs", out)
+        loaded = json.loads(out.read_text())
+        assert loaded == json.loads(json.dumps(trace))
+        validate_trace(loaded)
+
+    def test_empty_campaign_rejected(self, observed_session):
+        with GoofiSession() as bare:
+            make_campaign(bare, "bare", num_experiments=2)
+            bare.run_campaign("bare")
+            with pytest.raises(AnalysisError, match="no spans or probes"):
+                build_trace(bare.db, "bare")
+
+    def test_spans_only_trace(self):
+        with GoofiSession() as session:
+            make_campaign(session, "s", num_experiments=3)
+            session.run_campaign("s", telemetry="spans")
+            trace = build_trace(session.db, "s")
+            validate_trace(trace)
+            assert trace["otherData"] == {"campaign": "s", "spans": 3, "probes": 0}
+
+    def test_probes_only_trace(self):
+        with GoofiSession() as session:
+            make_campaign(session, "p", num_experiments=3)
+            session.run_campaign("p", probes=16)
+            trace = build_trace(session.db, "p")
+            validate_trace(trace)
+            assert trace["otherData"] == {"campaign": "p", "spans": 0, "probes": 3}
+
+
+class TestValidateTrace:
+    def test_rejects_non_object(self):
+        with pytest.raises(AnalysisError, match="traceEvents"):
+            validate_trace([])
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(AnalysisError, match="non-empty"):
+            validate_trace({"traceEvents": []})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(AnalysisError, match="missing 'tid'"):
+            validate_trace({"traceEvents": [{"ph": "i", "name": "x", "pid": 1}]})
+
+    def test_rejects_negative_timestamps(self):
+        event = {"ph": "i", "name": "x", "pid": 1, "tid": 0, "ts": -5}
+        with pytest.raises(AnalysisError, match="invalid ts"):
+            validate_trace({"traceEvents": [event]})
+
+    def test_rejects_duration_event_without_dur(self):
+        event = {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": 0}
+        with pytest.raises(AnalysisError, match="invalid dur"):
+            validate_trace({"traceEvents": [event]})
+
+
+class TestPropagationReport:
+    def test_report_renders_matrix(self, observed_session):
+        text = propagation_report(observed_session.db, "obs")
+        assert "EDM coverage matrix" in text
+        assert "Fault visibility" in text
+        assert "Dormancy" in text
+
+    def test_report_requires_probes(self, observed_session):
+        with GoofiSession() as bare:
+            make_campaign(bare, "bare", num_experiments=2)
+            bare.run_campaign("bare")
+            with pytest.raises(AnalysisError, match="no propagation probes"):
+                propagation_report(bare.db, "bare")
+
+    def test_coverage_matrix_math(self):
+        payloads = [
+            {
+                "injected_classes": ["regs"],
+                "detection": {"mechanism": "parity"},
+            },
+            {
+                "injected_classes": ["regs", "ctrl"],
+                "detection": None,
+            },
+            {
+                "injected_classes": ["ctrl"],
+                "detection": {"mechanism": "watchdog"},
+            },
+        ]
+        matrix = edm_coverage(payloads)
+        assert matrix.classes == ("ctrl", "regs")
+        # "none" renders last.
+        assert matrix.mechanisms == ("parity", "watchdog", NO_DETECTION)
+        assert matrix.counts["regs"] == {"parity": 1, NO_DETECTION: 1}
+        assert matrix.counts["ctrl"] == {"watchdog": 1, NO_DETECTION: 1}
+        assert matrix.coverage("regs") == 0.5
+        assert matrix.row_total("ctrl") == 2
+
+    def test_percentiles_split_diverged(self):
+        payloads = [
+            {"first_divergence": None, "dormancy": None},
+            {
+                "first_divergence": 100,
+                "dormancy": 10,
+                "peak_infection": 2,
+                "final_infection": 1,
+            },
+            {
+                "first_divergence": 200,
+                "dormancy": 30,
+                "peak_infection": 4,
+                "final_infection": 0,
+            },
+        ]
+        stats = infection_percentiles(payloads)
+        assert stats["experiments"] == 3
+        assert stats["diverged"] == 2
+        assert stats["dormancy"]["p50"] == 10
+        assert stats["peak_infection"]["p90"] == 4
+
+    def test_format_report_without_divergence(self):
+        payloads = [
+            {
+                "experiment": "c/exp0",
+                "probe_period": 500,
+                "first_divergence": None,
+                "injected_classes": ["regs"],
+                "detection": None,
+            }
+        ]
+        text = format_propagation_report("c", payloads)
+        assert "0 of 1" in text
+        assert "regs" in text

@@ -8,6 +8,13 @@ from .dependability import (
     format_dependability_report,
     model_from_campaign,
 )
+from .gates import (
+    BoundCheck,
+    GateResult,
+    count_critical_failures,
+    evaluate_gate,
+    format_gate_report,
+)
 from .latency import (
     LatencySample,
     LatencyStatistics,

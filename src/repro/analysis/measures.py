@@ -126,9 +126,16 @@ class GroupBreakdown:
 
 
 def _aggregate(
-    pairs: list[tuple[str, Classification]]
+    pairs: list[tuple], label=str
 ) -> list[GroupBreakdown]:
-    groups: dict[str, list[Classification]] = defaultdict(list)
+    """Aggregate (key, classification) pairs into per-group breakdowns.
+
+    Groups are ordered by their *key* (string keys sort lexically, int
+    keys numerically — which is what keeps time bins in order for
+    campaigns of any length); ``label`` renders a key into the displayed
+    group name.
+    """
+    groups: dict = defaultdict(list)
     for group, classification in pairs:
         groups[group].append(classification)
     breakdowns = []
@@ -140,7 +147,7 @@ def _aggregate(
         }
         breakdowns.append(
             GroupBreakdown(
-                group=group,
+                group=label(group),
                 total=len(members),
                 detected=counts["detected"],
                 escaped=counts["escaped"],
@@ -212,8 +219,10 @@ def per_time_breakdown(
         return []
     top = max(cycle for cycle, _ in cycles) + 1
     width = max(1, -(-top // bins))  # ceil
-    pairs = [
-        (f"[{(c // width) * width:6d}, {((c // width) + 1) * width:6d})", verdict)
-        for c, verdict in cycles
-    ]
-    return _aggregate(pairs)
+    # Group by the numeric bin index, not a formatted label: fixed-width
+    # labels sort lexically, which scrambles bins once campaigns exceed
+    # the label width (routine for >1e6-cycle runs).
+    pairs = [(c // width, verdict) for c, verdict in cycles]
+    return _aggregate(
+        pairs, label=lambda index: f"[{index * width}, {(index + 1) * width})"
+    )

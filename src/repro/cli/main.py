@@ -186,13 +186,99 @@ def cmd_campaign_merge(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# packs / gate
+# ----------------------------------------------------------------------
+def _setup_pack_campaign(session: GoofiSession, args: argparse.Namespace):
+    """Load the pack named by ``args.pack``, derive its campaign (with
+    the optional ``--experiments`` override), and store it."""
+    from ..core import CampaignConfig, load_pack
+
+    pack = load_pack(args.pack)
+    config = pack.resolve_campaign(session, name=getattr(args, "name", None))
+    experiments = getattr(args, "experiments", None)
+    if experiments:
+        config = CampaignConfig.from_dict(
+            {**config.to_dict(), "num_experiments": experiments}
+        )
+    session.setup_campaign(config)
+    return pack, config
+
+
+def cmd_pack_validate(args: argparse.Namespace) -> int:
+    from ..core import load_pack
+
+    pack = load_pack(args.pack)
+    declared = pack.bounds.to_dict()
+    print(
+        f"pack {pack.name!r} is valid: workload {pack.campaign['workload']!r}, "
+        f"technique {pack.campaign['technique']!r}, "
+        f"{pack.sample_plan.resolve()} experiments, "
+        f"{len(declared)} bound group(s) declared"
+    )
+    return 0
+
+
+def cmd_pack_show(args: argparse.Namespace) -> int:
+    from ..core import load_pack
+
+    print(json.dumps(load_pack(args.pack).to_dict(), indent=2))
+    return 0
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    from ..analysis import evaluate_gate, format_gate_report
+
+    with _session(args, with_progress=not args.quiet) as session:
+        pack, config = _setup_pack_campaign(session, args)
+        if pack.bounds.empty:
+            print(
+                f"goofi: error: pack {pack.name!r} declares no dependability "
+                "bounds; nothing to gate on",
+                file=sys.stderr,
+            )
+            return 1
+        result = session.run_campaign(config.name, workers=args.workers)
+        if result.aborted:
+            print(f"goofi: error: campaign {config.name!r} aborted", file=sys.stderr)
+            return 1
+        replay = None
+        if pack.bounds.max_critical_failures is not None:
+            from ..core.packs import replay_function
+
+            replay = replay_function(config.environment)
+        gate = evaluate_gate(
+            session.db,
+            config.name,
+            pack.bounds,
+            environment=config.environment,
+            replay=replay,
+        )
+        report = format_gate_report(gate)
+        print(report)
+        if args.report:
+            Path(args.report).write_text(json.dumps(gate.to_dict(), indent=2) + "\n")
+            print(f"gate report written to {args.report}")
+    return 0 if gate.passed else 2
+
+
+# ----------------------------------------------------------------------
 # run / analyze / rerun / autogen
 # ----------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
     with _session(args, with_progress=not args.quiet) as session:
+        campaign_name = args.campaign
+        if args.pack:
+            _pack, config = _setup_pack_campaign(session, args)
+            campaign_name = config.name
+        elif campaign_name is None:
+            print(
+                "goofi: error: give a stored campaign name or --pack FILE",
+                file=sys.stderr,
+            )
+            return 1
         session.algorithms.checkpoint_capacity = args.checkpoint_capacity
         result = session.run_campaign(
-            args.campaign,
+            campaign_name,
             resume=args.resume,
             workers=args.workers,
             checkpoints=args.checkpoints,
@@ -490,9 +576,64 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--limit", type=int, default=10)
     plan.set_defaults(func=cmd_campaign_plan)
 
+    pack = sub.add_parser("pack", help="declarative fault-pack documents")
+    pack_sub = pack.add_subparsers(dest="pack_command", required=True)
+    p_validate = pack_sub.add_parser(
+        "validate", help="parse and schema-check a pack document"
+    )
+    p_validate.add_argument("pack", help="pack YAML/JSON file")
+    p_validate.set_defaults(func=cmd_pack_validate)
+    p_show = pack_sub.add_parser(
+        "show", help="print a pack's normalised document as JSON"
+    )
+    p_show.add_argument("pack", help="pack YAML/JSON file")
+    p_show.set_defaults(func=cmd_pack_show)
+
+    gate = sub.add_parser(
+        "gate",
+        help="run a pack's campaign and judge it against its declared "
+             "dependability bounds (exit 2 on regression)",
+    )
+    _add_db_argument(gate)
+    gate.add_argument("pack", help="pack YAML/JSON file with a bounds section")
+    gate.add_argument("--name", default=None, help="campaign name override")
+    gate.add_argument(
+        "--experiments",
+        type=int,
+        default=None,
+        help="override the pack's sample plan (quick/smoke runs)",
+    )
+    gate.add_argument("--workers", type=int, default=1)
+    gate.add_argument("--quiet", action="store_true")
+    gate.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the gate verdict as JSON to PATH",
+    )
+    gate.set_defaults(func=cmd_gate)
+
     run = sub.add_parser("run", help="fault-injection phase")
     _add_db_argument(run)
-    run.add_argument("campaign")
+    run.add_argument(
+        "campaign",
+        nargs="?",
+        default=None,
+        help="stored campaign name (omit when using --pack)",
+    )
+    run.add_argument(
+        "--pack",
+        default=None,
+        metavar="FILE",
+        help="set up and run the campaign declared by a fault-pack document",
+    )
+    run.add_argument("--name", default=None, help="campaign name override (--pack)")
+    run.add_argument(
+        "--experiments",
+        type=int,
+        default=None,
+        help="override the pack's sample plan (--pack)",
+    )
     run.add_argument("--quiet", action="store_true")
     run.add_argument(
         "--resume",

@@ -72,6 +72,15 @@ from .plugins import (
     registered_targets,
     registered_techniques,
 )
+from .packs import (
+    DependabilityBounds,
+    FaultPack,
+    SamplePlan,
+    load_pack,
+    loads_pack,
+    replay_function,
+    save_pack,
+)
 from .parallel import ParallelCampaignRunner, WorkerFailure
 from .preinjection import LivenessAnalysis, PreInjectionFilter
 from .probes import (

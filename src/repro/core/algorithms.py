@@ -345,7 +345,7 @@ class FaultInjectionAlgorithms:
         logging anything.  Parallel workers use this to rebuild the
         (deterministic) trace locally instead of shipping it across the
         process boundary."""
-        self._prepare_target(config)
+        self._prepare_target(config, faulty_environment=False)
         info, trace = self.target.record_trace(config.termination)
         if info.outcome != "workload_end":
             raise ConfigurationError(
@@ -364,7 +364,7 @@ class FaultInjectionAlgorithms:
         if config.logging_mode == LOGGING_DETAIL:
             # Detail mode compares per-instruction states against the
             # reference, so the reference itself needs a stepped run.
-            self._prepare_target(config)
+            self._prepare_target(config, faulty_environment=False)
             self.target.run_workload()
             _, steps = self._detailed_run(config)
             state_vector["steps"] = steps
@@ -423,7 +423,7 @@ class FaultInjectionAlgorithms:
             with tele.time("phase.golden"):
                 self.probes = ProbeSession.create(
                     self.target,
-                    lambda: self._prepare_target(config),
+                    lambda: self._prepare_target(config, faulty_environment=False),
                     config.termination,
                     self.probe_config,
                 )
@@ -589,9 +589,20 @@ class FaultInjectionAlgorithms:
     # ------------------------------------------------------------------
     # Experiment bodies
     # ------------------------------------------------------------------
-    def _prepare_target(self, config: CampaignConfig) -> None:
+    def _prepare_target(
+        self, config: CampaignConfig, faulty_environment: bool = True
+    ) -> None:
         """initTestCard + loadWorkload + environment attachment — the
-        common preamble of every experiment and of the reference run."""
+        common preamble of every experiment and of the reference run.
+
+        ``faulty_environment`` controls whether the campaign's declared
+        environment-boundary faults (``environment["faults"]``) are
+        armed: experiments pass True, while reference runs and golden
+        probe passes pass False so classification always compares
+        against a clean baseline.  The environment (wrapper and RNG
+        stream included) is recreated here per experiment, which keeps
+        rows deterministic regardless of worker count.
+        """
         target = self.target
         target.init_test_card()
         environment = None
@@ -599,6 +610,11 @@ class FaultInjectionAlgorithms:
             environment = create_environment(
                 config.environment["name"], config.environment.get("params")
             )
+            faults = config.environment.get("faults")
+            if faulty_environment and faults is not None:
+                from ..workloads.envsim import wrap_environment
+
+                environment = wrap_environment(environment, faults)
         target.set_environment(environment)
         target.load_workload(config.workload)
 
@@ -893,7 +909,7 @@ class FaultInjectionAlgorithms:
         key = self._trace_cache_key(detail_config)
         trace = self.reference_trace if self._reference_trace_key == key else None
         if trace is None:
-            self._prepare_target(detail_config)
+            self._prepare_target(detail_config, faulty_environment=False)
             _, trace = self.target.record_trace(detail_config.termination)
             self.reference_trace = trace
             self._reference_trace_key = key

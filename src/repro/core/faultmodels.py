@@ -87,18 +87,54 @@ class IntermittentBitFlip:
 FaultModel = TransientBitFlip | StuckAt | IntermittentBitFlip
 
 
+#: Accepted payload keys per model (beyond the ``model`` tag itself).
+_MODEL_KEYS = {
+    MODEL_TRANSIENT: frozenset(),
+    MODEL_STUCK_AT: frozenset({"value"}),
+    MODEL_INTERMITTENT: frozenset({"duration", "activity"}),
+}
+
+
 def model_from_dict(data: dict) -> FaultModel:
-    """Deserialise a fault model stored in campaign/experiment data."""
+    """Deserialise a fault model stored in campaign/experiment data.
+
+    Malformed payloads — unknown model names, unexpected or missing
+    keys, non-numeric values (hand-written pack YAML, corrupted
+    experiment rows) — raise :class:`ConfigurationError` naming the
+    offending payload rather than leaking a bare ``TypeError`` or
+    ``KeyError``.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"fault-model payload must be a mapping, got {data!r}")
     name = data.get("model")
-    if name == MODEL_TRANSIENT:
-        return TransientBitFlip()
-    if name == MODEL_STUCK_AT:
-        return StuckAt(value=int(data["value"]))
-    if name == MODEL_INTERMITTENT:
+    if name not in _MODEL_KEYS:
+        known = ", ".join(sorted(_MODEL_KEYS))
+        raise ConfigurationError(
+            f"unknown fault model {name!r} in payload {data!r}; known: {known}"
+        )
+    unexpected = sorted(set(data) - _MODEL_KEYS[name] - {"model"})
+    if unexpected:
+        accepted = ", ".join(sorted(_MODEL_KEYS[name])) or "(none)"
+        raise ConfigurationError(
+            f"{name} fault model does not accept key(s) {', '.join(unexpected)} "
+            f"in payload {data!r}; accepted: {accepted}"
+        )
+    try:
+        if name == MODEL_TRANSIENT:
+            return TransientBitFlip()
+        if name == MODEL_STUCK_AT:
+            return StuckAt(value=int(data["value"]))
         return IntermittentBitFlip(
             duration=int(data["duration"]), activity=float(data.get("activity", 0.05))
         )
-    raise ConfigurationError(f"unknown fault model {name!r}")
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"{name} fault model payload {data!r} is missing key {exc}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"bad {name} fault model payload {data!r}: {exc}"
+        ) from None
 
 
 def is_transient(model: FaultModel) -> bool:

@@ -126,7 +126,7 @@ def _worker_main(
         if probes_payload is not None:
             probes = ProbeSession.create(
                 target,
-                lambda: algorithms._prepare_target(config),
+                lambda: algorithms._prepare_target(config, faulty_environment=False),
                 config.termination,
                 ProbeConfig.from_dict(probes_payload["config"]),
                 golden=GoldenSnapshots.from_payload(probes_payload["golden"]),
@@ -236,7 +236,7 @@ class ParallelCampaignRunner:
             with tele.time("phase.golden"):
                 golden = capture_golden_snapshots(
                     algorithms.target,
-                    lambda: algorithms._prepare_target(config),
+                    lambda: algorithms._prepare_target(config, faulty_environment=False),
                     config.termination,
                     algorithms.probe_config,
                 )

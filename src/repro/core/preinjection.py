@@ -180,7 +180,11 @@ class PreInjectionFilter:
                 return location, cycle
         # Rejection sampling failed: enumerate every element of the
         # selection deterministically and sample within the live windows
-        # of those that have any (weighted by window length).
+        # of those that have any (weighted by window length).  Always-
+        # live elements join the weighted draw with the whole window as
+        # their live span — short-circuiting on the first one would skew
+        # the fallback toward iteration order and starve the memory
+        # regions below of any probability mass.
         candidates: list[tuple[Location, list[tuple[int, int]], int]] = []
         for info in selection.elements:
             location = Location(
@@ -191,7 +195,7 @@ class PreInjectionFilter:
             )
             windows = self._clamped_windows(location, lo, hi)
             if windows is None:
-                return location, int(rng.integers(lo, hi))
+                windows = [(lo, hi)]
             if windows:
                 total = sum(end - start for start, end in windows)
                 candidates.append((location, windows, total))

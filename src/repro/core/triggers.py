@@ -16,6 +16,7 @@ arming them via the scan chains.
 
 from __future__ import annotations
 
+import dataclasses
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
@@ -260,14 +261,37 @@ _TRIGGER_TYPES = {
 
 
 def trigger_from_dict(data: dict) -> Trigger:
-    """Deserialise a trigger stored in campaign/experiment data."""
+    """Deserialise a trigger stored in campaign/experiment data.
+
+    Malformed payloads — unknown trigger names, unexpected or missing
+    keys (hand-written pack YAML, corrupted experiment rows) — raise
+    :class:`ConfigurationError` naming the offending payload rather
+    than leaking a bare ``TypeError``.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"trigger payload must be a mapping, got {data!r}")
     name = data.get("trigger")
     try:
         trigger_type = _TRIGGER_TYPES[name]
-    except KeyError:
-        raise ConfigurationError(f"unknown trigger type {name!r}") from None
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(_TRIGGER_TYPES))
+        raise ConfigurationError(
+            f"unknown trigger type {name!r} in payload {data!r}; known: {known}"
+        ) from None
     kwargs = {key: value for key, value in data.items() if key != "trigger"}
-    return trigger_type(**kwargs)
+    expected = {f.name for f in dataclasses.fields(trigger_type)}
+    unexpected = sorted(set(kwargs) - expected)
+    if unexpected:
+        raise ConfigurationError(
+            f"{name} trigger does not accept key(s) {', '.join(unexpected)} "
+            f"in payload {data!r}; accepted: {', '.join(sorted(expected))}"
+        )
+    try:
+        return trigger_type(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad {name} trigger payload {data!r}: {exc}"
+        ) from None
 
 
 def cycles_in_window(trace: ReferenceTrace, start: int, end: int) -> tuple[int, int]:

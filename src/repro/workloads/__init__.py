@@ -1,19 +1,33 @@
 """Workloads and environment simulators for the simulated target."""
 
 from .control import ControlParameters, protected_source, unprotected_source
-from .envsim import DCMotor, WaterTank, replay_dc_motor
+from .envsim import (
+    REPLAY_FUNCTIONS,
+    DCMotor,
+    EnvFaultConfig,
+    EnvironmentFaultInjector,
+    WaterTank,
+    replay_dc_motor,
+    replay_water_tank,
+    wrap_environment,
+)
 from .library import is_loop_workload, load, workload_names
 from .programs import expected_output
 
 __all__ = [
+    "REPLAY_FUNCTIONS",
     "ControlParameters",
     "DCMotor",
+    "EnvFaultConfig",
+    "EnvironmentFaultInjector",
     "WaterTank",
     "expected_output",
     "is_loop_workload",
     "load",
     "protected_source",
     "replay_dc_motor",
+    "replay_water_tank",
     "unprotected_source",
     "workload_names",
+    "wrap_environment",
 ]

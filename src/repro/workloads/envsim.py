@@ -115,3 +115,260 @@ def replay_dc_motor(u_sequence: list[int], **params) -> tuple[list[int], bool]:
     motor = DCMotor(sensor_addr=0, actuator_addr=0, **params)
     trajectory = [motor.step(to_signed32(u)) for u in u_sequence]
     return trajectory, motor.critical_failure
+
+
+def replay_water_tank(u_sequence: list[int], **params) -> tuple[list[int], bool]:
+    """Offline replay of the water-tank model over a logged valve-command
+    sequence — the water-tank counterpart of :func:`replay_dc_motor`, so
+    critical-failure (overflow) analysis works for both plants.  Returns
+    the level trajectory and whether the tank overflowed."""
+    tank = WaterTank(sensor_addr=0, actuator_addr=0, **params)
+    trajectory = [tank.step(to_signed32(u)) for u in u_sequence]
+    return trajectory, tank.critical_failure
+
+
+#: Offline replay function per registered plant model, keyed by the
+#: environment-simulator name stored in campaign configurations.  The
+#: analysis layer (and ``goofi gate``) looks the plant up here instead
+#: of hard-coding one model.
+REPLAY_FUNCTIONS = {
+    "dc_motor": replay_dc_motor,
+    "water_tank": replay_water_tank,
+}
+
+
+# ----------------------------------------------------------------------
+# Environment-boundary fault injection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class EnvFaultConfig:
+    """Fault layer at the environment-exchange boundary.
+
+    Each knob is an independent per-exchange (or per-write) probability
+    in ``[0, 1]``; all default to 0, making the wrapper a transparent
+    pass-through.  ``seed`` drives a dedicated RNG stream, so enabled
+    faults are deterministic per experiment regardless of worker count
+    (the simulator — wrapper included — is recreated per experiment).
+
+    * ``drop_probability`` — the whole exchange is skipped: the plant
+      does not step and the sensor is not refreshed (a lost I/O
+      transaction).
+    * ``delay_probability`` — the exchange runs, but the sensor write
+      delivers the *previous* exchange's value (one-exchange-stale
+      data); the fresh value is held for the next delivery.
+    * ``corrupt_probability`` — one random bit of each written sensor
+      word is inverted (sensor-value corruption).
+    * ``partial_write_probability`` — only the low ``partial_bits`` bits
+      of each written word land; the high bits keep the old memory
+      contents (a torn/partial write).
+    """
+
+    drop_probability: float = 0.0
+    delay_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    partial_write_probability: float = 0.0
+    partial_bits: int = 16
+    word_bits: int = 32
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        # The workloads layer never imports the core layer, so invalid
+        # values raise ValueError; repro.core.packs re-wraps it as a
+        # ConfigurationError for pack validation.
+        for name in (
+            "drop_probability",
+            "delay_probability",
+            "corrupt_probability",
+            "partial_write_probability",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not 0.0 <= float(value) <= 1.0:
+                raise ValueError(
+                    f"environment fault {name} must be in [0, 1], not {value!r}"
+                )
+        if not 0 < self.partial_bits < self.word_bits:
+            raise ValueError(
+                f"partial_bits must be in (0, {self.word_bits}), "
+                f"not {self.partial_bits!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            p > 0.0
+            for p in (
+                self.drop_probability,
+                self.delay_probability,
+                self.corrupt_probability,
+                self.partial_write_probability,
+            )
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "drop_probability": self.drop_probability,
+            "delay_probability": self.delay_probability,
+            "corrupt_probability": self.corrupt_probability,
+            "partial_write_probability": self.partial_write_probability,
+            "partial_bits": self.partial_bits,
+            "word_bits": self.word_bits,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnvFaultConfig":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"environment faults payload must be a mapping, got {data!r}"
+            )
+        known = {
+            "drop_probability",
+            "delay_probability",
+            "corrupt_probability",
+            "partial_write_probability",
+            "partial_bits",
+            "word_bits",
+            "seed",
+        }
+        unexpected = sorted(set(data) - known)
+        if unexpected:
+            raise ValueError(
+                f"environment faults payload {data!r} has unknown key(s) "
+                f"{', '.join(unexpected)}; accepted: {', '.join(sorted(known))}"
+            )
+        return cls(
+            drop_probability=float(data.get("drop_probability", 0.0)),
+            delay_probability=float(data.get("delay_probability", 0.0)),
+            corrupt_probability=float(data.get("corrupt_probability", 0.0)),
+            partial_write_probability=float(
+                data.get("partial_write_probability", 0.0)
+            ),
+            partial_bits=int(data.get("partial_bits", 16)),
+            word_bits=int(data.get("word_bits", 32)),
+            seed=int(data.get("seed", 1)),
+        )
+
+
+class _FaultyIO:
+    """Target proxy handed to the wrapped simulator for one exchange:
+    reads pass through untouched, writes are filtered through the fault
+    layer.  Anything else the simulator touches is forwarded."""
+
+    __slots__ = ("_target", "_injector")
+
+    def __init__(self, target, injector: "EnvironmentFaultInjector") -> None:
+        self._target = target
+        self._injector = injector
+
+    def read_memory(self, address: int, count: int = 1) -> list[int]:
+        return self._target.read_memory(address, count)
+
+    def write_memory(self, address: int, words) -> None:
+        self._injector._filtered_write(self._target, address, words)
+
+    def __getattr__(self, name: str):
+        if name in _FaultyIO.__slots__:
+            raise AttributeError(name)
+        return getattr(self._target, name)
+
+
+class EnvironmentFaultInjector:
+    """Fault-capable wrapper around any environment simulator.
+
+    Wraps an object with ``exchange(target, iteration)`` and injects
+    faults at the exchange boundary per :class:`EnvFaultConfig`.  With
+    every probability at 0 the wrapper is a pure pass-through: the inner
+    simulator sees the same reads and performs the same writes, so
+    campaign rows are bit-identical to an unwrapped run.  Composes with
+    scan-chain faults (it never touches scan state) and is deep-copyable
+    (checkpoint save/restore snapshots the RNG stream along with the
+    plant).
+
+    Unknown attributes forward to the wrapped simulator, so analysis
+    code reading ``history`` or ``critical_failure`` keeps working.
+    """
+
+    def __init__(self, simulator, config: EnvFaultConfig) -> None:
+        import numpy as np
+
+        self.simulator = simulator
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        #: Per-address held-back words for delayed deliveries.
+        self._held: dict[int, list[int]] = {}
+        #: Injected-fault counters, for tests and reports.
+        self.fault_counts = {
+            "dropped": 0,
+            "delayed": 0,
+            "corrupted": 0,
+            "partial": 0,
+        }
+
+    def __getattr__(self, name: str):
+        # Guard against recursion during deepcopy/unpickling, which
+        # probes attributes before __init__ has populated __dict__.
+        if name.startswith("_") or "simulator" not in self.__dict__:
+            raise AttributeError(name)
+        return getattr(self.simulator, name)
+
+    # ------------------------------------------------------------------
+    def exchange(self, target, iteration: int) -> None:
+        config = self.config
+        if config.drop_probability > 0.0 and (
+            float(self._rng.random()) < config.drop_probability
+        ):
+            self.fault_counts["dropped"] += 1
+            return
+        self.simulator.exchange(_FaultyIO(target, self), iteration)
+
+    # ------------------------------------------------------------------
+    def _filtered_write(self, target, address: int, words) -> None:
+        config = self.config
+        if isinstance(words, int):
+            words = [words]
+        words = list(words)
+        if config.delay_probability > 0.0 and (
+            float(self._rng.random()) < config.delay_probability
+        ):
+            held = self._held.get(address)
+            self._held[address] = words
+            self.fault_counts["delayed"] += 1
+            if held is None:
+                return  # nothing staged yet: the first delivery is lost
+            words = held
+        elif address in self._held:
+            # Normal delivery flushes any staged value first: the stale
+            # word arrives one exchange late, then freshness recovers.
+            words = self._held.pop(address)
+        if config.corrupt_probability > 0.0:
+            corrupted = []
+            for word in words:
+                if float(self._rng.random()) < config.corrupt_probability:
+                    bit = int(self._rng.integers(config.word_bits))
+                    word = int(word) ^ (1 << bit)
+                    self.fault_counts["corrupted"] += 1
+                corrupted.append(word)
+            words = corrupted
+        if config.partial_write_probability > 0.0:
+            low_mask = (1 << config.partial_bits) - 1
+            partial = []
+            for offset, word in enumerate(words):
+                if float(self._rng.random()) < config.partial_write_probability:
+                    old = target.read_memory(address + offset, 1)[0]
+                    word = (int(old) & ~low_mask) | (int(word) & low_mask)
+                    self.fault_counts["partial"] += 1
+                partial.append(word)
+            words = partial
+        target.write_memory(address, words)
+
+
+def wrap_environment(simulator, faults: dict | EnvFaultConfig | None):
+    """Wrap ``simulator`` in an :class:`EnvironmentFaultInjector` when a
+    fault configuration is given; pass it through untouched otherwise.
+    The campaign engines call this with the ``faults`` sub-dict of the
+    campaign's ``environment`` configuration."""
+    if faults is None:
+        return simulator
+    if not isinstance(faults, EnvFaultConfig):
+        faults = EnvFaultConfig.from_dict(faults)
+    return EnvironmentFaultInjector(simulator, faults)

@@ -305,3 +305,45 @@ class TestLazyPropagationImport:
 
         with pytest.raises(AttributeError, match="no attribute"):
             analysis.does_not_exist
+
+
+class TestTimeBreakdownBinOrdering:
+    def test_bins_numerically_ordered_for_long_campaigns(self):
+        """Regression: bin labels used to be fixed-width formatted and
+        lexicographically sorted, which scrambles the time axis once
+        injection cycles exceed the label width (">1e6-cycle campaigns:
+        '[10000000, ...' sorts before '[2000000, ...')."""
+        from repro.db import (
+            CampaignRecord,
+            GoofiDatabase,
+            TargetSystemRecord,
+            reference_name,
+        )
+
+        db = GoofiDatabase(":memory:")
+        db.save_target(
+            TargetSystemRecord(target_name="t", test_card_name="c", config={})
+        )
+        db.save_campaign(
+            CampaignRecord(campaign_name="camp", target_name="t", config={})
+        )
+        db.save_experiment(
+            ExperimentRecord(
+                experiment_name=reference_name("camp"),
+                campaign_name="camp",
+                experiment_data={"technique": "reference", "workload": "w"},
+                state_vector=REFERENCE_STATE,
+            )
+        )
+        cycles = [500_000, 2_000_000, 4_500_000, 7_000_000, 9_900_000, 12_000_000]
+        for index, cycle in enumerate(cycles):
+            db.save_experiment(experiment(f"e{index}", cycle=cycle))
+        breakdown = per_time_breakdown(db, "camp", bins=10)
+        starts = [int(b.group[1:].split(",")[0]) for b in breakdown]
+        assert starts == sorted(starts)
+        assert sum(b.total for b in breakdown) == len(cycles)
+        # Every label is a plain half-open range with no alignment padding.
+        for entry in breakdown:
+            assert entry.group == entry.group.replace(" ,", ",")
+            start, end = entry.group.strip("[)").split(", ")
+            assert int(end) - int(start) > 0

@@ -57,3 +57,35 @@ class TestClassification:
         assert is_transient(TransientBitFlip())
         assert not is_transient(StuckAt(1))
         assert not is_transient(IntermittentBitFlip(duration=5))
+
+
+class TestMalformedModelPayloads:
+    """Regression: malformed payloads used to leak bare ``TypeError``/
+    ``KeyError``; they must raise ``ConfigurationError`` naming the
+    payload."""
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be a mapping"):
+            model_from_dict("transient_bitflip")
+
+    def test_unknown_model_names_payload_and_known(self):
+        with pytest.raises(ConfigurationError, match="known: .*stuck_at.*transient"):
+            model_from_dict({"model": "cosmic_ray"})
+
+    def test_unexpected_key_on_transient(self):
+        with pytest.raises(ConfigurationError, match="does not accept key.*value"):
+            model_from_dict({"model": "transient_bitflip", "value": 1})
+
+    def test_unexpected_key_on_stuck_at(self):
+        with pytest.raises(ConfigurationError, match="accepted: value"):
+            model_from_dict({"model": "stuck_at", "value": 1, "until": 9})
+
+    def test_missing_key_wrapped(self):
+        with pytest.raises(ConfigurationError, match="missing key"):
+            model_from_dict({"model": "stuck_at"})
+
+    def test_bad_value_type_wrapped(self):
+        with pytest.raises(ConfigurationError, match="bad intermittent_bitflip"):
+            model_from_dict(
+                {"model": "intermittent_bitflip", "duration": "soon"}
+            )

@@ -173,3 +173,70 @@ class TestPreInjectionFilter:
         location, cycle = filter_.sample(self.make_selection(), (0, 10_000), rng)
         assert location.element == "regs.R1"
         assert cycle == 5001
+
+
+class TestFallbackDistribution:
+    """Regression: the direct-interval fallback used to return the first
+    always-live element immediately, so an almost-dead selection always
+    produced the same (iteration-order) location and memory regions got
+    zero probability mass."""
+
+    def make_selection(self):
+        from repro.core.locations import MemoryRegionInfo
+
+        space = LocationSpace(
+            scan_elements=[
+                ScanElementInfo("internal", "ctrl.PC", 16, True),
+                ScanElementInfo("internal", "ctrl.PSW", 16, True),
+            ],
+            memory_regions=[MemoryRegionInfo("data", 0x4000, 0x4010, 32)],
+        )
+        return space.select(["internal:ctrl.*", "memory:data"])
+
+    def make_filter(self):
+        # 0x4000 is read at cycle 90: live on [0, 91).  The ctrl
+        # elements are always-live.  max_attempts_per_sample=0 forces
+        # every sample through the fallback path.
+        trace = ReferenceTrace(
+            instructions=[(c, c, "NOP") for c in range(100)],
+            mem_accesses=[(90, "read", 0x4000)],
+            reg_accesses=[],
+            duration=100,
+        )
+        return PreInjectionFilter(
+            LivenessAnalysis(trace), max_attempts_per_sample=0
+        )
+
+    def test_fallback_spreads_over_all_live_candidates(self):
+        filter_ = self.make_filter()
+        selection = self.make_selection()
+        rng = np.random.default_rng(7)
+        sampled_elements = set()
+        sampled_memory = 0
+        for _ in range(300):
+            location, cycle = filter_.sample(selection, (0, 100), rng)
+            assert filter_.analysis.is_live(location, cycle)
+            if location.kind == KIND_MEMORY:
+                assert location.address == 0x4000
+                assert 0 <= cycle <= 90
+                sampled_memory += 1
+            else:
+                sampled_elements.add(location.element)
+        # Both always-live elements AND the live memory word are drawn.
+        assert sampled_elements == {"ctrl.PC", "ctrl.PSW"}
+        assert sampled_memory > 0
+
+    def test_fallback_weights_are_roughly_proportional(self):
+        """Each of the three candidates spans ~the whole window, so each
+        should take ~a third of the draws (not 100%/0%/0%)."""
+        filter_ = self.make_filter()
+        selection = self.make_selection()
+        rng = np.random.default_rng(11)
+        counts = {"ctrl.PC": 0, "ctrl.PSW": 0, "memory": 0}
+        draws = 600
+        for _ in range(draws):
+            location, _cycle = filter_.sample(selection, (0, 100), rng)
+            key = "memory" if location.kind == KIND_MEMORY else location.element
+            counts[key] += 1
+        for key, count in counts.items():
+            assert count / draws > 0.15, f"{key} starved: {counts}"

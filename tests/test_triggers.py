@@ -165,3 +165,34 @@ class TestWindowHelpers:
         assert nearest_access_after(trace, 0x4000, 0) == 2
         assert nearest_access_after(trace, 0x4000, 3) == 4
         assert nearest_access_after(trace, 0x4000, 5) is None
+
+
+class TestMalformedTriggerPayloads:
+    """Regression: malformed payloads (hand-written pack YAML, corrupted
+    rows) used to leak bare ``TypeError``s from the dataclass
+    constructor; they must raise ``ConfigurationError`` naming the
+    payload."""
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be a mapping"):
+            trigger_from_dict(["time", 5])
+
+    def test_missing_trigger_key_names_payload(self):
+        with pytest.raises(ConfigurationError, match=r"\{'cycle': 5\}"):
+            trigger_from_dict({"cycle": 5})
+
+    def test_unexpected_key_named(self):
+        with pytest.raises(ConfigurationError, match="does not accept key.*cycles"):
+            trigger_from_dict({"trigger": "time", "cycles": 5})
+
+    def test_unexpected_key_lists_accepted_keys(self):
+        with pytest.raises(ConfigurationError, match="accepted: .*period.*tick"):
+            trigger_from_dict({"trigger": "clock", "period": 10, "phase": 1})
+
+    def test_missing_required_key_wrapped(self):
+        with pytest.raises(ConfigurationError, match="bad breakpoint trigger"):
+            trigger_from_dict({"trigger": "breakpoint"})
+
+    def test_unknown_name_lists_known_triggers(self):
+        with pytest.raises(ConfigurationError, match="known: .*breakpoint.*time"):
+            trigger_from_dict({"trigger": "lunar_phase", "cycle": 1})

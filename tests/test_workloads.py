@@ -19,7 +19,13 @@ from repro.workloads.control import (
     protected_source,
     unprotected_source,
 )
-from repro.workloads.envsim import DCMotor, WaterTank, replay_dc_motor, to_signed32
+from repro.workloads.envsim import (
+    DCMotor,
+    WaterTank,
+    replay_dc_motor,
+    to_signed32,
+    to_word32,
+)
 
 SELF_TERMINATING = [
     "bubble_sort",
@@ -218,3 +224,168 @@ class TestEnvironmentSimulators:
     def test_signed_conversion_roundtrip(self):
         assert to_signed32(0xFFFFFFFF) == -1
         assert to_signed32(5) == 5
+
+
+class FakeIOTarget:
+    """Minimal exchange target: a dict of memory words."""
+
+    def __init__(self, initial=None):
+        self.mem = dict(initial or {})
+
+    def read_memory(self, address, count=1):
+        return [self.mem.get(address + i, 0) for i in range(count)]
+
+    def write_memory(self, address, words):
+        if isinstance(words, int):
+            words = [words]
+        for offset, word in enumerate(words):
+            self.mem[address + offset] = word
+
+
+class TestWaterTankReplay:
+    def drive_tank(self, u_sequence, **params):
+        from repro.workloads.envsim import to_word32
+
+        tank = WaterTank(sensor_addr=0, actuator_addr=4, **params)
+        target = FakeIOTarget()
+        for iteration, u in enumerate(u_sequence):
+            target.write_memory(4, [to_word32(u)])
+            tank.exchange(target, iteration)
+        return tank
+
+    def test_replay_matches_online_run(self):
+        """Regression: the DC motor had an offline replay but the water
+        tank did not, so critical-failure analysis silently could not
+        cover water-tank campaigns.  Replaying the logged valve-command
+        sequence must reproduce the level trajectory exactly."""
+        from repro.workloads import replay_water_tank
+
+        u_sequence = [((-1) ** i) * (i * 1000) for i in range(80)]
+        tank = self.drive_tank(u_sequence)
+        logged_u = [u for _i, u, _level in tank.history]
+        assert logged_u == u_sequence
+        trajectory, critical = replay_water_tank(logged_u)
+        assert trajectory == [level for _i, _u, level in tank.history]
+        assert critical == tank.critical_failure
+
+    def test_replay_reproduces_overflow(self):
+        from repro.workloads import replay_water_tank
+
+        capacity = 60 * FIXED_POINT_ONE
+        u_sequence = [2**20] * 400
+        tank = self.drive_tank(u_sequence, capacity=capacity)
+        assert tank.critical_failure
+        _trajectory, critical = replay_water_tank(u_sequence, capacity=capacity)
+        assert critical
+
+    def test_replay_registry_covers_all_environments(self):
+        from repro.core.plugins import registered_environments
+        from repro.workloads import REPLAY_FUNCTIONS
+
+        assert set(REPLAY_FUNCTIONS) == set(registered_environments())
+
+
+class TestEnvironmentFaultInjector:
+    def make(self, simulator=None, **kwargs):
+        from repro.workloads import EnvFaultConfig, EnvironmentFaultInjector
+
+        simulator = simulator or DCMotor(sensor_addr=0, actuator_addr=4)
+        return EnvironmentFaultInjector(simulator, EnvFaultConfig(**kwargs))
+
+    def run_exchanges(self, env, steps=60, u=3000):
+        target = FakeIOTarget({4: u})
+        for iteration in range(steps):
+            env.exchange(target, iteration)
+        return target
+
+    def test_zero_probabilities_are_pure_passthrough(self):
+        plain_target = FakeIOTarget({4: 3000})
+        reference = DCMotor(sensor_addr=0, actuator_addr=4)
+        for iteration in range(60):
+            reference.exchange(plain_target, iteration)
+        wrapped = self.make(seed=99)
+        wrapped_target = self.run_exchanges(wrapped)
+        assert wrapped_target.mem == plain_target.mem
+        assert wrapped.history == reference.history
+        assert wrapped.fault_counts == {
+            "dropped": 0, "delayed": 0, "corrupted": 0, "partial": 0,
+        }
+
+    def test_drop_skips_whole_exchange(self):
+        env = self.make(drop_probability=0.5, seed=1)
+        self.run_exchanges(env, steps=40)
+        assert env.fault_counts["dropped"] > 0
+        # The plant only stepped on non-dropped exchanges.
+        assert len(env.history) == 40 - env.fault_counts["dropped"]
+
+    def test_delay_delivers_stale_sensor_value(self):
+        env = self.make(delay_probability=1.0, seed=5)
+        target = FakeIOTarget({0: 0xDEAD, 4: 3000})
+        env.exchange(target, 0)
+        # First delivery is withheld: the sensor word is untouched.
+        assert target.mem[0] == 0xDEAD
+        env.exchange(target, 1)
+        # Second exchange delivers the *first* exchange's value.  The
+        # memory word is the unsigned encoding of the signed reading.
+        assert target.mem[0] == to_word32(env.history[0][2])
+
+    def test_corruption_flips_one_bit(self):
+        env = self.make(corrupt_probability=1.0, seed=8)
+        target = self.run_exchanges(env, steps=1)
+        clean = to_word32(env.history[0][2])
+        corrupted = target.mem[0]
+        assert corrupted != clean
+        assert bin(corrupted ^ clean).count("1") == 1
+
+    def test_partial_write_keeps_high_bits(self):
+        env = self.make(partial_write_probability=1.0, seed=3)
+        target = FakeIOTarget({0: 0xABCD0000, 4: 3000})
+        env.exchange(target, 0)
+        assert target.mem[0] >> 16 == 0xABCD
+        assert target.mem[0] & 0xFFFF == env.history[0][2] & 0xFFFF
+
+    def test_deterministic_per_seed(self):
+        a = self.run_exchanges(self.make(corrupt_probability=0.3, seed=6))
+        b = self.run_exchanges(self.make(corrupt_probability=0.3, seed=6))
+        c = self.run_exchanges(self.make(corrupt_probability=0.3, seed=7))
+        assert a.mem == b.mem
+        assert a.mem != c.mem
+
+    def test_deepcopy_preserves_rng_stream(self):
+        import copy
+
+        env = self.make(corrupt_probability=0.3, seed=12)
+        self.run_exchanges(env, steps=10)
+        clone = copy.deepcopy(env)
+        t1 = self.run_exchanges(env, steps=10)
+        t2 = self.run_exchanges(clone, steps=10)
+        assert t1.mem == t2.mem
+        assert env.fault_counts == clone.fault_counts
+
+    def test_probability_validation(self):
+        from repro.workloads import EnvFaultConfig
+
+        # The workloads layer raises plain ValueError (it never imports
+        # the core layer); pack validation wraps it in
+        # ConfigurationError.
+        with pytest.raises(ValueError, match="drop_probability"):
+            EnvFaultConfig(drop_probability=1.5)
+        with pytest.raises(ValueError, match="partial_bits"):
+            EnvFaultConfig(partial_bits=0)
+        with pytest.raises(ValueError, match="unknown key"):
+            EnvFaultConfig.from_dict({"drop_chance": 0.1})
+
+    def test_config_round_trip(self):
+        from repro.workloads import EnvFaultConfig
+
+        config = EnvFaultConfig(
+            drop_probability=0.1, corrupt_probability=0.2, seed=9
+        )
+        assert EnvFaultConfig.from_dict(config.to_dict()) == config
+
+    def test_attribute_forwarding(self):
+        env = self.make(seed=1)
+        assert env.critical_failure is False
+        assert env.history == []
+        with pytest.raises(AttributeError):
+            env.no_such_attribute

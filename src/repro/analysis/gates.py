@@ -177,7 +177,12 @@ def evaluate_gate(
             ceiling = float(bounds.max_latency[key])
             measured = _latency_statistic(statistics, key)
             if math.isnan(measured):
-                # No detections at all: nothing exceeded the ceiling.
+                # Zero usable latency samples.  A latency ceiling bounds
+                # how slow detections are allowed to be, so with no
+                # detections nothing exceeded it: explicit PASS, with
+                # the NaN surfaced in the report.  Whether detections
+                # must exist at all is min_coverage's job (which fails
+                # on the analogous NaN) — see docs/packs.md.
                 checks.append(
                     BoundCheck(
                         bound=f"max_latency.{key}",

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from scipy import stats
 
-from ..core.errors import AnalysisError
+from ..core.errors import AnalysisError, ConfigurationError
 from .measures import Proportion, proportion
 
 
@@ -43,8 +43,13 @@ def required_experiments(
     ``expected_proportion`` is a prior guess of the measured proportion;
     0.5 (the default) is the worst case and therefore always safe.
     """
+    # half_width <= 0 would divide by zero (or flip the formula's sign);
+    # it is a planning-input mistake, not a data problem, hence
+    # ConfigurationError rather than AnalysisError.
     if not 0.0 < half_width < 0.5:
-        raise AnalysisError(f"half_width must be in (0, 0.5), not {half_width}")
+        raise ConfigurationError(
+            f"half_width must be in (0, 0.5), not {half_width}"
+        )
     if not 0.0 < expected_proportion < 1.0:
         raise AnalysisError("expected_proportion must be in (0, 1)")
     z = _z(confidence)

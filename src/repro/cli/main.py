@@ -39,6 +39,7 @@ from ..logconfig import setup_logging
 from ..core import (
     DEFAULT_CHECKPOINT_CAPACITY,
     DEFAULT_PROBE_PERIOD,
+    DEFAULT_SPOT_CHECK_RATE,
     ProgressReporter,
     registered_targets,
     registered_techniques,
@@ -286,6 +287,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             telemetry=args.telemetry,
             telemetry_jsonl=args.telemetry_jsonl,
             probes=args.probes,
+            prune=args.prune,
         )
         status = "aborted" if result.aborted else "completed"
         rate = (
@@ -298,6 +300,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{result.experiments_run}/{result.experiments_planned} experiments "
             f"in {result.elapsed_seconds:.1f}s ({rate:.1f}/s)"
         )
+        if result.prune is not None:
+            prune = result.prune
+            print(
+                f"prune: {prune['pruned']}/{prune['planned']} experiments "
+                f"classified no-effect, {prune['skipped']} skipped, "
+                f"{prune['spot_checks']} spot-checked "
+                f"({prune['divergences']} divergences)"
+            )
         if result.telemetry is not None:
             print(
                 f"telemetry recorded; inspect with: "
@@ -700,6 +710,20 @@ def build_parser() -> argparse.ArgumentParser:
              "a fault-effect summary per experiment (inspect with "
              "'goofi analyze --propagation' or 'goofi trace export'; "
              "logged rows are identical either way)",
+    )
+    run.add_argument(
+        "--prune",
+        nargs="?",
+        const=DEFAULT_SPOT_CHECK_RATE,
+        default=None,
+        type=float,
+        metavar="RATE",
+        help="skip experiments that liveness analysis of the fault-free "
+             "trace proves can have no effect, logging them with a "
+             "'pruned' provenance flag instead of simulating them; RATE "
+             f"(default: {DEFAULT_SPOT_CHECK_RATE}) of pruned experiments "
+             "are re-simulated anyway and the campaign hard-fails if any "
+             "diverge from the synthesized row",
     )
     run.set_defaults(func=cmd_run)
 

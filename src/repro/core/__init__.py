@@ -55,6 +55,18 @@ from .framework import (
     Termination,
     TerminationInfo,
 )
+from .liveness import (
+    DEFAULT_SPOT_CHECK_RATE,
+    ExperimentClassifier,
+    PruneConfig,
+    PruneDivergence,
+    PrunePlan,
+    build_prune_plan,
+    dead_windows,
+    liveness_map,
+    normalise_liveness_payload,
+    resolve_prune,
+)
 from .locations import (
     Location,
     LocationSelection,

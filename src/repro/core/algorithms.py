@@ -68,6 +68,13 @@ from .framework import (
     TargetSystemInterface,
     TerminationInfo,
 )
+from .liveness import (
+    PruneConfig,
+    PrunePlan,
+    build_prune_plan,
+    liveness_map,
+    resolve_prune,
+)
 from .locations import KIND_MEMORY, KIND_SCAN
 from .plugins import create_environment, technique_method
 from .probes import ProbeConfig, ProbeSession, resolve_probes
@@ -93,6 +100,10 @@ class CampaignResult:
     #: Final :class:`~repro.core.telemetry.MetricsRegistry` snapshot when
     #: the run was telemetered; ``None`` otherwise.
     telemetry: dict | None = None
+    #: Liveness-pruning summary (planned/pruned/skipped/spot-check
+    #: counts and divergences) when the run used ``--prune``; ``None``
+    #: otherwise.
+    prune: dict | None = None
 
 
 class FaultInjectionAlgorithms:
@@ -148,6 +159,14 @@ class FaultInjectionAlgorithms:
         #: directly by a parallel worker; the experiment bodies route
         #: their execution segments through it when present.
         self.probes: ProbeSession | None = None
+        #: Requested liveness-pruning configuration for the current
+        #: campaign run (``run_campaign(prune=...)``); ``None`` when
+        #: pruning is off.
+        self.prune_config: PruneConfig | None = None
+        #: The reference run's logged record, stashed by
+        #: :meth:`make_reference_run` — pruned rows synthesise their
+        #: state vector from it.
+        self._reference_record: ExperimentRecord | None = None
         #: Config key the cached ``reference_trace`` was recorded under —
         #: guards the detail-rerun fast path against reusing a trace
         #: from a different campaign/workload.
@@ -166,6 +185,7 @@ class FaultInjectionAlgorithms:
         telemetry=None,
         telemetry_jsonl=None,
         probes=None,
+        prune=None,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -209,6 +229,17 @@ class FaultInjectionAlgorithms:
         table; ``goofi analyze --propagation``).  Probing never changes
         logged rows either — probe stops fold into the execution loop
         like breakpoints and the dumps are read-only.
+
+        ``prune`` turns on liveness-based experiment pruning (see
+        :func:`repro.core.liveness.resolve_prune`: ``True``, a
+        spot-check rate in [0, 1], a dict, or a ready
+        :class:`~repro.core.liveness.PruneConfig`).  Experiments whose
+        faults provably cannot have an effect are not simulated; their
+        rows are synthesised from the reference run and flagged
+        ``pruned``, and the spot-check sample re-simulates a seeded
+        fraction of them, hard-failing on any divergence.  Incompatible
+        with ``probes`` — a pruned experiment is never executed, so its
+        propagation summary cannot be observed.
         """
         config = self.read_campaign_data(campaign_name)
         self.target.set_fast_path(fast)
@@ -220,7 +251,15 @@ class FaultInjectionAlgorithms:
                 f"target {self.target.target_name!r} does not support "
                 f"propagation probes"
             )
+        prune_config = resolve_prune(prune)
+        if prune_config is not None and probe_config is not None:
+            raise ConfigurationError(
+                "--prune and --probes cannot be combined: pruned "
+                "experiments are never executed, so their propagation "
+                "summaries cannot be observed"
+            )
         self.probe_config = probe_config
+        self.prune_config = prune_config
         try:
             if workers > 1:
                 from .parallel import ParallelCampaignRunner
@@ -240,6 +279,7 @@ class FaultInjectionAlgorithms:
             tele.close()
             self.telemetry = NULL_TELEMETRY
             self.probe_config = None
+            self.prune_config = None
 
     def experiment_runner(self, technique: str):
         """The per-experiment body for ``technique`` (bound method taking
@@ -376,6 +416,7 @@ class FaultInjectionAlgorithms:
         )
         self.db.replace_experiment(record)
         self.reference_trace = trace
+        self._reference_record = record
         self._reference_trace_key = self._trace_cache_key(config)
         return trace
 
@@ -413,10 +454,9 @@ class FaultInjectionAlgorithms:
             self.db.delete_campaign_experiments(config.name)
         with tele.time("phase.reference"):
             trace = self.make_reference_run(config)
+        space = self.target.location_space()
         with tele.time("phase.plan"):
-            plan = PlanGenerator(
-                config, self.target.location_space(), trace
-            ).generate()
+            plan = PlanGenerator(config, space, trace).generate()
         if self.probe_config is not None:
             # One extra fault-free pass captures the golden snapshots
             # every experiment's probes diff against.
@@ -427,7 +467,44 @@ class FaultInjectionAlgorithms:
                     config.termination,
                     self.probe_config,
                 )
+                # The golden pass also records per-element liveness —
+                # the same summary the pruning classifier reasons from.
+                self.probes.golden.liveness = liveness_map(trace)
         remaining = [spec for spec in plan if spec.name not in already_logged]
+        prune_plan: PrunePlan | None = None
+        if self.prune_config is not None:
+            with tele.time("phase.prune"):
+                prune_plan = build_prune_plan(
+                    config,
+                    trace,
+                    space,
+                    remaining,
+                    self.prune_config,
+                    self._reference_record,
+                )
+                remaining = prune_plan.to_run
+                # Synthesised rows of skipped experiments are persisted
+                # up front; spot-checked ones wait for their simulation
+                # to confirm the prediction.
+                upfront = prune_plan.upfront_records()
+                for start in range(0, len(upfront), 256):
+                    self.db.save_experiments(upfront[start : start + 256])
+            logger.info(
+                "campaign %r: pruned %d/%d experiments (%d spot-checks)%s",
+                config.name,
+                len(prune_plan.pruned_specs),
+                prune_plan.planned,
+                len(prune_plan.spot_checks),
+                f" — {prune_plan.disabled_reason}"
+                if prune_plan.disabled_reason
+                else "",
+            )
+            if tele.enabled:
+                tele.metrics.inc("prune.pruned", len(prune_plan.pruned_specs))
+                tele.metrics.inc("prune.skipped", prune_plan.skipped)
+                tele.metrics.inc(
+                    "prune.spot_checks", len(prune_plan.spot_checks)
+                )
         if checkpoints and self.target.supports_checkpoints:
             # First-injection order makes the breakpoint sequence
             # monotone, so every checkpoint taken is at or before all
@@ -458,6 +535,11 @@ class FaultInjectionAlgorithms:
                     aborted = True
                     break
                 record = run_experiment(config, spec, trace)
+                if prune_plan is not None and spec.name in prune_plan.spot_checks:
+                    # Hard-fails with PruneDivergence on mismatch; the
+                    # confirmed synthesised row (pruned flag set) is
+                    # what gets logged.
+                    record = prune_plan.verify_spot_check(spec.name, record)
                 pending.append(record)
                 if len(pending) >= 64:
                     self._flush_batch(config.name, pending)
@@ -505,6 +587,7 @@ class FaultInjectionAlgorithms:
             elapsed_seconds=progress.elapsed_seconds,
             checkpoint_stats=checkpoint_stats,
             telemetry=snapshot,
+            prune=prune_plan.report() if prune_plan is not None else None,
         )
 
     def _flush_batch(

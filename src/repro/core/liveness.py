@@ -1,0 +1,474 @@
+"""Liveness-based experiment pruning: skip provably no-effect runs.
+
+The reference (golden) pass already records every architectural register
+and memory access of the fault-free run.  From that trace this module
+pre-classifies planned experiments as **no-effect by construction**: the
+fault lands in a *dead window* — the stretch between the last access of
+an element and the next **whole-element write** — so the corrupted value
+is overwritten before anything reads it.  Such experiments are not
+simulated; their result rows are *synthesised* from the reference run
+and persisted with a ``pruned`` provenance flag, so coverage/latency
+analysis, ``goofi gate`` and sample-size accounting see exactly the rows
+a full simulation would have produced (ZOFI's pre-classification idea;
+gqfi's "skip faults in memory the golden run never uses").
+
+Soundness is deliberately narrow.  A fault is prunable only when every
+one of these holds:
+
+* **Transient bit-flips only.**  Permanent/intermittent models keep
+  acting after the next write; they are never pruned.
+* **Registers** (``internal:regs.Rn``, SCIFI or runtime-SWIFI): the
+  first traced access at or after the injection cycle is a *write*.
+  Whole-register writes close any bit; the register-parity EDM checks
+  parity only on reads and re-syncs it on every write, so a dead-window
+  flip can neither be consumed nor detected.  Reads are traced before
+  writes at the same cycle, so a read-modify-write at the boundary
+  conservatively blocks pruning.  Elements never accessed again are NOT
+  pruned — the flip would survive into the final scan capture (latent).
+* **Memory** (pre-runtime SWIFI only): the address lies in a *data*
+  region (the MPU fetches code from the program area only, so a data
+  word is never fetched) and its first traced access is a write.
+  Runtime-SWIFI memory faults are never pruned: a mid-run host write
+  snoop-invalidates the caches, perturbing micro-state the trace cannot
+  see.  Campaigns with an environment simulator attached are never
+  memory-pruned either — the per-iteration exchange does host memory
+  I/O the trace does not record.
+* **Whole-campaign guards**: normal logging mode only (detail mode logs
+  per-instruction states that cannot be synthesised), and no declared
+  environment-boundary faults (those make even a "no-effect" experiment
+  differ from the clean reference).
+
+The safety net: ``--prune=RATE`` re-simulates a seeded random sample of
+the pruned experiments and hard-fails the campaign
+(:class:`PruneDivergence`) if any simulated row differs from its
+synthesised prediction.  ``--prune=1.0`` re-simulates everything — the
+bit-identical equivalence bar used by the test suite and benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from ..db import ExperimentRecord
+from .campaign import (
+    LOGGING_NORMAL,
+    TECHNIQUE_SWIFI_PRERUNTIME,
+    CampaignConfig,
+    ExperimentSpec,
+    PlannedFault,
+)
+from .errors import ConfigurationError, GoofiError
+from .faultmodels import is_transient
+from .locations import KIND_MEMORY, KIND_SCAN, LocationSpace
+from .triggers import ReferenceTrace
+
+#: Fraction of pruned experiments re-simulated by default when
+#: ``--prune`` is given without a rate.
+DEFAULT_SPOT_CHECK_RATE = 0.1
+
+
+class PruneDivergence(GoofiError):
+    """A spot-checked pruned experiment did not match its synthesised
+    no-effect prediction — the classifier is wrong for this campaign and
+    the run must not be trusted."""
+
+
+@dataclass(frozen=True, slots=True)
+class PruneConfig:
+    """How a campaign is pruned: the spot-check rate (fraction of pruned
+    experiments re-simulated and compared against their synthesised
+    rows)."""
+
+    spot_check_rate: float = DEFAULT_SPOT_CHECK_RATE
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spot_check_rate <= 1.0:
+            raise ConfigurationError(
+                f"prune spot-check rate must be in [0, 1], "
+                f"got {self.spot_check_rate}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"spot_check_rate": self.spot_check_rate}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PruneConfig":
+        return cls(
+            spot_check_rate=float(
+                data.get("spot_check_rate", DEFAULT_SPOT_CHECK_RATE)
+            )
+        )
+
+
+def resolve_prune(value) -> PruneConfig | None:
+    """Normalise the ``run_campaign(prune=...)`` knob.
+
+    ``None``/``False`` → off; ``True`` → default config; a float/int →
+    that spot-check rate; a dict → :meth:`PruneConfig.from_dict`; a
+    ready :class:`PruneConfig` passes through."""
+    if value is None or value is False:
+        return None
+    if value is True:
+        return PruneConfig()
+    if isinstance(value, PruneConfig):
+        return value
+    if isinstance(value, (int, float)):
+        return PruneConfig(spot_check_rate=float(value))
+    if isinstance(value, dict):
+        return PruneConfig.from_dict(value)
+    raise ConfigurationError(
+        f"prune must be a bool, spot-check rate, dict, or PruneConfig; "
+        f"got {value!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Liveness primitives
+# ----------------------------------------------------------------------
+def first_event_at_or_after(
+    events: list[tuple[int, str]], cycle: int
+) -> tuple[int, str] | None:
+    """First access event at or after ``cycle`` (an injection at
+    ``cycle`` lands *before* the instruction of that cycle executes).
+    ``events`` is chronological with reads preceding writes at the same
+    cycle, so a read-modify-write boundary reports the read."""
+    index = bisect_left([c for c, _ in events], cycle)
+    return events[index] if index < len(events) else None
+
+
+def dead_windows(
+    events: list[tuple[int, str]], duration: int
+) -> list[tuple[int, int]]:
+    """Half-open ``[start, end)`` injection-cycle windows in which a
+    transient flip is overwritten before it can be read: every cycle in
+    the window has a whole-element *write* as its first event at or
+    after it.  The tail past the last access is NOT a dead window — a
+    flip there survives to the final state capture."""
+    windows: list[tuple[int, int]] = []
+    previous = -1
+    for cycle, kind in events:
+        if kind == "write" and cycle > previous:
+            start, end = previous + 1, min(cycle + 1, duration)
+            if start < end:
+                if windows and windows[-1][1] == start:
+                    windows[-1] = (windows[-1][0], end)
+                else:
+                    windows.append((start, end))
+        previous = cycle
+    return windows
+
+
+def liveness_map(trace: ReferenceTrace) -> dict:
+    """Per-element liveness summary of the golden pass: dead
+    (written-before-read) windows and never-read flags per traced
+    register, first-access kind per traced memory word, plus the
+    never-accessed tail implied by omission.
+
+    The maps are keyed by register index / word address (``int`` keys on
+    purpose — a JSON transport stringifies them, which is exactly what
+    :meth:`repro.core.probes.GoldenSnapshots.from_payload` normalises
+    back).
+    """
+    registers: dict[int, dict] = {}
+    for register in sorted({reg for _, _, reg in trace.reg_accesses}):
+        events = trace.reg_events(register)
+        windows = dead_windows(events, trace.duration)
+        registers[register] = {
+            "accesses": len(events),
+            "never_read": not any(kind == "read" for _, kind in events),
+            "dead_windows": [[start, end] for start, end in windows],
+            "dead_cycles": sum(end - start for start, end in windows),
+        }
+    memory: dict[int, dict] = {}
+    for cycle, kind, address in trace.mem_accesses:
+        entry = memory.setdefault(
+            address, {"first_access": kind, "first_cycle": cycle, "accesses": 0}
+        )
+        entry["accesses"] += 1
+    return {
+        "duration": trace.duration,
+        "registers": registers,
+        "memory": memory,
+    }
+
+
+def normalise_liveness_payload(payload: dict | None) -> dict | None:
+    """Undo JSON key stringification on a :func:`liveness_map` payload:
+    the ``registers``/``memory`` maps come back keyed by ``int`` again."""
+    if payload is None:
+        return None
+    normalised = dict(payload)
+    for key in ("registers", "memory"):
+        if key in normalised and isinstance(normalised[key], dict):
+            normalised[key] = {
+                int(index): value for index, value in normalised[key].items()
+            }
+    return normalised
+
+
+# ----------------------------------------------------------------------
+# Experiment classification
+# ----------------------------------------------------------------------
+_REGISTER_PREFIX = "regs.R"
+
+
+@dataclass(slots=True)
+class ExperimentClassifier:
+    """Classifies planned experiments as prunable (no-effect by
+    construction) against one reference trace."""
+
+    config: CampaignConfig
+    trace: ReferenceTrace
+    space: LocationSpace
+    _data_regions: list[tuple[int, int]] = field(default_factory=list)
+    _enabled: bool = True
+    _disabled_reason: str = ""
+
+    def __post_init__(self) -> None:
+        self._data_regions = [
+            (region.base, region.limit)
+            for region in self.space.memory_regions
+            if region.name != "program"
+        ]
+        config = self.config
+        if config.logging_mode != LOGGING_NORMAL:
+            self._enabled = False
+            self._disabled_reason = (
+                "detail logging mode records per-instruction states that "
+                "cannot be synthesised"
+            )
+        elif config.environment is not None and config.environment.get("faults"):
+            self._enabled = False
+            self._disabled_reason = (
+                "declared environment-boundary faults make every experiment "
+                "differ from the clean reference"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def disabled_reason(self) -> str:
+        return self._disabled_reason
+
+    def prunable(self, spec: ExperimentSpec) -> bool:
+        """True when *every* fault of the experiment provably cannot
+        have an effect: the experiment's rows equal the reference's."""
+        if not self._enabled:
+            return False
+        return all(
+            self._fault_prunable(fault, fault.trigger.resolve(self.trace))
+            for fault in spec.faults
+        )
+
+    # ------------------------------------------------------------------
+    def _fault_prunable(self, fault: PlannedFault, cycle: int) -> bool:
+        if not is_transient(fault.model):
+            return False
+        location = fault.location
+        if location.kind == KIND_SCAN:
+            return self._scan_fault_prunable(location.element, cycle)
+        if location.kind == KIND_MEMORY:
+            return self._memory_fault_prunable(location.address)
+        return False
+
+    def _scan_fault_prunable(self, element: str, cycle: int) -> bool:
+        """Dead-window test for a transient register flip.  Control
+        state, caches and pins are always-live; never-accessed-again
+        registers stay unpruned (the flip would be latent in the final
+        scan capture)."""
+        if not element.startswith(_REGISTER_PREFIX):
+            return False
+        if not 0 <= cycle < self.trace.duration:
+            # At or past the end of the run the ordering against HALT is
+            # ambiguous; conservatively simulate.
+            return False
+        events = self.trace.reg_events(
+            int(element.removeprefix(_REGISTER_PREFIX))
+        )
+        following = first_event_at_or_after(events, cycle)
+        return following is not None and following[1] == "write"
+
+    def _memory_fault_prunable(self, address: int) -> bool:
+        """Written-before-read test for a pre-runtime image corruption.
+        Only sound when the run's memory traffic is fully traced (no
+        environment) and the word can never be fetched (data region)."""
+        if self.config.technique != TECHNIQUE_SWIFI_PRERUNTIME:
+            return False
+        if self.config.environment is not None:
+            return False
+        if not any(base <= address < limit for base, limit in self._data_regions):
+            return False
+        events = self.trace.mem_events(address)
+        return bool(events) and events[0][1] == "write"
+
+
+# ----------------------------------------------------------------------
+# Row synthesis and the spot-check safety net
+# ----------------------------------------------------------------------
+def synthesize_record(
+    config: CampaignConfig,
+    spec: ExperimentSpec,
+    trace: ReferenceTrace,
+    reference: ExperimentRecord,
+) -> ExperimentRecord:
+    """The row a full simulation of a no-effect experiment would log:
+    the reference run's termination and final state, with the fault list
+    in injection order exactly as the experiment bodies record it."""
+    schedule = [(fault.trigger.resolve(trace), fault) for fault in spec.faults]
+    schedule.sort(key=lambda item: item[0])
+    applied = []
+    for cycle, fault in schedule:
+        entry = fault.to_dict()
+        entry["injection_cycle"] = cycle
+        entry["applied"] = True
+        applied.append(entry)
+    return ExperimentRecord(
+        experiment_name=spec.name,
+        campaign_name=config.name,
+        experiment_data={
+            "technique": config.technique,
+            "index": spec.index,
+            "seed": spec.seed,
+            "faults": applied,
+        },
+        state_vector={
+            "termination": reference.state_vector["termination"],
+            "final": reference.state_vector["final"],
+        },
+        pruned=True,
+    )
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def records_match(expected: ExperimentRecord, actual: ExperimentRecord) -> bool:
+    """Bit-identity on the JSON payloads (the provenance columns —
+    timestamps, the ``pruned`` flag — are deliberately outside the
+    comparison)."""
+    return _canonical(expected.experiment_data) == _canonical(
+        actual.experiment_data
+    ) and _canonical(expected.state_vector) == _canonical(actual.state_vector)
+
+
+@dataclass(slots=True)
+class PrunePlan:
+    """The partition of one campaign plan: experiments to simulate,
+    experiments to synthesise, and the spot-check sample bridging the
+    two."""
+
+    config: PruneConfig
+    planned: int
+    #: Specs classified no-effect (their rows are synthesised).
+    pruned_specs: list[ExperimentSpec]
+    #: Specs the engines actually simulate: every unprunable spec plus
+    #: the spot-check sample, in original plan order.
+    to_run: list[ExperimentSpec]
+    #: Names of pruned specs that are re-simulated for verification.
+    spot_checks: set[str]
+    #: Synthesised rows of every pruned spec, by experiment name.
+    synthesized: dict[str, ExperimentRecord]
+    #: Why nothing was pruned, when the classifier was disabled.
+    disabled_reason: str = ""
+    divergences: int = 0
+
+    @property
+    def skipped(self) -> int:
+        """Simulations actually avoided."""
+        return len(self.pruned_specs) - len(self.spot_checks)
+
+    def upfront_records(self) -> list[ExperimentRecord]:
+        """Synthesised rows safe to persist before the loop runs: the
+        pruned specs *not* in the spot-check sample (a spot-checked row
+        is only persisted once its simulation confirmed it)."""
+        return [
+            self.synthesized[spec.name]
+            for spec in self.pruned_specs
+            if spec.name not in self.spot_checks
+        ]
+
+    def verify_spot_check(
+        self, name: str, simulated: ExperimentRecord
+    ) -> ExperimentRecord:
+        """Compare a spot-check simulation against its synthesised
+        prediction; return the (confirmed) synthesised row to log, or
+        hard-fail the campaign on divergence."""
+        expected = self.synthesized[name]
+        if not records_match(expected, simulated):
+            self.divergences += 1
+            parts = []
+            if _canonical(expected.experiment_data) != _canonical(
+                simulated.experiment_data
+            ):
+                parts.append("experiment data")
+            if _canonical(expected.state_vector) != _canonical(
+                simulated.state_vector
+            ):
+                parts.append("state vector")
+            raise PruneDivergence(
+                f"spot-check of pruned experiment {name!r} diverged from its "
+                f"no-effect prediction ({' and '.join(parts)} differ); the "
+                f"liveness classifier is unsound for this campaign — rerun "
+                f"without --prune and report the campaign configuration"
+            )
+        return expected
+
+    def report(self) -> dict:
+        """The prune summary surfaced on :class:`CampaignResult` and by
+        the CLI/benchmark."""
+        return {
+            "planned": self.planned,
+            "pruned": len(self.pruned_specs),
+            "skipped": self.skipped,
+            "spot_checks": len(self.spot_checks),
+            "spot_check_rate": self.config.spot_check_rate,
+            "divergences": self.divergences,
+            "disabled_reason": self.disabled_reason or None,
+        }
+
+
+def build_prune_plan(
+    config: CampaignConfig,
+    trace: ReferenceTrace,
+    space: LocationSpace,
+    specs: list[ExperimentSpec],
+    prune_config: PruneConfig,
+    reference: ExperimentRecord,
+) -> PrunePlan:
+    """Partition ``specs`` into simulated and synthesised experiments.
+
+    The spot-check sample is drawn with a deterministic RNG seeded from
+    the campaign seed, so the same campaign prunes and verifies the same
+    experiments on every host and worker count."""
+    classifier = ExperimentClassifier(config, trace, space)
+    rng = random.Random(f"{config.seed}/prune")
+    pruned: list[ExperimentSpec] = []
+    to_run: list[ExperimentSpec] = []
+    spot_checks: set[str] = set()
+    synthesized: dict[str, ExperimentRecord] = {}
+    for spec in specs:
+        if classifier.prunable(spec):
+            pruned.append(spec)
+            synthesized[spec.name] = synthesize_record(
+                config, spec, trace, reference
+            )
+            if rng.random() < prune_config.spot_check_rate:
+                spot_checks.add(spec.name)
+                to_run.append(spec)
+        else:
+            to_run.append(spec)
+    return PrunePlan(
+        config=prune_config,
+        planned=len(specs),
+        pruned_specs=pruned,
+        to_run=to_run,
+        spot_checks=spot_checks,
+        synthesized=synthesized,
+        disabled_reason=classifier.disabled_reason,
+    )

@@ -38,6 +38,7 @@ from ..db import ExperimentRecord, GoofiDatabase, ProbeRecord, SpanRecord
 from .campaign import CampaignConfig, ExperimentSpec, PlanGenerator
 from .checkpoint import CheckpointCache, sort_plan_by_first_injection
 from .errors import ConfigurationError, GoofiError
+from .liveness import PrunePlan, build_prune_plan, liveness_map
 from .probes import GoldenSnapshots, ProbeConfig, ProbeSession, capture_golden_snapshots
 from .progress import ProgressReporter
 from .telemetry import MODE_OFF, Telemetry
@@ -160,7 +161,12 @@ def _worker_main(
                     continue  # point-in-time, not a counter
                 tele.metrics.inc(f"engine.{key}", value)
             result_queue.put(("metrics", worker_id, tele.metrics.snapshot()))
-    except Exception:
+    except BaseException:
+        # BaseException, not Exception: a worker killed mid-chunk (e.g.
+        # KeyboardInterrupt reaching the child) must still report before
+        # the unconditional "done" below, or the coordinator would read
+        # the early "done" as a clean, complete shard.
+        logger.exception("campaign worker %d crashed while running its shard", worker_id)
         result_queue.put(("error", worker_id, traceback.format_exc()))
     finally:
         result_queue.put(("done", worker_id, None))
@@ -223,11 +229,42 @@ class ParallelCampaignRunner:
         # the workers must not race to write.
         with tele.time("phase.reference"):
             trace = algorithms.make_reference_run(config)
+        space = algorithms.target.location_space()
         with tele.time("phase.plan"):
-            plan = PlanGenerator(
-                config, algorithms.target.location_space(), trace
-            ).generate()
+            plan = PlanGenerator(config, space, trace).generate()
         remaining = [spec for spec in plan if spec.name not in already_logged]
+        prune_plan: PrunePlan | None = None
+        if algorithms.prune_config is not None:
+            # Classification and row synthesis stay in the coordinator
+            # (it owns the trace, the plan, and the single DB writer);
+            # workers only ever see the specs left to simulate.
+            with tele.time("phase.prune"):
+                prune_plan = build_prune_plan(
+                    config,
+                    trace,
+                    space,
+                    remaining,
+                    algorithms.prune_config,
+                    algorithms._reference_record,
+                )
+                remaining = prune_plan.to_run
+                upfront = prune_plan.upfront_records()
+                for start in range(0, len(upfront), 256):
+                    db.save_experiments(upfront[start : start + 256])
+            logger.info(
+                "campaign %r: pruned %d/%d experiments (%d spot-checks)%s",
+                config.name,
+                len(prune_plan.pruned_specs),
+                prune_plan.planned,
+                len(prune_plan.spot_checks),
+                f" — {prune_plan.disabled_reason}"
+                if prune_plan.disabled_reason
+                else "",
+            )
+            if tele.enabled:
+                tele.metrics.inc("prune.pruned", len(prune_plan.pruned_specs))
+                tele.metrics.inc("prune.skipped", prune_plan.skipped)
+                tele.metrics.inc("prune.spot_checks", len(prune_plan.spot_checks))
         probes_payload = None
         if algorithms.probe_config is not None:
             # The golden snapshots are captured once, here, and shipped
@@ -240,6 +277,9 @@ class ParallelCampaignRunner:
                     config.termination,
                     algorithms.probe_config,
                 )
+            # The golden pass also records per-element liveness — the
+            # summary rides along in the payload shipped to workers.
+            golden.liveness = liveness_map(trace)
             probes_payload = {
                 "config": algorithms.probe_config.to_dict(),
                 "golden": golden.to_payload(),
@@ -265,6 +305,7 @@ class ParallelCampaignRunner:
                     if tele.enabled
                     else None
                 ),
+                prune=prune_plan.report() if prune_plan is not None else None,
             )
 
         context = _start_context()
@@ -363,7 +404,18 @@ class ParallelCampaignRunner:
                             abort_event.set()
                     continue
                 if kind == "result":
-                    pending.append(ExperimentRecord(**payload))
+                    record = ExperimentRecord(**payload)
+                    if (
+                        prune_plan is not None
+                        and record.experiment_name in prune_plan.spot_checks
+                    ):
+                        # Hard-fails with PruneDivergence on mismatch;
+                        # the confirmed synthesised row (pruned flag
+                        # set) is what gets logged.
+                        record = prune_plan.verify_spot_check(
+                            record.experiment_name, record
+                        )
+                    pending.append(record)
                     if len(pending) >= self.batch_size:
                         flush_pending()
                     completed += 1
@@ -402,6 +454,15 @@ class ParallelCampaignRunner:
                     live.discard(worker_id)
             if progress.abort_requested:
                 aborted = True
+            if not aborted and not failures and completed < len(remaining):
+                # Every worker said "done" yet results are missing: a
+                # crash slipped past the per-worker error reporting (a
+                # worker killed between its last result and its error
+                # message).  Never let that pass as a clean exit.
+                failures.append(
+                    f"workers drained cleanly but only {completed} of "
+                    f"{len(remaining)} sharded experiments reported results"
+                )
         except BaseException:
             failed = True
             raise
@@ -416,6 +477,14 @@ class ParallelCampaignRunner:
             try:
                 flush_pending()
             except Exception:
+                # Always leave a trace of the lost batch; re-raise only
+                # when it would not mask the original failure.
+                logger.exception(
+                    "campaign %r: failed to flush %d pending record(s) "
+                    "during coordinator cleanup",
+                    config.name,
+                    len(pending) + len(pending_spans) + len(pending_probes),
+                )
                 if not failed:
                     raise
             progress.finish()
@@ -438,4 +507,5 @@ class ParallelCampaignRunner:
             aborted=aborted,
             elapsed_seconds=progress.elapsed_seconds,
             telemetry=snapshot,
+            prune=prune_plan.report() if prune_plan is not None else None,
         )

@@ -111,12 +111,18 @@ class GoldenSnapshots:
 
     ``snapshots[cycle]`` holds one per-element value tuple per
     configured chain, in ``chains`` order; ``duration`` is the cycle at
-    which the fault-free run ended (no probes beyond it)."""
+    which the fault-free run ended (no probes beyond it).
+
+    ``liveness`` optionally carries the per-element liveness summary of
+    the same golden pass (:func:`repro.core.liveness.liveness_map`):
+    dead written-before-read windows and never-read flags per register,
+    first-access kinds per memory word."""
 
     period: int
     chains: tuple[str, ...]
     snapshots: dict[int, tuple[tuple[int, ...], ...]]
     duration: int
+    liveness: dict | None = None
 
     def cycles(self) -> list[int]:
         return sorted(self.snapshots)
@@ -132,10 +138,24 @@ class GoldenSnapshots:
                 for cycle, chains in sorted(self.snapshots.items())
             ],
             "duration": self.duration,
+            "liveness": self.liveness,
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "GoldenSnapshots":
+        """Rebuild from :meth:`to_payload` output, including after a
+        JSON round trip: integer-keyed mappings (probe cycles in the
+        dict snapshot form, register/address keys in the liveness
+        summary) come back as string keys and are normalised here."""
+        from .liveness import normalise_liveness_payload
+
+        raw = payload["snapshots"]
+        if isinstance(raw, dict):
+            # Mapping form {cycle: [chain values...]} — cycles arrive as
+            # strings after JSON.
+            items = [(cycle, chains) for cycle, chains in raw.items()]
+        else:
+            items = raw
         return cls(
             period=int(payload["period"]),
             chains=tuple(payload["chains"]),
@@ -143,9 +163,10 @@ class GoldenSnapshots:
                 int(cycle): tuple(
                     tuple(int(v) for v in values) for values in chains
                 )
-                for cycle, chains in payload["snapshots"]
+                for cycle, chains in items
             },
             duration=int(payload["duration"]),
+            liveness=normalise_liveness_payload(payload.get("liveness")),
         )
 
 

@@ -212,7 +212,7 @@ class GoofiDatabase:
     _INSERT_EXPERIMENT_SQL = (
         "INSERT INTO LoggedSystemState "
         "(experimentName, parentExperiment, campaignName, experimentData, "
-        " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?)"
+        " stateVector, createdAt, pruned) VALUES (?, ?, ?, ?, ?, ?, ?)"
     )
 
     def save_experiments(self, records: list[ExperimentRecord]) -> None:
@@ -241,13 +241,14 @@ class GoofiDatabase:
                 conn.execute(
                     "INSERT INTO LoggedSystemState "
                     "(experimentName, parentExperiment, campaignName, experimentData, "
-                    " stateVector, createdAt) VALUES (?, ?, ?, ?, ?, ?) "
+                    " stateVector, createdAt, pruned) VALUES (?, ?, ?, ?, ?, ?, ?) "
                     "ON CONFLICT (experimentName) DO UPDATE SET "
                     "parentExperiment = excluded.parentExperiment, "
                     "campaignName = excluded.campaignName, "
                     "experimentData = excluded.experimentData, "
                     "stateVector = excluded.stateVector, "
-                    "createdAt = excluded.createdAt",
+                    "createdAt = excluded.createdAt, "
+                    "pruned = excluded.pruned",
                     record.to_row(),
                 )
         except sqlite3.IntegrityError as exc:
@@ -281,7 +282,7 @@ class GoofiDatabase:
     def load_experiment(self, experiment_name: str) -> ExperimentRecord:
         cur = self._conn.execute(
             "SELECT experimentName, parentExperiment, campaignName, experimentData, "
-            "stateVector, createdAt FROM LoggedSystemState WHERE experimentName = ?",
+            "stateVector, createdAt, pruned FROM LoggedSystemState WHERE experimentName = ?",
             (experiment_name,),
         )
         row = cur.fetchone()
@@ -294,7 +295,7 @@ class GoofiDatabase:
         order (analysis-phase workhorse)."""
         cur = self._conn.execute(
             "SELECT experimentName, parentExperiment, campaignName, experimentData, "
-            "stateVector, createdAt FROM LoggedSystemState WHERE campaignName = ? "
+            "stateVector, createdAt, pruned FROM LoggedSystemState WHERE campaignName = ? "
             "ORDER BY rowid",
             (campaign_name,),
         )
@@ -314,7 +315,7 @@ class GoofiDatabase:
         example)."""
         cur = self._conn.execute(
             "SELECT experimentName, parentExperiment, campaignName, experimentData, "
-            "stateVector, createdAt FROM LoggedSystemState WHERE parentExperiment = ? "
+            "stateVector, createdAt, pruned FROM LoggedSystemState WHERE parentExperiment = ? "
             "ORDER BY rowid",
             (experiment_name,),
         )

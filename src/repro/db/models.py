@@ -93,6 +93,12 @@ class ExperimentRecord:
     system state information from the fault injection experiment" —
     either a single final state (normal mode) or a list of per-
     instruction states (detail mode).
+
+    ``pruned`` marks rows synthesised by the liveness pre-classifier
+    (:mod:`repro.core.liveness`) instead of simulated.  It is stored in
+    its own column — not inside the JSON payloads — so a pruned row's
+    ``experiment_data``/``state_vector`` stay byte-identical to what a
+    full simulation would have logged.
     """
 
     experiment_name: str
@@ -101,6 +107,7 @@ class ExperimentRecord:
     state_vector: dict
     parent_experiment: str | None = None
     created_at: str = field(default_factory=utc_now)
+    pruned: bool = False
 
     def to_row(self) -> tuple:
         return (
@@ -110,11 +117,12 @@ class ExperimentRecord:
             json.dumps(self.experiment_data, sort_keys=True),
             json.dumps(self.state_vector, sort_keys=True),
             self.created_at,
+            int(self.pruned),
         )
 
     @classmethod
     def from_row(cls, row: tuple) -> "ExperimentRecord":
-        name, parent, campaign, data_json, state_json, created = row
+        name, parent, campaign, data_json, state_json, created, pruned = row
         return cls(
             experiment_name=name,
             campaign_name=campaign,
@@ -122,6 +130,7 @@ class ExperimentRecord:
             state_vector=json.loads(state_json),
             parent_experiment=parent,
             created_at=created,
+            pruned=bool(pruned),
         )
 
 

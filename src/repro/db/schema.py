@@ -42,13 +42,21 @@ Version 3 adds the propagation-probe table:
   infected location classes, firing EDM), written by ``goofi run
   --probes`` runs and aggregated by ``goofi analyze --propagation``.
 
-Opening an older database migrates it in place: migrations are pure
-``CREATE TABLE IF NOT EXISTS`` additions, so v1/v2 data is untouched.
+Version 4 adds the ``pruned`` provenance column to
+``LoggedSystemState``: rows synthesised by the liveness pre-classifier
+(``goofi run --prune``) instead of simulated carry ``pruned = 1``.  The
+flag lives outside the JSON payloads on purpose — pruned rows must stay
+byte-identical to the rows a full simulation would have produced, which
+is what the spot-check safety net and the equivalence suite verify.
+
+Opening an older database migrates it in place: migrations are additive
+(``CREATE TABLE IF NOT EXISTS`` / ``ALTER TABLE ... ADD COLUMN`` with a
+default), so older data is untouched and keeps its meaning.
 """
 
 from __future__ import annotations
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 CREATE_TABLES = """
 CREATE TABLE IF NOT EXISTS SchemaInfo (
@@ -78,7 +86,8 @@ CREATE TABLE IF NOT EXISTS LoggedSystemState (
     campaignName     TEXT NOT NULL REFERENCES CampaignData(campaignName),
     experimentData   TEXT NOT NULL,
     stateVector      TEXT NOT NULL,
-    createdAt        TEXT NOT NULL
+    createdAt        TEXT NOT NULL,
+    pruned           INTEGER NOT NULL DEFAULT 0
 );
 
 CREATE INDEX IF NOT EXISTS idx_logged_campaign
@@ -145,6 +154,9 @@ CREATE TABLE IF NOT EXISTS PropagationProbe (
 
 CREATE INDEX IF NOT EXISTS idx_probe_campaign
     ON PropagationProbe(campaignName);
+""",
+    3: """
+ALTER TABLE LoggedSystemState ADD COLUMN pruned INTEGER NOT NULL DEFAULT 0;
 """,
 }
 

@@ -143,6 +143,7 @@ class GoofiSession:
         telemetry=None,
         telemetry_jsonl=None,
         probes=None,
+        prune=None,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
@@ -157,8 +158,12 @@ class GoofiSession:
         propagation probes (``True``, a probe period, or a
         :class:`repro.core.probes.ProbeConfig`) which record a
         fault-effect summary per experiment — see
-        :mod:`repro.core.probes`.  Logged rows are identical to the
-        plain serial loop in all cases."""
+        :mod:`repro.core.probes`.  ``prune`` enables liveness-based
+        experiment pruning (``True``, a spot-check rate, or a
+        :class:`repro.core.liveness.PruneConfig`): experiments whose
+        faults are provably overwritten before being read are logged
+        without simulation — see :mod:`repro.core.liveness`.  Logged
+        rows are identical to the plain serial loop in all cases."""
         return self.algorithms.run_campaign(
             campaign_name,
             resume=resume,
@@ -168,6 +173,7 @@ class GoofiSession:
             telemetry=telemetry,
             telemetry_jsonl=telemetry_jsonl,
             probes=probes,
+            prune=prune,
         )
 
     def stats(self, campaign_name: str) -> str:

@@ -72,6 +72,21 @@ class TestCheckpointCache:
         assert not cache.has(20)
         assert cache.stats.evictions == 1
 
+    def test_nearest_refreshes_recency_of_hot_prefix(self):
+        """Sorted-plan access pattern at capacity 2: a prefix checkpoint
+        that keeps serving hits must stay cached — ``nearest`` has to
+        refresh LRU recency of the snapshot it returns, or insertion
+        order would evict the hottest entry first."""
+        cache = CheckpointCache(capacity=2)
+        cache.save(100, "s100")
+        cache.save(300, "s300")
+        hit = cache.nearest(150)  # serves (and touches) 100
+        assert hit.cycle == 100
+        cache.save(500, "s500")  # must evict 300, the cold entry
+        assert cache.has(100) and cache.has(500)
+        assert not cache.has(300)
+        assert cache.nearest(150).cycle == 100  # still a hit
+
     def test_stats_counters(self):
         cache = CheckpointCache(capacity=2)
         cache.save(10, "a")

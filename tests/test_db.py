@@ -219,6 +219,31 @@ class TestPersistence:
     def test_reference_name_helper(self):
         assert reference_name("camp") == "camp/__reference__"
 
+    def test_migrates_v3_database_in_place(self, tmp_path):
+        """A v3 database (no ``pruned`` column) opens cleanly: the v4
+        migration adds the column and existing rows default to 0."""
+        path = tmp_path / "goofi.db"
+        with GoofiDatabase(path) as db:
+            seed_target(db)
+            seed_campaign(db)
+            db.save_experiment(make_experiment("c1/exp0"))
+        # Rewind the file to the v3 shape.
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE LoggedSystemState DROP COLUMN pruned")
+        conn.execute("UPDATE SchemaInfo SET version = 3")
+        conn.commit()
+        conn.close()
+        with GoofiDatabase(path) as db:
+            loaded = db.load_experiment("c1/exp0")
+            assert loaded.pruned is False
+            pruned = make_experiment("c1/exp1")
+            pruned.pruned = True
+            db.save_experiment(pruned)
+            assert db.load_experiment("c1/exp1").pruned is True
+        conn = sqlite3.connect(path)
+        assert conn.execute("SELECT version FROM SchemaInfo").fetchone()[0] == 4
+        conn.close()
+
 
 class TestReplaceAndBulkDelete:
     def test_replace_experiment_overwrites(self, db):

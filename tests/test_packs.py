@@ -62,6 +62,16 @@ class TestSamplePlan:
         with pytest.raises(ConfigurationError, match="unknown key"):
             SamplePlan.from_dict({"experiments": 10, "bogus": 1})
 
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 0.5, 2.0])
+    def test_half_width_bound_checked_at_load_time(self, bad):
+        """A pack with an out-of-range half_width must fail when the
+        pack is loaded, not later when resolve() reaches the planning
+        formula mid-run (regression: SamplePlan accepted any float)."""
+        with pytest.raises(ConfigurationError, match="half_width"):
+            SamplePlan(half_width=bad)
+        with pytest.raises(ConfigurationError, match="half_width"):
+            SamplePlan.from_dict({"half_width": bad})
+
 
 class TestBounds:
     def test_empty_bounds(self):
@@ -216,6 +226,41 @@ class TestGate:
         assert not result.passed
         assert [check.bound for check in result.violations] == ["min_coverage"]
         assert "violated bound(s): min_coverage" in format_gate_report(result)
+
+    def test_latency_bound_with_zero_detections_passes_explicitly(
+        self, session
+    ):
+        """Zero usable latency samples under a max_latency bound is an
+        explicit, documented PASS (docs/packs.md): a latency ceiling
+        bounds how slow detections are, so with none recorded nothing
+        exceeded it.  Requiring detections to exist is min_coverage's
+        job, which must FAIL on the analogous no-data case.  This
+        campaign (regs.*, 4 experiments, seed 1234) deterministically
+        produces no detections."""
+        import math
+
+        from tests.conftest import make_campaign
+        from repro.analysis.latency import detection_latencies
+
+        make_campaign(
+            session, "silent", locations=("internal:regs.*",),
+            num_experiments=4, seed=1234,
+        )
+        session.run_campaign("silent")
+        assert detection_latencies(session.db, "silent").count == 0
+        bounds = DependabilityBounds(max_latency={"p95": 100, "max": 100})
+        result = evaluate_gate(session.db, "silent", bounds)
+        assert result.passed
+        for check in result.checks:
+            assert math.isnan(check.measured)
+            assert check.detail == "no detection latencies recorded"
+        # The same campaign under a coverage bound: no effective errors
+        # means no coverage evidence, which must read as a violation.
+        cov = evaluate_gate(
+            session.db, "silent", DependabilityBounds(min_coverage=0.5)
+        )
+        assert not cov.passed
+        assert [c.bound for c in cov.violations] == ["min_coverage"]
 
     def test_gate_report_is_strict_json(self, session):
         pack = FaultPack.from_dict(

@@ -184,6 +184,37 @@ class TestWorkerFailure:
         assert session.db.count_experiments("c") == 13
         assert session.db.load_campaign("c").status == "completed"
 
+    def test_base_exception_mid_chunk_is_not_a_clean_exit(
+        self, session, monkeypatch
+    ):
+        """A worker killed mid-chunk by a BaseException (e.g. a
+        KeyboardInterrupt reaching the child) must report the crash
+        before its unconditional "done" message.  Regression: the
+        worker's ``except Exception`` let BaseExceptions skip straight
+        to "done", and the coordinator read the short shard as a clean,
+        complete exit."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method to patch worker code")
+
+        from repro.core.algorithms import FaultInjectionAlgorithms
+
+        original = FaultInjectionAlgorithms._run_scifi_experiment
+
+        def interrupted(self, config, spec, trace):
+            if spec.index == 5:
+                raise KeyboardInterrupt("operator interrupt mid-chunk")
+            return original(self, config, spec, trace)
+
+        monkeypatch.setattr(
+            FaultInjectionAlgorithms, "_run_scifi_experiment", interrupted
+        )
+        make_campaign(session, "c", num_experiments=12, seed=98)
+        with pytest.raises(WorkerFailure, match="KeyboardInterrupt"):
+            session.run_campaign("c", workers=3)
+        assert session.db.load_campaign("c").status == "aborted"
+
 
 class TestRunnerValidation:
     def test_workers_must_be_positive(self, session):

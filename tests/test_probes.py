@@ -81,6 +81,41 @@ class TestGoldenSnapshots:
         assert clone == golden
         assert clone.cycles() == [16, 32]
 
+    def test_json_round_trip_restores_integer_keys(self):
+        """The payload crosses a real JSON boundary on its way to
+        parallel workers, and JSON stringifies every mapping key.  The
+        in-memory round trip above can't catch that; this one does:
+        snapshot cycles and the liveness maps' register/address keys
+        must come back as ints (regression: they came back as strings,
+        so golden lookups missed every cycle)."""
+        import json
+
+        golden = GoldenSnapshots(
+            period=16,
+            chains=("internal",),
+            snapshots={16: ((3, 9),), 32: ((7, 2),)},
+            duration=40,
+            liveness={
+                "duration": 40,
+                "registers": {
+                    1: {
+                        "accesses": 3,
+                        "never_read": False,
+                        "dead_windows": [[0, 8]],
+                        "dead_cycles": 8,
+                    }
+                },
+                "memory": {2048: {"first_access": "write", "first_cycle": 5, "accesses": 2}},
+            },
+        )
+        wire = json.loads(json.dumps(golden.to_payload()))
+        clone = GoldenSnapshots.from_payload(wire)
+        assert clone.snapshots == golden.snapshots
+        assert set(clone.snapshots) == {16, 32}
+        assert clone.liveness == golden.liveness
+        assert set(clone.liveness["registers"]) == {1}
+        assert set(clone.liveness["memory"]) == {2048}
+
     def test_capture_cycles_are_period_multiples(self, session):
         make_campaign(session, "g", num_experiments=2)
         session.run_campaign("g", probes=16)
@@ -246,16 +281,18 @@ class TestSchemaV3:
     def test_migration_from_v2(self, tmp_path):
         path = tmp_path / "old.db"
         GoofiDatabase(path).close()
-        # Rewind the file to schema v2: no probe table, version 2.
+        # Rewind the file to schema v2: no probe table, no pruned
+        # column, version 2.
         conn = sqlite3.connect(path)
         conn.execute("DROP INDEX idx_probe_campaign")
         conn.execute("DROP TABLE PropagationProbe")
+        conn.execute("ALTER TABLE LoggedSystemState DROP COLUMN pruned")
         conn.execute("UPDATE SchemaInfo SET version = 2")
         conn.commit()
         conn.close()
         with GoofiDatabase(path) as db:
             cur = db._conn.execute("SELECT version FROM SchemaInfo")
-            assert cur.fetchone()[0] == SCHEMA_VERSION == 3
+            assert cur.fetchone()[0] == SCHEMA_VERSION == 4
 
     def test_migrated_database_stores_probes(self, tmp_path):
         path = tmp_path / "old.db"
@@ -265,6 +302,7 @@ class TestSchemaV3:
         conn = sqlite3.connect(path)
         conn.execute("DROP INDEX idx_probe_campaign")
         conn.execute("DROP TABLE PropagationProbe")
+        conn.execute("ALTER TABLE LoggedSystemState DROP COLUMN pruned")
         conn.execute("UPDATE SchemaInfo SET version = 2")
         conn.commit()
         conn.close()

@@ -18,7 +18,7 @@ from repro.analysis import (
     required_experiments,
 )
 from repro.analysis.measures import proportion
-from repro.core.errors import AnalysisError
+from repro.core.errors import AnalysisError, ConfigurationError
 
 
 class TestRequiredExperiments:
@@ -41,11 +41,18 @@ class TestRequiredExperiments:
 
     def test_validation(self):
         with pytest.raises(AnalysisError):
-            required_experiments(0.0)
-        with pytest.raises(AnalysisError):
             required_experiments(0.05, confidence=1.5)
         with pytest.raises(AnalysisError):
             required_experiments(0.05, expected_proportion=0.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.05, 0.5, 1.0])
+    def test_half_width_bound_is_a_configuration_error(self, bad):
+        """half_width outside (0, 0.5) is a planning-input mistake: it
+        must raise ConfigurationError naming the parameter, never reach
+        the division (regression: 0.0 used to be on the error path but
+        as a generic AnalysisError without the parameter name)."""
+        with pytest.raises(ConfigurationError, match="half_width"):
+            required_experiments(bad)
 
     def test_planning_formula_is_sufficient(self):
         """A campaign of the planned size actually achieves the target

@@ -360,6 +360,9 @@ class TestPersistence:
             """
             DROP TABLE ExperimentSpan;
             DROP TABLE CampaignTelemetry;
+            DROP INDEX idx_probe_campaign;
+            DROP TABLE PropagationProbe;
+            ALTER TABLE LoggedSystemState DROP COLUMN pruned;
             UPDATE SchemaInfo SET version = 1;
             """
         )

@@ -70,16 +70,17 @@ def format_stats_report(
     phases = phase_breakdown(snapshot)
     if phases:
         phase_total = sum(seconds for _, seconds, _ in phases)
+        name_width = max(12, max(len(name) for name, _, _ in phases) + 1)
         lines += [
             "",
             "Phase-time breakdown (summed across workers):",
-            f"  {'phase':<12}{'total':>10}{'calls':>8}{'mean':>10}{'share':>8}",
+            f"  {'phase':<{name_width}}{'total':>10}{'calls':>8}{'mean':>10}{'share':>8}",
         ]
         for name, seconds, count in phases:
             mean = seconds / count if count else 0.0
             share = seconds / phase_total if phase_total else 0.0
             lines.append(
-                f"  {name:<12}{_fmt_secs(seconds):>10}{count:>8}"
+                f"  {name:<{name_width}}{_fmt_secs(seconds):>10}{count:>8}"
                 f"{_fmt_secs(mean):>10}{share:>8.1%}"
             )
 
@@ -96,6 +97,19 @@ def format_stats_report(
             lines.append(
                 f"  {'instructions/s':<22}: {instructions / elapsed:,.0f}"
             )
+
+    startup = timers.get("phase.worker_startup")
+    if startup and startup.get("count"):
+        # Worker setup (attach shared state or re-derive it locally) is
+        # pure overhead of fanning out — called out explicitly so the
+        # shared-memory fast path is visible at a glance.
+        count = startup["count"]
+        lines += ["", "Parallel workers:"]
+        lines.append(
+            f"  {'startup (per worker)':<22}: mean "
+            f"{_fmt_secs(startup['seconds'] / count)} across "
+            f"{_fmt_count(count)} workers"
+        )
 
     fast = counters.get("engine.fast_segments", 0)
     ref = counters.get("engine.ref_segments", 0)

@@ -288,6 +288,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             telemetry_jsonl=args.telemetry_jsonl,
             probes=args.probes,
             prune=args.prune,
+            shared_state=args.shared_state,
         )
         status = "aborted" if result.aborted else "completed"
         rate = (
@@ -670,6 +671,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CHECKPOINT_CAPACITY,
         help="LRU size of the checkpoint cache (snapshots kept per "
              f"process; default: {DEFAULT_CHECKPOINT_CAPACITY})",
+    )
+    run.add_argument(
+        "--shared-state",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        dest="shared_state",
+        help="publish the reference trace, golden snapshots, and initial "
+             "image once via shared memory for parallel workers to attach "
+             "(default: on; --no-shared-state forces the serialising "
+             "fallback — logged rows are bit-identical either way)",
     )
     run.add_argument(
         "--fast",

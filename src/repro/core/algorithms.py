@@ -186,6 +186,7 @@ class FaultInjectionAlgorithms:
         telemetry_jsonl=None,
         probes=None,
         prune=None,
+        shared_state: bool = True,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -240,6 +241,13 @@ class FaultInjectionAlgorithms:
         fraction of them, hard-failing on any divergence.  Incompatible
         with ``probes`` — a pruned experiment is never executed, so its
         propagation summary cannot be observed.
+
+        ``shared_state`` (parallel runs only) publishes the common
+        worker-startup state — reference trace, golden probe snapshots,
+        armed initial image — once via ``multiprocessing.shared_memory``
+        for zero-copy worker attachment; ``False`` forces the
+        serialising fallback (the same content shipped by value).  Rows
+        are bit-identical either way.
         """
         config = self.read_campaign_data(campaign_name)
         self.target.set_fast_path(fast)
@@ -265,7 +273,11 @@ class FaultInjectionAlgorithms:
                 from .parallel import ParallelCampaignRunner
 
                 return ParallelCampaignRunner(self, workers=workers).run(
-                    config, resume=resume, checkpoints=checkpoints, fast=fast
+                    config,
+                    resume=resume,
+                    checkpoints=checkpoints,
+                    fast=fast,
+                    shared_state=shared_state,
                 )
             method_name = technique_method(config.technique)
             method = getattr(self, method_name, None)

@@ -28,6 +28,7 @@ buffer, ``write_scan_chain`` shifts the buffer back into the target.
 from __future__ import annotations
 
 import abc
+from array import array
 from dataclasses import dataclass, field
 
 from .errors import TargetError
@@ -215,6 +216,19 @@ class TargetSystemInterface(abc.ABC):
         raise TargetError(
             f"target {self.target_name!r} does not support propagation probes"
         )
+
+    def probe_scan_chain_packed(self, chain: str):
+        """:meth:`probe_scan_chain` packed into an ``array('Q')``
+        buffer, or ``None`` when packing is unavailable (an element
+        value beyond 64 bits).  Probe readout compares two packed
+        buffers in one C-level operation and only walks elements of
+        chains that differ; ``None`` keeps the per-element tuple path
+        authoritative.  Targets with a packed snapshot primitive
+        override this; the default packs the tuple snapshot."""
+        try:
+            return array("Q", self.probe_scan_chain(chain))
+        except OverflowError:
+            return None
 
     def probe_element_names(self, chain: str) -> list[str]:
         """Element names of ``chain`` in :meth:`probe_scan_chain`

@@ -35,6 +35,7 @@ import time
 import traceback
 
 from ..db import ExperimentRecord, GoofiDatabase, ProbeRecord, SpanRecord
+from . import sharedstate
 from .campaign import CampaignConfig, ExperimentSpec, PlanGenerator
 from .checkpoint import CheckpointCache, sort_plan_by_first_injection
 from .errors import ConfigurationError, GoofiError
@@ -74,6 +75,7 @@ def _worker_main(
     fast=True,
     telemetry_mode=MODE_OFF,
     probes_payload=None,
+    shared_descriptor=None,
 ):
     """Run one shard of the plan and stream results back.
 
@@ -98,42 +100,83 @@ def _worker_main(
     :class:`~repro.core.telemetry.Telemetry` (never a file or database
     sink — persistence stays with the single-writer coordinator).
 
-    With ``probes_payload`` (``{"config": ..., "golden": ...}``) the
-    worker rebuilds a local probe session around the coordinator's
-    golden snapshots — the snapshots are deterministic, so every worker
-    diffs against the very same fault-free images.
+    With ``shared_descriptor`` the worker attaches the coordinator's
+    one-time shared-state publication (:mod:`repro.core.sharedstate`) —
+    the reference trace, golden probe snapshots, and fault-free initial
+    image — instead of re-deriving them locally: no per-worker
+    ``phase.reference`` re-run, golden chain images read zero-copy from
+    the shared segment (or from the inline serialising-fallback
+    payload), and the checkpoint cache starts pre-seeded with the armed
+    cycle-0 image.  The whole setup is timed as
+    ``phase.worker_startup``.
+
+    With ``probes_payload`` (``{"config": ..., "golden": ...}``) and no
+    shared descriptor, the worker rebuilds a local probe session around
+    the coordinator's golden snapshots — the snapshots are
+    deterministic, so every worker diffs against the very same
+    fault-free images.
     """
+    shared_view = None
     try:
         import repro  # noqa: F401  (registers built-in targets under spawn)
 
         from .algorithms import FaultInjectionAlgorithms
         from .plugins import create_target
+        from .triggers import ReferenceTrace
 
         config = CampaignConfig.from_dict(config_dict)
-        target = create_target(config.target)
-        target.set_fast_path(fast)
-        algorithms = FaultInjectionAlgorithms(target, db=None)
         tele = Telemetry(telemetry_mode)
-        algorithms.telemetry = tele
-        if checkpoints and target.supports_checkpoints:
-            algorithms.checkpoints = (
-                CheckpointCache(checkpoint_capacity)
-                if checkpoint_capacity
-                else CheckpointCache()
-            )
-        with tele.time("phase.reference"):
-            _info, trace = algorithms.compute_reference_trace(config)
-        probes = None
-        if probes_payload is not None:
-            probes = ProbeSession.create(
-                target,
-                lambda: algorithms._prepare_target(config, faulty_environment=False),
-                config.termination,
-                ProbeConfig.from_dict(probes_payload["config"]),
-                golden=GoldenSnapshots.from_payload(probes_payload["golden"]),
-            )
-            algorithms.probes = probes
-        run_experiment = algorithms.experiment_runner(config.technique)
+        with tele.time("phase.worker_startup"):
+            target = create_target(config.target)
+            target.set_fast_path(fast)
+            algorithms = FaultInjectionAlgorithms(target, db=None)
+            algorithms.telemetry = tele
+            if checkpoints and target.supports_checkpoints:
+                algorithms.checkpoints = (
+                    CheckpointCache(checkpoint_capacity)
+                    if checkpoint_capacity
+                    else CheckpointCache()
+                )
+            probes = None
+            if shared_descriptor is not None:
+                shared_view = sharedstate.SharedStateView.attach(shared_descriptor)
+                meta = shared_view.meta
+                trace = ReferenceTrace.from_payload(meta["trace"])
+                probes_meta = meta.get("probes")
+                if probes_meta is not None:
+                    probes = ProbeSession.create(
+                        target,
+                        lambda: algorithms._prepare_target(
+                            config, faulty_environment=False
+                        ),
+                        config.termination,
+                        ProbeConfig.from_dict(probes_meta["config"]),
+                        golden=GoldenSnapshots.from_shared(
+                            probes_meta["golden"], shared_view
+                        ),
+                    )
+                    algorithms.probes = probes
+                initial = meta.get("initial")
+                if initial is not None and algorithms.checkpoints is not None:
+                    # The coordinator's armed cycle-0 image: every
+                    # experiment's reset-and-run preamble becomes one
+                    # buffer-copy restore instead.
+                    algorithms.checkpoints.save(0, initial)
+            else:
+                with tele.time("phase.reference"):
+                    _info, trace = algorithms.compute_reference_trace(config)
+                if probes_payload is not None:
+                    probes = ProbeSession.create(
+                        target,
+                        lambda: algorithms._prepare_target(
+                            config, faulty_environment=False
+                        ),
+                        config.termination,
+                        ProbeConfig.from_dict(probes_payload["config"]),
+                        golden=GoldenSnapshots.from_payload(probes_payload["golden"]),
+                    )
+                    algorithms.probes = probes
+            run_experiment = algorithms.experiment_runner(config.technique)
         for spec_dict in spec_dicts:
             if abort_event.is_set():
                 break
@@ -169,6 +212,8 @@ def _worker_main(
         logger.exception("campaign worker %d crashed while running its shard", worker_id)
         result_queue.put(("error", worker_id, traceback.format_exc()))
     finally:
+        if shared_view is not None:
+            shared_view.close()
         result_queue.put(("done", worker_id, None))
 
 
@@ -205,13 +250,21 @@ class ParallelCampaignRunner:
         resume: bool = False,
         checkpoints: bool = False,
         fast: bool = True,
+        shared_state: bool = True,
     ):
         """Mirror of the serial ``_campaign_loop``, with the experiment
         bodies fanned out to worker processes.  ``checkpoints`` sorts
         the plan by first-injection cycle before sharding and has each
         worker keep its own checkpoint cache; ``fast`` selects the
         execution engine in every worker (results are bit-identical
-        either way)."""
+        either way).
+
+        ``shared_state`` publishes the worker-startup state — reference
+        trace, golden probe snapshots, armed initial image — once via
+        :mod:`repro.core.sharedstate` for zero-copy attachment; when
+        False (or when shared memory is unavailable) the same content
+        ships inline through the worker arguments instead.  Rows are
+        bit-identical either way."""
         from .algorithms import CampaignResult
 
         algorithms = self.algorithms
@@ -265,10 +318,10 @@ class ParallelCampaignRunner:
                 tele.metrics.inc("prune.pruned", len(prune_plan.pruned_specs))
                 tele.metrics.inc("prune.skipped", prune_plan.skipped)
                 tele.metrics.inc("prune.spot_checks", len(prune_plan.spot_checks))
-        probes_payload = None
+        golden = None
         if algorithms.probe_config is not None:
-            # The golden snapshots are captured once, here, and shipped
-            # to every worker: experiments in all shards diff against
+            # The golden snapshots are captured once, here, and shared
+            # with every worker: experiments in all shards diff against
             # the same fault-free images.
             with tele.time("phase.golden"):
                 golden = capture_golden_snapshots(
@@ -278,12 +331,8 @@ class ParallelCampaignRunner:
                     algorithms.probe_config,
                 )
             # The golden pass also records per-element liveness — the
-            # summary rides along in the payload shipped to workers.
+            # summary rides along in the shared metadata.
             golden.liveness = liveness_map(trace)
-            probes_payload = {
-                "config": algorithms.probe_config.to_dict(),
-                "golden": golden.to_payload(),
-            }
         use_checkpoints = checkpoints and algorithms.target.supports_checkpoints
         if use_checkpoints:
             # Sorting before the round-robin sharding keeps every shard
@@ -308,6 +357,32 @@ class ParallelCampaignRunner:
                 prune=prune_plan.report() if prune_plan is not None else None,
             )
 
+        # Everything a worker needs on startup, derived exactly once:
+        # the reference trace, the golden probe snapshots (chain images
+        # as packed buffers), and — under checkpointing — the armed
+        # fault-free initial image that seeds each worker's cache.
+        shared_meta: dict = {"trace": trace.to_payload(), "probes": None, "initial": None}
+        shared_buffers: dict[str, bytes] = {}
+        if golden is not None:
+            golden_meta, shared_buffers = golden.to_shared()
+            shared_meta["probes"] = {
+                "config": algorithms.probe_config.to_dict(),
+                "golden": golden_meta,
+            }
+        if use_checkpoints:
+            with tele.time("phase.initial_image"):
+                algorithms._prepare_target(config)
+                algorithms.target.run_workload()
+                shared_meta["initial"] = algorithms.target.save_state()
+        shared_handle = None
+        if shared_state:
+            shared_handle = sharedstate.publish(shared_meta, shared_buffers)
+        shared_descriptor = (
+            shared_handle.descriptor
+            if shared_handle is not None
+            else sharedstate.inline_descriptor(shared_meta, shared_buffers)
+        )
+
         context = _start_context()
         result_queue = context.Queue()
         abort_event = context.Event()
@@ -330,7 +405,8 @@ class ParallelCampaignRunner:
                     algorithms.checkpoint_capacity,
                     fast,
                     tele.mode,
-                    probes_payload,
+                    None,  # probes_payload — superseded by the descriptor
+                    shared_descriptor,
                 ),
                 daemon=True,
             )
@@ -474,6 +550,8 @@ class ParallelCampaignRunner:
                     process.terminate()
                     process.join()
             result_queue.close()
+            if shared_handle is not None:
+                shared_handle.close()
             try:
                 flush_pending()
             except Exception:

@@ -36,6 +36,7 @@ under checkpoint restore (which jumps over exactly that prefix).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from .errors import ConfigurationError, TargetError
@@ -103,6 +104,16 @@ def resolve_probes(value) -> ProbeConfig | None:
     )
 
 
+def _pack_chain(values) -> array | None:
+    """Pack chain-element values into an ``array('Q')`` for one-shot
+    buffer comparison, or ``None`` when a value exceeds 64 bits (the
+    element-tuple slow path stays authoritative)."""
+    try:
+        return array("Q", values)
+    except OverflowError:
+        return None
+
+
 @dataclass(slots=True)
 class GoldenSnapshots:
     """Fault-free chain images at every probe cycle, captured once per
@@ -123,9 +134,113 @@ class GoldenSnapshots:
     snapshots: dict[int, tuple[tuple[int, ...], ...]]
     duration: int
     liveness: dict | None = None
+    #: Lazy per-(cycle, chain) ``array('Q')`` packings of ``snapshots``,
+    #: built on first probe use (``None`` entries mark unpackable chains).
+    _packed: dict = field(default_factory=dict, repr=False)
+    #: Shared-memory attachment state (workers only): sorted cycles,
+    #: read-only ``'Q'`` buffer views, and the unpackable-chain tuples
+    #: shipped via metadata.  ``None`` on locally captured snapshots.
+    _shared: dict | None = field(default=None, repr=False)
 
     def cycles(self) -> list[int]:
+        if self._shared is not None:
+            return self._shared["cycles"]
         return sorted(self.snapshots)
+
+    # -- per-chain access (packed fast path + tuple slow path) ---------
+    def packed_chain(self, cycle: int, index: int):
+        """The golden ``array('Q')``/``'Q'``-memoryview buffer of chain
+        ``index`` at ``cycle``, or ``None`` when that chain does not
+        pack.  Probe readout compares a freshly packed target snapshot
+        against this in one C-level buffer comparison."""
+        if self._shared is not None:
+            return self._shared["buffers"].get((cycle, index))
+        key = (cycle, index)
+        try:
+            return self._packed[key]
+        except KeyError:
+            packed = self._packed[key] = _pack_chain(self.snapshots[cycle][index])
+            return packed
+
+    def chain_values(self, cycle: int, index: int) -> tuple[int, ...]:
+        """The golden per-element value tuple of chain ``index`` at
+        ``cycle`` — the walk path for chains whose packed buffers
+        differ, and the whole path for unpackable chains."""
+        shared = self._shared
+        if shared is None:
+            return self.snapshots[cycle][index]
+        key = (cycle, index)
+        values = shared["unpacked"].get(key)
+        if values is not None:
+            return values
+        cached = shared["values"].get(key)
+        if cached is None:
+            # Materialise element tuples lazily: most experiments never
+            # walk most chains, so the shared buffer stays the only copy.
+            cached = shared["values"][key] = tuple(shared["buffers"][key])
+        return cached
+
+    # -- shared-memory round trip --------------------------------------
+    def to_shared(self) -> tuple[dict, dict]:
+        """Split into ``(meta, buffers)`` for one-time shared-memory
+        publication: each packable chain image becomes one named bytes
+        buffer (attached zero-copy by every worker), everything else —
+        config, liveness, and any unpackable chains — rides in the
+        picklable metadata."""
+        meta = {
+            "period": self.period,
+            "chains": list(self.chains),
+            "cycles": self.cycles(),
+            "duration": self.duration,
+            "liveness": self.liveness,
+            "unpacked": [],
+        }
+        buffers: dict[str, bytes] = {}
+        for cycle in self.cycles():
+            for index, values in enumerate(self.snapshots[cycle]):
+                packed = self.packed_chain(cycle, index)
+                if packed is None:
+                    meta["unpacked"].append([cycle, index, list(values)])
+                else:
+                    buffers[f"golden:{cycle}:{index}"] = packed.tobytes()
+        return meta, buffers
+
+    @classmethod
+    def from_shared(cls, meta: dict, view) -> "GoldenSnapshots":
+        """Attach to a coordinator's :meth:`to_shared` publication.
+        ``view`` supplies named read-only buffers
+        (:class:`repro.core.sharedstate.SharedStateView`); golden chain
+        images are memoryviews into the shared segment — no
+        deserialisation, no copies."""
+        from .liveness import normalise_liveness_payload
+
+        cycles = [int(cycle) for cycle in meta["cycles"]]
+        unpacked = {
+            (int(cycle), int(index)): tuple(int(v) for v in values)
+            for cycle, index, values in meta["unpacked"]
+        }
+        buffers = {}
+        for cycle in cycles:
+            for index in range(len(meta["chains"])):
+                if (cycle, index) in unpacked:
+                    continue
+                buffers[(cycle, index)] = view.buffer(
+                    f"golden:{cycle}:{index}", typecode="Q"
+                )
+        golden = cls(
+            period=int(meta["period"]),
+            chains=tuple(meta["chains"]),
+            snapshots={},
+            duration=int(meta["duration"]),
+            liveness=normalise_liveness_payload(meta.get("liveness")),
+        )
+        golden._shared = {
+            "cycles": cycles,
+            "buffers": buffers,
+            "unpacked": unpacked,
+            "values": {},
+        }
+        return golden
 
     def to_payload(self) -> dict:
         """A picklable/JSON-able form for shipping to parallel workers
@@ -308,12 +423,25 @@ class ExperimentProbe:
     def _sample(self, target: TargetSystemInterface, cycle: int) -> None:
         self._position += 1
         session = self.session
-        golden = session.golden.snapshots[cycle]
+        golden = session.golden
         infected: list[str] = []
-        for chain, golden_values in zip(session.config.chains, golden):
-            snapshot = target.probe_scan_chain(chain)
-            if snapshot == golden_values:  # C-level tuple compare
-                continue
+        for index, chain in enumerate(session.config.chains):
+            # Batched diff: compare packed 64-bit-per-element buffers in
+            # one C-level operation and only walk the elements of chains
+            # that differ.  Almost every probe of almost every chain is
+            # clean, so the walk (and the golden tuple itself, in shared
+            # mode) is never touched on the common path.
+            packed_golden = golden.packed_chain(cycle, index)
+            snapshot = None
+            if packed_golden is not None:
+                snapshot = target.probe_scan_chain_packed(chain)
+                if snapshot is not None and snapshot == packed_golden:
+                    continue
+            golden_values = golden.chain_values(cycle, index)
+            if snapshot is None:
+                snapshot = target.probe_scan_chain(chain)
+                if snapshot == golden_values:  # C-level tuple compare
+                    continue
             names = session.layout[chain]
             infected.extend(
                 name

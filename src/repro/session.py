@@ -144,6 +144,7 @@ class GoofiSession:
         telemetry_jsonl=None,
         probes=None,
         prune=None,
+        shared_state: bool = True,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
@@ -174,6 +175,7 @@ class GoofiSession:
             telemetry_jsonl=telemetry_jsonl,
             probes=probes,
             prune=prune,
+            shared_state=shared_state,
         )
 
     def stats(self, campaign_name: str) -> str:

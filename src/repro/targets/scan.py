@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from .statebuf import pack_values
+
 
 @dataclass(slots=True)
 class ScanElement:
@@ -110,6 +112,18 @@ class ScanChain:
         expensive half of a full shift-out) and the per-element masking
         (raw values compare consistently on both sides)."""
         return tuple(getter() for getter in self._snapshot_plan)
+
+    def snapshot_packed(self):
+        """:meth:`snapshot` packed into an ``array('Q')`` buffer, or
+        ``None`` when an element value exceeds 64 bits.
+
+        Two packed snapshots captured the same way compare in a single
+        C-level buffer comparison — the probe fast path diffs whole
+        chains this way and only walks elements of chains that differ.
+        Element values are raw (unmasked), matching :meth:`snapshot`, so
+        packed and tuple snapshots diff consistently against golden
+        images captured by either method."""
+        return pack_values(getter() for getter in self._snapshot_plan)
 
     def write(self, value: int) -> None:
         """Shift a bit vector in: update every writable element.

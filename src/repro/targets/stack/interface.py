@@ -132,9 +132,8 @@ class StackTargetInterface(TargetSystemInterface):
         except KeyError as exc:
             raise TargetError(str(exc)) from exc
         machine = self.machine
-        machine.memory[: len(program.program)] = program.program
-        for offset, word in enumerate(program.data):
-            machine.memory[program.data_base + offset] = word
+        machine.load_image(0, program.program)
+        machine.load_image(program.data_base, program.data)
         machine.reset(entry_point=program.entry_point)
         self._loaded = program
 
@@ -148,7 +147,7 @@ class StackTargetInterface(TargetSystemInterface):
     def read_memory(self, address: int, count: int) -> list[int]:
         if not 0 <= address <= MEMORY_WORDS - count:
             raise TargetError(f"host read outside memory: 0x{address:04X}")
-        return self.machine.memory[address : address + count]
+        return self.machine.memory[address : address + count].tolist()
 
     def run_workload(self) -> None:
         if self._loaded is None:
@@ -216,6 +215,12 @@ class StackTargetInterface(TargetSystemInterface):
     def probe_scan_chain(self, chain: str) -> tuple[int, ...]:
         try:
             return self.chains[chain].snapshot()
+        except KeyError:
+            raise TargetError(f"thor-sm has no scan chain {chain!r}") from None
+
+    def probe_scan_chain_packed(self, chain: str):
+        try:
+            return self.chains[chain].snapshot_packed()
         except KeyError:
             raise TargetError(f"thor-sm has no scan chain {chain!r}") from None
 

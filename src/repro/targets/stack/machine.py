@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from .. import statebuf
 from .isa import (
     DATA_STACK_CELLS,
     RETURN_STACK_CELLS,
@@ -64,7 +65,10 @@ class StackMachine:
     """The simulated stack processor (host view: its debug port)."""
 
     def __init__(self) -> None:
-        self.memory = [0] * MEMORY_WORDS
+        # Array-backed memory (see :mod:`repro.targets.statebuf`): save and
+        # restore are single buffer copies.  Only ever mutated in place —
+        # fault overlays and the fused fast loop alias this container.
+        self.memory = statebuf.new_words(MEMORY_WORDS)
         self.program_limit = DATA_BASE  # stores below this are violations
         self.dstack = [0] * DATA_STACK_CELLS
         self.dparity = [0] * DATA_STACK_CELLS
@@ -113,7 +117,14 @@ class StackMachine:
         self.post_step_hooks.clear()
 
     def clear_memory(self) -> None:
-        self.memory[:] = [0] * MEMORY_WORDS
+        statebuf.zero_fill(self.memory)
+
+    def load_image(self, address: int, words) -> None:
+        """Download a block of words (workload image, input data) in one
+        buffer copy — the debug-port analogue of the Thor test card's
+        DMA download."""
+        block = statebuf.words_from(words, WORD_MASK)
+        self.memory[address : address + len(block)] = block
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -123,7 +134,7 @@ class StackMachine:
         checkpoints are taken on fault-free prefixes, before overlays,
         and trace hooks belong to the host."""
         return {
-            "memory": self.memory.copy(),
+            "memory": statebuf.save_words(self.memory),
             "program_limit": self.program_limit,
             "dstack": self.dstack.copy(),
             "dparity": self.dparity.copy(),
@@ -144,7 +155,7 @@ class StackMachine:
     def restore_state(self, state: dict) -> None:
         # In-place copies for the cell arrays: the scan chains hold
         # references to these exact lists (see reset()).
-        self.memory[:] = state["memory"]
+        statebuf.restore_words(self.memory, state["memory"])
         self.program_limit = state["program_limit"]
         self.dstack[:] = state["dstack"]
         self.dparity[:] = state["dparity"]

@@ -1,0 +1,102 @@
+"""Array-backed word storage shared by the simulator targets.
+
+Both simulated targets model word-addressed RAM.  Storing it as
+``array('I')`` instead of ``list[int]`` turns the state operations that
+dominate the restore-inject-run-readout loop into single buffer copies:
+
+* checkpoint *save* is one :meth:`array.array.tobytes` (a memcpy into an
+  immutable ``bytes`` snapshot, which also shrinks every
+  ``CheckpointCache`` entry from tens of
+  thousands of boxed ints to one compact buffer);
+* checkpoint *restore* is one ``memoryview`` slice assignment back into
+  the live array (no per-word Python object traffic);
+* ``clear`` is a memset-style fill from a cached zero page.
+
+The helpers here centralise the typecode choice and the buffer round
+trip so the targets never touch ``array`` internals directly.  All word
+values are 32-bit; the typecode is picked at import time because the C
+width behind ``'I'``/``'L'`` is platform-dependent.
+
+Scan-chain probe snapshots pack the same way: element values fit in
+64 bits in practice, so a chain snapshot packs into an ``array('Q')``
+whose comparison against a golden buffer is a single C-level operation
+(:func:`pack_values`; a value outside 64 bits falls back to ``None``,
+which keeps the element-tuple slow path authoritative).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+
+def _pick_word_typecode() -> str:
+    """The smallest unsigned typecode holding a 32-bit word."""
+    for code in ("I", "L", "Q"):
+        if array(code).itemsize >= 4:
+            return code
+    raise RuntimeError("no array typecode can hold a 32-bit word")
+
+
+#: Typecode used for all word-addressed memory arrays.
+WORD_TYPECODE = _pick_word_typecode()
+#: Bytes per stored word (4 on mainstream platforms).
+WORD_ITEMSIZE = array(WORD_TYPECODE).itemsize
+
+#: Cached zero pages, keyed by word count — ``clear()`` runs once per
+#: experiment, so the fill source is allocated once, not per call.
+_ZERO_PAGES: dict[int, bytes] = {}
+
+
+def new_words(count: int) -> array:
+    """A zero-filled word array of ``count`` words."""
+    return array(WORD_TYPECODE, _zero_page(count))
+
+
+def words_from(values, mask: int | None = None) -> array:
+    """A word array built from an iterable of ints, optionally masked.
+
+    Without ``mask`` the values must already fit the word width — an
+    out-of-range value raises ``OverflowError`` rather than silently
+    truncating, which is the loud failure we want from an unmasked
+    store path.
+    """
+    if mask is None:
+        return array(WORD_TYPECODE, values)
+    return array(WORD_TYPECODE, [value & mask for value in values])
+
+
+def zero_fill(words: array) -> None:
+    """Zero a word array in place (the container identity must survive:
+    scan chains and hoisted fast-loop locals alias it)."""
+    memoryview(words).cast("B")[:] = _zero_page(len(words))
+
+
+def save_words(words: array) -> bytes:
+    """One-copy snapshot of a word array (checkpoint save)."""
+    return words.tobytes()
+
+
+def restore_words(words: array, blob: bytes) -> None:
+    """One-copy restore of :func:`save_words` output, in place."""
+    memoryview(words).cast("B")[:] = blob
+
+
+def _zero_page(count: int) -> bytes:
+    page = _ZERO_PAGES.get(count)
+    if page is None:
+        page = _ZERO_PAGES[count] = bytes(count * WORD_ITEMSIZE)
+    return page
+
+
+# ----------------------------------------------------------------------
+# Packed probe snapshots
+# ----------------------------------------------------------------------
+
+def pack_values(values) -> array | None:
+    """Pack scan-element values into an ``array('Q')`` buffer, or
+    ``None`` when a value does not fit 64 bits (the caller then stays on
+    the per-element tuple path)."""
+    try:
+        return array("Q", values)
+    except OverflowError:
+        return None

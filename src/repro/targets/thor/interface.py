@@ -184,6 +184,12 @@ class ThorTargetInterface(TargetSystemInterface):
         except KeyError as exc:
             raise TargetError(str(exc)) from exc
 
+    def probe_scan_chain_packed(self, chain: str):
+        try:
+            return self.card.scan_chain(chain).snapshot_packed()
+        except KeyError as exc:
+            raise TargetError(str(exc)) from exc
+
     def probe_element_names(self, chain: str) -> list[str]:
         try:
             return self.card.scan_chain(chain).element_names()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import statebuf
 from .isa import ADDR_MASK, WORD_MASK
 
 MEMORY_WORDS = ADDR_MASK + 1
@@ -69,7 +70,11 @@ class Memory:
 
     def __init__(self, memory_map: MemoryMap | None = None) -> None:
         self.map = memory_map or MemoryMap()
-        self._words = [0] * MEMORY_WORDS
+        # Array-backed storage: save/clear/restore are single buffer
+        # copies instead of per-word Python object traffic.  The array
+        # is only ever mutated in place — fault overlays and the CPU's
+        # hot loop hold references to this exact container.
+        self._words = statebuf.new_words(MEMORY_WORDS)
         #: When True, runtime writes to the program area raise a
         #: violation.  Pre-runtime SWIFI happens through the host
         #: interface, which is never subject to protection.
@@ -116,17 +121,18 @@ class Memory:
     def host_read_block(self, address: int, count: int) -> list[int]:
         if count < 0 or not 0 <= address <= MEMORY_WORDS - count:
             raise MemoryViolation("host read", address)
-        return self._words[address : address + count]
+        return self._words[address : address + count].tolist()
 
     def load_image(self, address: int, words: list[int]) -> None:
         """Download a block of words (workload image, input data)."""
         if not 0 <= address <= MEMORY_WORDS - len(words):
             raise MemoryViolation("host write", address)
-        self._words[address : address + len(words)] = [w & WORD_MASK for w in words]
+        block = statebuf.words_from(words, WORD_MASK)
+        self._words[address : address + len(block)] = block
 
     def clear(self) -> None:
         """Zero all of memory (target re-initialisation)."""
-        self._words = [0] * MEMORY_WORDS
+        statebuf.zero_fill(self._words)
 
     def snapshot(self, address: int = 0, count: int = MEMORY_WORDS) -> tuple[int, ...]:
         """Immutable copy of a memory region, for state-vector logging."""
@@ -136,10 +142,15 @@ class Memory:
     # Checkpointing
     # ------------------------------------------------------------------
     def save_state(self) -> dict:
-        return {"words": self._words.copy(), "protect_program": self.protect_program}
+        # One memcpy into an immutable bytes snapshot — the dominant
+        # cost of a checkpoint save used to be copying 64 Ki boxed ints.
+        return {
+            "words": statebuf.save_words(self._words),
+            "protect_program": self.protect_program,
+        }
 
     def restore_state(self, state: dict) -> None:
-        # Slice-assign so the snapshot's own list is never aliased by
-        # the live memory (the cached state must stay reusable).
-        self._words[:] = state["words"]
+        # One buffer copy back into the live array; the bytes snapshot
+        # is immutable, so the cached state stays reusable by design.
+        statebuf.restore_words(self._words, state["words"])
         self.protect_program = state["protect_program"]

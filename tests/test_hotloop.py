@@ -57,9 +57,8 @@ def fresh_machine(workload: str = "s_fib", fast: bool = True) -> StackMachine:
     machine = StackMachine()
     machine.fast = fast
     program = s_load(workload)
-    machine.memory[: len(program.program)] = program.program
-    for offset, word in enumerate(program.data):
-        machine.memory[program.data_base + offset] = word
+    machine.load_image(0, program.program)
+    machine.load_image(program.data_base, program.data)
     machine.reset(program.entry_point)
     return machine
 

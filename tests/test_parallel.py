@@ -239,3 +239,74 @@ class TestRunnerValidation:
         assert main(["run", "--db", db, "c", "--quiet", "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "completed: 6/6 experiments" in out
+
+
+class TestSharedState:
+    """The one-time shared-state publication: rows stay bit-identical
+    whether workers attach the shared segment or receive the serialising
+    fallback, and startup-phase telemetry lands where the work happens."""
+
+    def test_shared_and_fallback_rows_identical(self, session):
+        make_campaign(session, "serial", num_experiments=10, seed=61)
+        session.run_campaign("serial", probes=True)
+        reference_rows = rows_by_name(session.db, "serial")
+        for label, kwargs in {
+            "shm": {},
+            "fallback": {"shared_state": False},
+            "shm-ckpt": {"checkpoints": True},
+            "fallback-ckpt": {"checkpoints": True, "shared_state": False},
+        }.items():
+            make_campaign(session, label, num_experiments=10, seed=61)
+            result = session.run_campaign(
+                label, workers=2, probes=True, **kwargs
+            )
+            assert result.experiments_run == 10
+            assert rows_by_name(session.db, label) == reference_rows
+
+    def test_shared_state_flag_via_cli(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        db = str(tmp_path / "p.db")
+        assert main([
+            "campaign", "create", "--db", db, "--name", "c",
+            "--workload", "fibonacci", "--experiments", "6",
+        ]) == 0
+        assert main([
+            "run", "--db", db, "c", "--quiet", "--workers", "2",
+            "--no-shared-state",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed: 6/6 experiments" in out
+
+    def test_reference_and_golden_attributed_to_coordinator(self, session):
+        """With shared state the reference trace and golden snapshots
+        are derived exactly once, in the coordinator; workers report
+        their setup as ``phase.worker_startup`` instead."""
+        make_campaign(session, "c", num_experiments=8, seed=62)
+        result = session.run_campaign(
+            "c", workers=2, probes=True, checkpoints=True, telemetry="metrics"
+        )
+        timers = result.telemetry["timers"]
+        assert timers["phase.reference"]["count"] == 1
+        assert timers["phase.golden"]["count"] == 1
+        assert timers["phase.initial_image"]["count"] == 1
+        assert timers["phase.worker_startup"]["count"] == 2
+
+    def test_worker_startup_in_stats_report(self, session):
+        make_campaign(session, "c", num_experiments=6, seed=63)
+        session.run_campaign("c", workers=2, telemetry="metrics")
+        report = session.stats("c")
+        assert "worker_startup" in report
+        assert "startup (per worker)" in report
+
+    def test_seeded_initial_image_restores_every_prefix(self, session):
+        """The coordinator's armed cycle-0 image pre-seeds each worker's
+        checkpoint cache, so even the first experiment of every shard
+        restores instead of re-running the preamble."""
+        make_campaign(session, "c", num_experiments=8, seed=64)
+        result = session.run_campaign(
+            "c", workers=2, checkpoints=True, telemetry="metrics"
+        )
+        counters = result.telemetry["counters"]
+        assert counters.get("checkpoint.misses", 0) == 0
+        assert counters["checkpoint.restores"] == 8

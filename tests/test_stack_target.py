@@ -28,9 +28,8 @@ TERM = Termination(max_cycles=100_000)
 def run_stack_source(source: str, max_cycles: int = 10_000) -> StackMachine:
     machine = StackMachine()
     program = s_assemble(source)
-    machine.memory[: len(program.program)] = program.program
-    for offset, word in enumerate(program.data):
-        machine.memory[program.data_base + offset] = word
+    machine.load_image(0, program.program)
+    machine.load_image(program.data_base, program.data)
     machine.reset(program.entry_point)
     machine.run(max_cycles)
     return machine
@@ -138,7 +137,7 @@ class TestMachineSemantics:
     def test_iter_counts(self):
         machine = StackMachine()
         program = s_assemble("ITER\nITER\nHALT")
-        machine.memory[: len(program.program)] = program.program
+        machine.load_image(0, program.program)
         machine.reset()
         assert machine.run(100) == "iteration"
         assert machine.run(100) == "iteration"
@@ -183,7 +182,7 @@ class TestMachineEdms:
     def test_stack_parity_catches_cell_corruption(self):
         machine = StackMachine()
         program = s_assemble("PUSHI 5\nNOP\nNOP\nPUSHI 2\nADD\nOUT 1\nHALT")
-        machine.memory[: len(program.program)] = program.program
+        machine.load_image(0, program.program)
         machine.reset()
         assert machine.run(1000, stop_at_cycle=2) == "cycle_break"
         machine.dstack[0] ^= 1 << 7  # corrupt the live cell (SCIFI-style)
@@ -193,7 +192,7 @@ class TestMachineEdms:
     def test_stack_parity_bit_corruption_detected(self):
         machine = StackMachine()
         program = s_assemble("PUSHI 5\nNOP\nDROP\nHALT")
-        machine.memory[: len(program.program)] = program.program
+        machine.load_image(0, program.program)
         machine.reset()
         machine.run(1000, stop_at_cycle=2)
         machine.dparity[0] ^= 1
@@ -202,7 +201,7 @@ class TestMachineEdms:
     def test_return_stack_parity(self):
         machine = StackMachine()
         program = s_assemble("CALL sub\nHALT\nsub:\nNOP\nNOP\nRET")
-        machine.memory[: len(program.program)] = program.program
+        machine.load_image(0, program.program)
         machine.reset()
         machine.run(1000, stop_at_cycle=2)
         machine.rstack[0] ^= 1
@@ -239,9 +238,8 @@ class TestWorkloads:
     def test_golden_outputs(self, name):
         program = s_load(name)
         machine = StackMachine()
-        machine.memory[: len(program.program)] = program.program
-        for offset, word in enumerate(program.data):
-            machine.memory[program.data_base + offset] = word
+        machine.load_image(0, program.program)
+        machine.load_image(program.data_base, program.data)
         machine.reset(program.entry_point)
         assert machine.run(100_000) == "halted"
         assert machine.output_log[-1][2] == s_expected_output(name)

@@ -76,6 +76,16 @@ from .telemetry_report import (
     stats_report,
     throughput_summary,
 )
+from .trends import (
+    TrendCheck,
+    TrendResult,
+    evaluate_trend,
+    format_history,
+    format_trend_report,
+    record_run,
+    run_summary,
+    trend_against_history,
+)
 from .traceexport import build_trace, validate_trace, write_trace
 
 #: Names served lazily from :mod:`repro.analysis.propagation`.  That

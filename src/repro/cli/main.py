@@ -228,6 +228,7 @@ def cmd_pack_show(args: argparse.Namespace) -> int:
 
 def cmd_gate(args: argparse.Namespace) -> int:
     from ..analysis import evaluate_gate, format_gate_report
+    from ..core.events import resolve_events
 
     with _session(args, with_progress=not args.quiet) as session:
         pack, config = _setup_pack_campaign(session, args)
@@ -238,33 +239,96 @@ def cmd_gate(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        result = session.run_campaign(config.name, workers=args.workers)
-        if result.aborted:
-            print(f"goofi: error: campaign {config.name!r} aborted", file=sys.stderr)
-            return 1
-        replay = None
-        if pack.bounds.max_critical_failures is not None:
-            from ..core.packs import replay_function
+        # The gate owns the bus (not run_campaign) so the gate_verdict
+        # record lands on the same stream as the campaign events.
+        bus = resolve_events(args.events)
+        try:
+            result = session.run_campaign(
+                config.name,
+                workers=args.workers,
+                telemetry="metrics" if args.trend is not None else None,
+                events=bus if bus.enabled else None,
+            )
+            if result.aborted:
+                print(
+                    f"goofi: error: campaign {config.name!r} aborted",
+                    file=sys.stderr,
+                )
+                return 1
+            replay = None
+            if pack.bounds.max_critical_failures is not None:
+                from ..core.packs import replay_function
 
-            replay = replay_function(config.environment)
-        gate = evaluate_gate(
-            session.db,
-            config.name,
-            pack.bounds,
-            environment=config.environment,
-            replay=replay,
+                replay = replay_function(config.environment)
+            gate = evaluate_gate(
+                session.db,
+                config.name,
+                pack.bounds,
+                environment=config.environment,
+                replay=replay,
+            )
+            report = format_gate_report(gate)
+            print(report)
+            if bus.enabled:
+                bus.emit(
+                    "gate_verdict",
+                    campaign=config.name,
+                    pack=pack.name,
+                    passed=gate.passed,
+                    violations=[str(check) for check in gate.violations],
+                )
+            if args.report:
+                Path(args.report).write_text(
+                    json.dumps(gate.to_dict(), indent=2) + "\n"
+                )
+                print(f"gate report written to {args.report}")
+            exit_code = 0 if gate.passed else 2
+            if args.trend is not None:
+                exit_code = max(
+                    exit_code, _gate_trend(session, config.name, pack, args.trend)
+                )
+        finally:
+            bus.close()
+    return exit_code
+
+
+def _gate_trend(session: GoofiSession, campaign_name: str, pack, window: int) -> int:
+    """Compare the finished run against recorded history, print the
+    trend report, and append this run to the history.  Returns the
+    trend contribution to the exit code (0 pass / 2 regression)."""
+    from ..analysis import (
+        format_trend_report,
+        record_run,
+        run_summary,
+        trend_against_history,
+    )
+
+    summary = run_summary(session.db, campaign_name, pack=pack.name)
+    trend = trend_against_history(session.db, campaign_name, summary, window=window)
+    exit_code = 0
+    if trend is None:
+        print(
+            f"trend: no recorded history for {campaign_name!r} yet; "
+            "this run becomes the first baseline"
         )
-        report = format_gate_report(gate)
-        print(report)
-        if args.report:
-            Path(args.report).write_text(json.dumps(gate.to_dict(), indent=2) + "\n")
-            print(f"gate report written to {args.report}")
-    return 0 if gate.passed else 2
+    else:
+        print(format_trend_report(trend))
+        if not trend.passed:
+            exit_code = 2
+    run_id = record_run(session.db, campaign_name, summary, pack=pack.name)
+    print(f"trend: recorded this run as history entry {run_id}")
+    return exit_code
 
 
 # ----------------------------------------------------------------------
-# run / analyze / rerun / autogen
+# run / watch / analyze / rerun / autogen
 # ----------------------------------------------------------------------
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .watch import cmd_watch
+
+    return cmd_watch(args)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     with _session(args, with_progress=not args.quiet) as session:
         campaign_name = args.campaign
@@ -289,7 +353,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             probes=args.probes,
             prune=args.prune,
             shared_state=args.shared_state,
+            events=args.events,
         )
+        # With --events=- the event JSONL owns stdout; the human
+        # summary moves to stderr so piped output stays parseable.
+        out = sys.stderr if args.events == "-" else sys.stdout
         status = "aborted" if result.aborted else "completed"
         rate = (
             result.experiments_run / result.elapsed_seconds
@@ -299,7 +367,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(
             f"campaign {result.campaign_name!r} {status}: "
             f"{result.experiments_run}/{result.experiments_planned} experiments "
-            f"in {result.elapsed_seconds:.1f}s ({rate:.1f}/s)"
+            f"in {result.elapsed_seconds:.1f}s ({rate:.1f}/s)",
+            file=out,
         )
         if result.prune is not None:
             prune = result.prune
@@ -307,18 +376,32 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"prune: {prune['pruned']}/{prune['planned']} experiments "
                 f"classified no-effect, {prune['skipped']} skipped, "
                 f"{prune['spot_checks']} spot-checked "
-                f"({prune['divergences']} divergences)"
+                f"({prune['divergences']} divergences)",
+                file=out,
             )
         if result.telemetry is not None:
             print(
                 f"telemetry recorded; inspect with: "
-                f"goofi stats {result.campaign_name} --db {args.db}"
+                f"goofi stats {result.campaign_name} --db {args.db}",
+                file=out,
             )
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
     with _session(args) as session:
+        if args.history:
+            from ..analysis import format_history
+
+            records = list(session.db.iter_history(args.campaign))
+            if not records:
+                print(
+                    f"no recorded history for campaign {args.campaign!r} "
+                    f"(record runs with goofi gate --trend)"
+                )
+                return 0
+            print(format_history(records))
+            return 0
         if args.json:
             print(
                 json.dumps(
@@ -622,6 +705,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the gate verdict as JSON to PATH",
     )
+    gate.add_argument(
+        "--trend",
+        nargs="?",
+        const=5,
+        default=None,
+        type=int,
+        metavar="N",
+        help="also compare this run against the last N recorded runs of "
+             "the same campaign (default N: 5) and record it into the "
+             "history table; a statistically meaningful regression exits "
+             "2 even when every static bound holds (inspect history with "
+             "'goofi stats --history')",
+    )
+    gate.add_argument(
+        "--events",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="DEST",
+        help="stream campaign events (and the gate verdict) to DEST — "
+             "see 'goofi run --events'",
+    )
     gate.set_defaults(func=cmd_gate)
 
     run = sub.add_parser("run", help="fault-injection phase")
@@ -736,7 +841,52 @@ def build_parser() -> argparse.ArgumentParser:
              "are re-simulated anyway and the campaign hard-fails if any "
              "diverge from the synthesized row",
     )
+    run.add_argument(
+        "--events",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="DEST",
+        help="stream versioned campaign events as JSON lines: --events "
+             "(= '-') writes to stdout (the run summary moves to "
+             "stderr), a PATH appends a JSONL recording (replay with "
+             "'goofi watch --replay'), a *.sock path or udp://host:port "
+             "sends datagrams to a live 'goofi watch' listener; logged "
+             "rows are identical either way",
+    )
     run.set_defaults(func=cmd_run)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live campaign monitor: attach to a run's --events socket "
+             "or replay a recorded event JSONL",
+    )
+    watch.add_argument(
+        "destination",
+        help="unix-domain socket path or udp://host:port to listen on "
+             "(start watch first, then 'goofi run --events=DEST'); with "
+             "--replay, a recorded event JSONL file",
+    )
+    watch.add_argument(
+        "--replay",
+        action="store_true",
+        help="read a recorded JSONL instead of listening on a socket "
+             "(follows the growing file until the campaign ends)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="with --replay: process the file in one pass and exit "
+             "(deterministic final summary; CI-friendly)",
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="live mode: exit after this many seconds without events",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     stats = sub.add_parser(
         "stats", help="telemetry report for a campaign run with --telemetry"
@@ -752,6 +902,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         metavar="N",
         help="spans mode: list the N slowest experiments (default: 5)",
+    )
+    stats.add_argument(
+        "--history",
+        action="store_true",
+        help="list the campaign's recorded runs (coverage, p95 latency, "
+             "throughput) from the history table written by "
+             "'goofi gate --trend'",
     )
     stats.set_defaults(func=cmd_stats)
 

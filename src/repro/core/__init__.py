@@ -42,6 +42,18 @@ from .errors import (
     GoofiError,
     TargetError,
 )
+from .events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    NULL_EVENTS,
+    DatagramEventSink,
+    EventBus,
+    EventSink,
+    JsonlEventSink,
+    events_destination_sink,
+    iter_jsonl,
+    resolve_events,
+)
 from .faultmodels import (
     FaultModel,
     IntermittentBitFlip,

@@ -63,6 +63,7 @@ from .checkpoint import (
     sort_plan_by_first_injection,
 )
 from .errors import ConfigurationError, TargetError
+from .events import NULL_EVENTS, resolve_events
 from .faultmodels import is_transient
 from .framework import (
     TargetSystemInterface,
@@ -104,6 +105,30 @@ class CampaignResult:
     #: counts and divergences) when the run used ``--prune``; ``None``
     #: otherwise.
     prune: dict | None = None
+
+
+def emit_pruned_events(bus, campaign_name: str, prune_plan, total: int) -> None:
+    """One ``experiment_finished`` event per experiment the liveness
+    classifier skipped (already logged up front from its synthesised
+    row).  Shared by the serial loop and the parallel coordinator, so
+    streams are identical for any worker count.  Pruned experiments
+    never run: their events carry ``pruned: true`` and a ``null``
+    run-progress counter."""
+    for record in prune_plan.upfront_records():
+        bus.emit(
+            "experiment_finished",
+            campaign=campaign_name,
+            experiment=record.experiment_name,
+            outcome=record.state_vector["termination"]["outcome"],
+            completed=None,
+            total=total,
+            elapsed_seconds=None,
+            rate=None,
+            eta_seconds=None,
+            pruned=True,
+            spot_check=False,
+            worker=0,
+        )
 
 
 class FaultInjectionAlgorithms:
@@ -151,6 +176,11 @@ class FaultInjectionAlgorithms:
         #: a shared no-op) unless ``run_campaign(telemetry=...)`` turned
         #: it on or a parallel worker installed a local instance.
         self.telemetry = NULL_TELEMETRY
+        #: Active campaign event bus (:mod:`repro.core.events`).
+        #: ``NULL_EVENTS`` unless ``run_campaign(events=...)`` turned it
+        #: on; parallel workers never carry a live bus — the coordinator
+        #: owns the sinks and emits in deterministic plan order.
+        self.events = NULL_EVENTS
         #: Requested probe configuration for the current campaign run
         #: (``run_campaign(probes=...)``); ``None`` when probing is off.
         self.probe_config: ProbeConfig | None = None
@@ -187,6 +217,7 @@ class FaultInjectionAlgorithms:
         probes=None,
         prune=None,
         shared_state: bool = True,
+        events=None,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -242,6 +273,18 @@ class FaultInjectionAlgorithms:
         with ``probes`` — a pruned experiment is never executed, so its
         propagation summary cannot be observed.
 
+        ``events`` turns on the campaign event stream (see
+        :func:`repro.core.events.resolve_events` for the accepted
+        values: a destination string such as ``"-"``, a JSONL path, a
+        ``.sock``/``udp://`` address, a sink list, or a ready
+        :class:`~repro.core.events.EventBus`).  The run then emits
+        versioned records for the campaign lifecycle, every finished
+        experiment (with prune/spot-check provenance and the rolling
+        rate/ETA), telemetry spans, and worker lifecycle — consumed
+        live by ``goofi watch`` or recorded for replay.  Events never
+        change logged rows; emission happens strictly after a row is
+        final.
+
         ``shared_state`` (parallel runs only) publishes the common
         worker-startup state — reference trace, golden probe snapshots,
         armed initial image — once via ``multiprocessing.shared_memory``
@@ -268,6 +311,11 @@ class FaultInjectionAlgorithms:
             )
         self.probe_config = probe_config
         self.prune_config = prune_config
+        bus = resolve_events(events)
+        # A bus handed in ready-made (e.g. goofi gate, which appends its
+        # verdict after the run) stays open for the caller to close.
+        owns_bus = bus is not events
+        self.events = bus
         try:
             if workers > 1:
                 from .parallel import ParallelCampaignRunner
@@ -289,6 +337,9 @@ class FaultInjectionAlgorithms:
             return method(campaign_name, resume=resume, checkpoints=checkpoints)
         finally:
             tele.close()
+            if owns_bus:
+                bus.close()
+            self.events = NULL_EVENTS
             self.telemetry = NULL_TELEMETRY
             self.probe_config = None
             self.prune_config = None
@@ -525,8 +576,36 @@ class FaultInjectionAlgorithms:
             # changes (the rows are keyed by experiment name).
             remaining = sort_plan_by_first_injection(remaining, trace)
             self.checkpoints = CheckpointCache(self.checkpoint_capacity)
+        bus = self.events
+        if bus.enabled:
+            bus.emit(
+                "campaign_planned",
+                campaign=config.name,
+                technique=config.technique,
+                workload=config.workload,
+                planned=len(plan),
+                already_logged=len(already_logged),
+                pruned=(
+                    len(prune_plan.pruned_specs) if prune_plan is not None else 0
+                ),
+                to_run=len(remaining),
+                workers=1,
+                checkpoints=self.checkpoints is not None,
+            )
+            if prune_plan is not None:
+                # Skipped experiments were logged up front from
+                # synthesised rows; their events carry the provenance
+                # flag and no run-progress counter (they never run).
+                emit_pruned_events(bus, config.name, prune_plan, len(remaining))
         progress = self.progress
         progress.start(config.name, len(remaining))
+        if bus.enabled:
+            bus.emit(
+                "campaign_started",
+                campaign=config.name,
+                total=len(remaining),
+                workers=1,
+            )
         self.db.set_campaign_status(config.name, "running")
         logger.info(
             "campaign %r: %d experiments to run (%d already logged)%s",
@@ -547,7 +626,10 @@ class FaultInjectionAlgorithms:
                     aborted = True
                     break
                 record = run_experiment(config, spec, trace)
-                if prune_plan is not None and spec.name in prune_plan.spot_checks:
+                spot_checked = (
+                    prune_plan is not None and spec.name in prune_plan.spot_checks
+                )
+                if spot_checked:
                     # Hard-fails with PruneDivergence on mismatch; the
                     # confirmed synthesised row (pruned flag set) is
                     # what gets logged.
@@ -558,7 +640,13 @@ class FaultInjectionAlgorithms:
                     pending = []
                 completed += 1
                 outcome = record.state_vector["termination"]["outcome"]
-                progress.experiment_done(spec.name, outcome)
+                progress_event = progress.experiment_done(spec.name, outcome)
+                if bus.enabled:
+                    bus.experiment_finished(
+                        progress_event,
+                        pruned=record.pruned,
+                        spot_check=spot_checked,
+                    )
         except BaseException:
             failed = True
             raise
@@ -589,6 +677,16 @@ class FaultInjectionAlgorithms:
                 len(remaining),
                 progress.elapsed_seconds,
             )
+            if bus.enabled:
+                bus.emit(
+                    "campaign_aborted"
+                    if (aborted or failed)
+                    else "campaign_finished",
+                    campaign=config.name,
+                    completed=completed,
+                    total=len(remaining),
+                    elapsed_seconds=round(progress.elapsed_seconds, 6),
+                )
             if tele.enabled and not failed:
                 snapshot = self._finish_telemetry(config.name, checkpoint_stats)
         return CampaignResult(
@@ -631,6 +729,17 @@ class FaultInjectionAlgorithms:
             # Lane annotation for the trace export; parallel runs tag
             # the worker id instead.
             span.setdefault("worker", 0)
+        if self.events.enabled:
+            # Phase-span events reuse the telemetry record verbatim as
+            # their payload — the stream and the ExperimentSpan table
+            # speak the same dialect.
+            for span in spans:
+                self.events.emit(
+                    "span",
+                    campaign=campaign_name,
+                    worker=span["worker"],
+                    span=span,
+                )
         started = time.perf_counter()
         if records:
             self.db.save_experiments(records)

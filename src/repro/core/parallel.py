@@ -265,12 +265,13 @@ class ParallelCampaignRunner:
         False (or when shared memory is unavailable) the same content
         ships inline through the worker arguments instead.  Rows are
         bit-identical either way."""
-        from .algorithms import CampaignResult
+        from .algorithms import CampaignResult, emit_pruned_events
 
         algorithms = self.algorithms
         db: GoofiDatabase = algorithms.db
         progress: ProgressReporter = algorithms.progress
         tele = algorithms.telemetry
+        bus = algorithms.events
         if resume:
             already_logged = {
                 record.experiment_name for record in db.iter_experiments(config.name)
@@ -338,11 +339,43 @@ class ParallelCampaignRunner:
             # Sorting before the round-robin sharding keeps every shard
             # in first-injection order too.
             remaining = sort_plan_by_first_injection(remaining, trace)
+        if bus.enabled:
+            # Same deterministic prefix as the serial loop: the
+            # campaign_planned record and the pruned-experiment events
+            # are emitted by the coordinator before any worker starts,
+            # so recorded streams agree for every worker count.
+            bus.emit(
+                "campaign_planned",
+                campaign=config.name,
+                technique=config.technique,
+                workload=config.workload,
+                planned=len(plan),
+                already_logged=len(already_logged),
+                pruned=(
+                    len(prune_plan.pruned_specs) if prune_plan is not None else 0
+                ),
+                to_run=len(remaining),
+                workers=self.workers,
+                checkpoints=use_checkpoints,
+            )
+            if prune_plan is not None:
+                emit_pruned_events(bus, config.name, prune_plan, len(remaining))
         progress.start(config.name, len(remaining))
         db.set_campaign_status(config.name, "running")
         if not remaining:
             progress.finish()
             db.set_campaign_status(config.name, "completed")
+            if bus.enabled:
+                bus.emit(
+                    "campaign_started", campaign=config.name, total=0, workers=0
+                )
+                bus.emit(
+                    "campaign_finished",
+                    campaign=config.name,
+                    completed=0,
+                    total=0,
+                    elapsed_seconds=round(progress.elapsed_seconds, 6),
+                )
             return CampaignResult(
                 campaign_name=config.name,
                 experiments_run=0,
@@ -418,8 +451,22 @@ class ParallelCampaignRunner:
             len(remaining),
             worker_count,
         )
-        for process in processes:
+        if bus.enabled:
+            bus.emit(
+                "campaign_started",
+                campaign=config.name,
+                total=len(remaining),
+                workers=worker_count,
+            )
+        for worker_id, process in enumerate(processes):
             process.start()
+            if bus.enabled:
+                bus.emit(
+                    "worker_started",
+                    campaign=config.name,
+                    worker=worker_id,
+                    experiments=len(shards[worker_id]),
+                )
 
         completed = 0
         aborted = False
@@ -430,6 +477,32 @@ class ParallelCampaignRunner:
         pending_probes: list[ProbeRecord] = []
         live = set(range(worker_count))
         dead_polls = dict.fromkeys(live, 0)
+
+        # Workers finish experiments in wall-clock order, but the event
+        # stream must not depend on the worker count: results buffer by
+        # their plan position and release as an in-order prefix, so the
+        # recorded experiment_finished sequence equals the serial one in
+        # every deterministic field.
+        event_order = {spec.name: index for index, spec in enumerate(remaining)}
+        event_buffer: dict[int, tuple] = {}
+        event_next = 0
+        event_released = 0
+
+        def release_experiment_events() -> None:
+            nonlocal event_next, event_released
+            while event_next in event_buffer:
+                progress_event, pruned, spot_check, from_worker = (
+                    event_buffer.pop(event_next)
+                )
+                event_released += 1
+                bus.experiment_finished(
+                    progress_event,
+                    pruned=pruned,
+                    spot_check=spot_check,
+                    worker=from_worker,
+                    completed=event_released,
+                )
+                event_next += 1
 
         def flush_pending() -> None:
             """Write the batched rows (and any relayed span records and
@@ -477,14 +550,21 @@ class ParallelCampaignRunner:
                                 f"worker {worker_id} died without reporting "
                                 f"(exit code {exitcode})"
                             )
+                            if bus.enabled:
+                                bus.emit(
+                                    "worker_failed",
+                                    campaign=config.name,
+                                    worker=worker_id,
+                                )
                             abort_event.set()
                     continue
                 if kind == "result":
                     record = ExperimentRecord(**payload)
-                    if (
+                    spot_checked = (
                         prune_plan is not None
                         and record.experiment_name in prune_plan.spot_checks
-                    ):
+                    )
+                    if spot_checked:
                         # Hard-fails with PruneDivergence on mismatch;
                         # the confirmed synthesised row (pruned flag
                         # set) is what gets logged.
@@ -495,14 +575,30 @@ class ParallelCampaignRunner:
                     if len(pending) >= self.batch_size:
                         flush_pending()
                     completed += 1
-                    progress.experiment_done(
+                    progress_event = progress.experiment_done(
                         payload["experiment_name"],
                         payload["state_vector"]["termination"]["outcome"],
                     )
+                    if bus.enabled:
+                        event_buffer[event_order[record.experiment_name]] = (
+                            progress_event,
+                            record.pruned,
+                            spot_checked,
+                            worker_id,
+                        )
+                        release_experiment_events()
                 elif kind == "spans":
                     for span in payload:
                         # Lane annotation for the trace export.
                         span.setdefault("worker", worker_id)
+                    if bus.enabled:
+                        for span in payload:
+                            bus.emit(
+                                "span",
+                                campaign=config.name,
+                                worker=span["worker"],
+                                span=span,
+                            )
                     pending_spans.extend(
                         SpanRecord(
                             experiment_name=span["experiment"],
@@ -525,9 +621,17 @@ class ParallelCampaignRunner:
                 elif kind == "error":
                     logger.error("worker %d failed:\n%s", worker_id, payload)
                     failures.append(f"worker {worker_id} failed:\n{payload}")
+                    if bus.enabled:
+                        bus.emit(
+                            "worker_failed", campaign=config.name, worker=worker_id
+                        )
                     abort_event.set()
                 elif kind == "done":
                     live.discard(worker_id)
+                    if bus.enabled:
+                        bus.emit(
+                            "worker_done", campaign=config.name, worker=worker_id
+                        )
             if progress.abort_requested:
                 aborted = True
             if not aborted and not failures and completed < len(remaining):
@@ -570,6 +674,32 @@ class ParallelCampaignRunner:
                 config.name,
                 "aborted" if (aborted or failed or failures) else "completed",
             )
+            if bus.enabled:
+                # On an abort some buffered events may never see their
+                # in-order predecessors arrive; drain what we have in
+                # plan order so the recording still accounts for every
+                # logged experiment.
+                for index in sorted(event_buffer):
+                    progress_event, pruned, spot_check, from_worker = (
+                        event_buffer.pop(index)
+                    )
+                    event_released += 1
+                    bus.experiment_finished(
+                        progress_event,
+                        pruned=pruned,
+                        spot_check=spot_check,
+                        worker=from_worker,
+                        completed=event_released,
+                    )
+                bus.emit(
+                    "campaign_aborted"
+                    if (aborted or failed or failures)
+                    else "campaign_finished",
+                    campaign=config.name,
+                    completed=completed,
+                    total=len(remaining),
+                    elapsed_seconds=round(progress.elapsed_seconds, 6),
+                )
         if failures:
             raise WorkerFailure(
                 f"parallel campaign {config.name!r} aborted; "

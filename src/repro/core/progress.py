@@ -10,6 +10,7 @@ callbacks; tests attach recording observers.
 
 from __future__ import annotations
 
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -21,11 +22,20 @@ _RATE_WINDOW = 50
 
 def format_duration(seconds: float) -> str:
     """``90.5`` → ``"1m31s"`` — compact durations for progress lines
-    and the stats report."""
+    and the stats report.
+
+    Rounding happens *before* the unit-selection branches so the
+    display is monotonic at the boundaries: ``59.7`` rounds to 60 and
+    renders ``"1m00s"`` (not ``"60s"`` next to ``60.0``'s ``"1m00s"``),
+    and ``9.96`` rounds to 10 and renders ``"10s"`` (not ``"10.0s"``).
+    """
     seconds = max(0.0, seconds)
-    if seconds < 60:
-        return f"{seconds:.1f}s" if seconds < 10 else f"{seconds:.0f}s"
-    minutes, secs = divmod(int(round(seconds)), 60)
+    if seconds < 10 and round(seconds, 1) < 10:
+        return f"{seconds:.1f}s"
+    total = int(round(seconds))
+    if total < 60:
+        return f"{total}s"
+    minutes, secs = divmod(total, 60)
     hours, minutes = divmod(minutes, 60)
     if hours:
         return f"{hours}h{minutes:02d}m"
@@ -108,9 +118,11 @@ class ProgressReporter:
         self._started_at = time.monotonic()
         self._recent.clear()
 
-    def experiment_done(self, experiment_name: str, outcome: str) -> None:
+    def experiment_done(self, experiment_name: str, outcome: str) -> ProgressEvent:
         """Record one finished experiment and notify observers.  Blocks
-        while paused (unless an end request arrives)."""
+        while paused (unless an end request arrives).  Returns the
+        :class:`ProgressEvent` it sent, so the campaign loop can forward
+        the rolling rate/ETA into the event stream."""
         self.completed += 1
         now = time.monotonic()
         self._recent.append(now)
@@ -136,6 +148,7 @@ class ProgressReporter:
             observer(event)
         while self._paused and not self._abort_requested:
             time.sleep(self.poll_interval)
+        return event
 
     def finish(self) -> None:
         self._paused = False
@@ -145,17 +158,32 @@ class ProgressReporter:
         return time.monotonic() - self._started_at if self._started_at else 0.0
 
 
+def _progress_line(event: ProgressEvent) -> str:
+    extra = ""
+    if event.rate:
+        extra = f", {event.rate:.1f} exp/s"
+        if event.eta_seconds is not None and event.completed < event.total:
+            extra += f", ETA {format_duration(event.eta_seconds)}"
+    return (
+        f"[{event.campaign_name}] {event.completed}/{event.total} "
+        f"experiments ({event.fraction:.0%}){extra}, "
+        f"last outcome: {event.outcome}"
+    )
+
+
 def console_observer(event: ProgressEvent) -> None:
-    """A ready-made observer printing one line per experiment block,
-    with the rolling throughput and ETA once they are known."""
-    if event.completed == event.total or event.completed % 50 == 0:
-        extra = ""
-        if event.rate:
-            extra = f", {event.rate:.1f} exp/s"
-            if event.eta_seconds is not None and event.completed < event.total:
-                extra += f", ETA {format_duration(event.eta_seconds)}"
-        print(
-            f"[{event.campaign_name}] {event.completed}/{event.total} "
-            f"experiments ({event.fraction:.0%}){extra}, "
-            f"last outcome: {event.outcome}"
-        )
+    """The ``goofi run`` progress ticker.
+
+    Writes to *stderr*, never stdout — stdout belongs to results
+    (``--events`` JSONL, reports), so piped output stays
+    machine-readable.  On a TTY the line is rewritten in place with a
+    carriage return per experiment (the paper's live progress window);
+    when stderr is not a TTY (CI logs, redirects) carriage-return
+    rewriting is suppressed and one plain line is printed per block of
+    50 experiments and at completion."""
+    stream = sys.stderr
+    if stream.isatty():
+        end = "\n" if event.completed >= event.total else ""
+        print(f"\r\x1b[2K{_progress_line(event)}", end=end, file=stream, flush=True)
+    elif event.completed == event.total or event.completed % 50 == 0:
+        print(_progress_line(event), file=stream)

@@ -1,12 +1,14 @@
 """GOOFI database layer: SQLite storage with the paper's three tables
 (``TargetSystemData``, ``CampaignData``, ``LoggedSystemState``) plus
-the v2 telemetry tables (``CampaignTelemetry``, ``ExperimentSpan``) and
-the v3 propagation-probe table (``PropagationProbe``)."""
+the v2 telemetry tables (``CampaignTelemetry``, ``ExperimentSpan``),
+the v3 propagation-probe table (``PropagationProbe``), and the v5
+cross-run history table (``CampaignHistory``)."""
 
 from .database import DatabaseError, GoofiDatabase
 from .models import (
     CampaignRecord,
     ExperimentRecord,
+    HistoryRecord,
     ProbeRecord,
     SpanRecord,
     TargetSystemRecord,
@@ -19,6 +21,7 @@ __all__ = [
     "DatabaseError",
     "ExperimentRecord",
     "GoofiDatabase",
+    "HistoryRecord",
     "ProbeRecord",
     "REFERENCE_EXPERIMENT",
     "SCHEMA_VERSION",

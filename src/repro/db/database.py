@@ -18,6 +18,7 @@ from pathlib import Path
 from .models import (
     CampaignRecord,
     ExperimentRecord,
+    HistoryRecord,
     ProbeRecord,
     SpanRecord,
     TargetSystemRecord,
@@ -449,6 +450,47 @@ class GoofiDatabase:
     def count_probes(self, campaign_name: str) -> int:
         cur = self._conn.execute(
             "SELECT COUNT(*) FROM PropagationProbe WHERE campaignName = ?",
+            (campaign_name,),
+        )
+        return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # CampaignHistory
+    # ------------------------------------------------------------------
+    def save_history(self, record: HistoryRecord) -> int:
+        """Append one per-run dependability summary and return its
+        assigned ``runId``.  History is append-only and deliberately not
+        foreign-keyed to ``CampaignData`` — it must survive the campaign
+        being deleted and re-set-up between the runs it compares."""
+        with self.transaction() as conn:
+            cur = conn.execute(
+                "INSERT INTO CampaignHistory "
+                "(campaignName, pack, summaryJson, createdAt) "
+                "VALUES (?, ?, ?, ?)",
+                record.to_row(),
+            )
+            record.run_id = int(cur.lastrowid)
+            return record.run_id
+
+    def iter_history(
+        self, campaign_name: str, limit: int | None = None
+    ) -> Iterator[HistoryRecord]:
+        """Recorded runs of a campaign, most recent first (the trend
+        baseline population is the ``limit`` latest)."""
+        sql = (
+            "SELECT runId, campaignName, pack, summaryJson, createdAt "
+            "FROM CampaignHistory WHERE campaignName = ? ORDER BY runId DESC"
+        )
+        params: tuple = (campaign_name,)
+        if limit is not None:
+            sql += " LIMIT ?"
+            params = (campaign_name, limit)
+        for row in self._conn.execute(sql, params):
+            yield HistoryRecord.from_row(row)
+
+    def count_history(self, campaign_name: str) -> int:
+        cur = self._conn.execute(
+            "SELECT COUNT(*) FROM CampaignHistory WHERE campaignName = ?",
             (campaign_name,),
         )
         return int(cur.fetchone()[0])

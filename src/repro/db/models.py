@@ -167,6 +167,40 @@ class ProbeRecord:
 
 
 @dataclass(slots=True)
+class HistoryRecord:
+    """One row of ``CampaignHistory``: a per-run dependability summary
+    (coverage CI, latency percentiles, outcome counts, phase timings,
+    throughput) recorded by ``goofi gate --trend`` and compared against
+    by :mod:`repro.analysis.trends`.  ``run_id`` is assigned by the
+    database on insert."""
+
+    campaign_name: str
+    summary: dict
+    pack: str | None = None
+    run_id: int | None = None
+    created_at: str = field(default_factory=utc_now)
+
+    def to_row(self) -> tuple:
+        return (
+            self.campaign_name,
+            self.pack,
+            json.dumps(self.summary, sort_keys=True),
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "HistoryRecord":
+        run_id, campaign, pack, summary_json, created = row
+        return cls(
+            campaign_name=campaign,
+            summary=json.loads(summary_json),
+            pack=pack,
+            run_id=run_id,
+            created_at=created,
+        )
+
+
+@dataclass(slots=True)
 class SpanRecord:
     """One row of ``ExperimentSpan``: the structured per-experiment
     telemetry record (phase timings, execution counters, outcome)

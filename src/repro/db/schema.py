@@ -49,6 +49,16 @@ flag lives outside the JSON payloads on purpose — pruned rows must stay
 byte-identical to the rows a full simulation would have produced, which
 is what the spot-check safety net and the equivalence suite verify.
 
+Version 5 adds the cross-run history table:
+
+* ``CampaignHistory`` — one dependability summary (coverage CI, latency
+  percentiles, outcome counts, phase timings, throughput as JSON) per
+  recorded run, appended by ``goofi gate --trend`` and read back as the
+  baseline population for trend regression detection
+  (:mod:`repro.analysis.trends`).  Deliberately *not* foreign-keyed to
+  ``CampaignData``: history must survive a campaign being deleted and
+  re-set-up between runs — that is the very sequence trends compare.
+
 Opening an older database migrates it in place: migrations are additive
 (``CREATE TABLE IF NOT EXISTS`` / ``ALTER TABLE ... ADD COLUMN`` with a
 default), so older data is untouched and keeps its meaning.
@@ -56,7 +66,7 @@ default), so older data is untouched and keeps its meaning.
 
 from __future__ import annotations
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 CREATE_TABLES = """
 CREATE TABLE IF NOT EXISTS SchemaInfo (
@@ -120,6 +130,17 @@ CREATE TABLE IF NOT EXISTS PropagationProbe (
 
 CREATE INDEX IF NOT EXISTS idx_probe_campaign
     ON PropagationProbe(campaignName);
+
+CREATE TABLE IF NOT EXISTS CampaignHistory (
+    runId        INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaignName TEXT NOT NULL,
+    pack         TEXT,
+    summaryJson  TEXT NOT NULL,
+    createdAt    TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_history_campaign
+    ON CampaignHistory(campaignName);
 """
 
 #: Stepwise in-place migrations: ``MIGRATIONS[n]`` upgrades a version-n
@@ -157,6 +178,18 @@ CREATE INDEX IF NOT EXISTS idx_probe_campaign
 """,
     3: """
 ALTER TABLE LoggedSystemState ADD COLUMN pruned INTEGER NOT NULL DEFAULT 0;
+""",
+    4: """
+CREATE TABLE IF NOT EXISTS CampaignHistory (
+    runId        INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaignName TEXT NOT NULL,
+    pack         TEXT,
+    summaryJson  TEXT NOT NULL,
+    createdAt    TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_history_campaign
+    ON CampaignHistory(campaignName);
 """,
 }
 

@@ -145,6 +145,7 @@ class GoofiSession:
         probes=None,
         prune=None,
         shared_state: bool = True,
+        events=None,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
@@ -163,8 +164,12 @@ class GoofiSession:
         experiment pruning (``True``, a spot-check rate, or a
         :class:`repro.core.liveness.PruneConfig`): experiments whose
         faults are provably overwritten before being read are logged
-        without simulation — see :mod:`repro.core.liveness`.  Logged
-        rows are identical to the plain serial loop in all cases."""
+        without simulation — see :mod:`repro.core.liveness`.  ``events``
+        streams versioned campaign lifecycle records (a destination
+        string, sink list, or :class:`repro.core.events.EventBus`) for
+        ``goofi watch`` and recording — see :mod:`repro.core.events`.
+        Logged rows are identical to the plain serial loop in all
+        cases."""
         return self.algorithms.run_campaign(
             campaign_name,
             resume=resume,
@@ -176,6 +181,7 @@ class GoofiSession:
             probes=probes,
             prune=prune,
             shared_state=shared_state,
+            events=events,
         )
 
     def stats(self, campaign_name: str) -> str:

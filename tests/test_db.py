@@ -7,6 +7,7 @@ import sqlite3
 import pytest
 
 from repro.db import (
+    SCHEMA_VERSION,
     CampaignRecord,
     DatabaseError,
     ExperimentRecord,
@@ -241,7 +242,10 @@ class TestPersistence:
             db.save_experiment(pruned)
             assert db.load_experiment("c1/exp1").pruned is True
         conn = sqlite3.connect(path)
-        assert conn.execute("SELECT version FROM SchemaInfo").fetchone()[0] == 4
+        assert (
+            conn.execute("SELECT version FROM SchemaInfo").fetchone()[0]
+            == SCHEMA_VERSION
+        )
         conn.close()
 
 

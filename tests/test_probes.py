@@ -292,7 +292,7 @@ class TestSchemaV3:
         conn.close()
         with GoofiDatabase(path) as db:
             cur = db._conn.execute("SELECT version FROM SchemaInfo")
-            assert cur.fetchone()[0] == SCHEMA_VERSION == 4
+            assert cur.fetchone()[0] == SCHEMA_VERSION >= 4
 
     def test_migrated_database_stores_probes(self, tmp_path):
         path = tmp_path / "old.db"

@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+import io
+import sys
 import threading
 import time
 
-from repro.core.progress import ProgressEvent, ProgressReporter, console_observer
+import pytest
+
+from repro.core.progress import (
+    ProgressEvent,
+    ProgressReporter,
+    console_observer,
+    format_duration,
+)
 
 
 class TestReporting:
@@ -84,14 +93,82 @@ class TestControl:
         assert reporter.abort_requested
 
 
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        ("seconds", "rendered"),
+        [
+            (0.0, "0.0s"),
+            (9.94, "9.9s"),
+            (9.96, "10s"),  # rounds up across the sub-10s format switch
+            (59.4, "59s"),
+            (59.7, "1m00s"),  # rounds up across the minute boundary
+            (60.0, "1m00s"),
+            (90.5, "1m30s"),  # round() at .5: banker's rounding is fine
+            (90.6, "1m31s"),
+            (3599.6, "1h00m"),
+            (3600.0, "1h00m"),
+            (7265.0, "2h01m"),
+        ],
+    )
+    def test_boundaries(self, seconds, rendered):
+        assert format_duration(seconds) == rendered
+
+    def test_monotonic_across_boundaries(self):
+        """The rendered value never decreases as the duration grows —
+        the ``59.7 -> "60s" vs 60.0 -> "1m00s"`` glitch stays fixed."""
+
+        def sort_key(text: str) -> float:
+            if text.endswith("m") and "h" in text:
+                hours, minutes = text[:-1].split("h")
+                return float(hours) * 3600 + float(minutes) * 60
+            if "m" in text:
+                minutes, secs = text[:-1].split("m")
+                return float(minutes) * 60 + float(secs)
+            return float(text[:-1])
+
+        samples = [i / 10 for i in range(0, 40000, 3)]
+        rendered = [sort_key(format_duration(s)) for s in samples]
+        assert rendered == sorted(rendered)
+
+    def test_negative_clamped(self):
+        assert format_duration(-5.0) == "0.0s"
+
+
 class TestConsoleObserver:
-    def test_prints_on_final_experiment(self, capsys):
+    def test_prints_to_stderr_not_stdout(self, capsys):
         event = ProgressEvent("camp", 10, 10, "camp/exp9", "workload_end", 1.0)
         console_observer(event)
-        out = capsys.readouterr().out
-        assert "10/10" in out
+        captured = capsys.readouterr()
+        assert "10/10" in captured.err
+        assert captured.out == ""
 
     def test_silent_between_blocks(self, capsys):
         event = ProgressEvent("camp", 3, 10, "camp/exp2", "workload_end", 1.0)
         console_observer(event)
-        assert capsys.readouterr().out == ""
+        assert capsys.readouterr().err == ""
+
+    def test_prints_every_block_of_fifty(self, capsys):
+        event = ProgressEvent("camp", 50, 200, "camp/exp49", "workload_end", 1.0)
+        console_observer(event)
+        assert "50/200" in capsys.readouterr().err
+
+    def test_non_tty_has_no_carriage_returns(self, capsys):
+        """CI logs and redirected stderr get plain lines, never the
+        ``\\r``-rewriting that turns a log file into one long line."""
+        for completed in (50, 100):
+            console_observer(
+                ProgressEvent("camp", completed, 100, "camp/exp", "x", 1.0)
+            )
+        err = capsys.readouterr().err
+        assert "\r" not in err
+        assert err.count("\n") == 2
+
+    def test_tty_rewrites_in_place(self, monkeypatch):
+        stream = io.StringIO()
+        stream.isatty = lambda: True  # type: ignore[method-assign]
+        monkeypatch.setattr(sys, "stderr", stream)
+        console_observer(ProgressEvent("camp", 1, 2, "camp/exp0", "x", 1.0))
+        console_observer(ProgressEvent("camp", 2, 2, "camp/exp1", "x", 1.0))
+        text = stream.getvalue()
+        assert text.count("\r") == 2  # every experiment redraws the line
+        assert text.endswith("\n")  # the final line is terminated

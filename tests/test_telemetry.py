@@ -351,6 +351,48 @@ class TestPersistence:
         assert kinds[-1] == "metrics"
         assert lines[-1]["snapshot"]["counters"]["experiments"] == 5
 
+    def test_jsonl_parseable_after_abort(self, session, tmp_path):
+        """The flush-per-record contract: an aborted run's JSONL sink
+        holds one complete, parseable line per span already finished —
+        no buffered tail is lost, no partial line is left behind."""
+        jsonl = tmp_path / "tele.jsonl"
+        make_campaign(session, "ab", num_experiments=12, seed=55)
+
+        def abort_early(event):
+            if event.completed >= 4:
+                session.progress.end()
+
+        session.progress.observers.append(abort_early)
+        try:
+            result = session.run_campaign("ab", telemetry_jsonl=jsonl)
+        finally:
+            session.progress.observers.remove(abort_early)
+        assert result.aborted
+        lines = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+            if line
+        ]
+        spans = [line for line in lines if line["kind"] == "span"]
+        assert len(spans) == result.experiments_run
+        assert all(line["experiment"].startswith("ab/") for line in spans)
+
+    def test_reader_skips_truncated_final_line(self, tmp_path, caplog):
+        """A writer killed mid-line (power cut, SIGKILL) must not make
+        the file unreadable: the shared JSONL reader drops the
+        undecodable tail with a warning and yields the rest."""
+        from repro.core.events import iter_jsonl
+
+        jsonl = tmp_path / "tele.jsonl"
+        jsonl.write_text(
+            '{"kind": "span", "experiment": "c/exp0", "phases": {}}\n'
+            '{"kind": "span", "experiment": "c/e'  # killed mid-write
+        )
+        with caplog.at_level("WARNING"):
+            records = list(iter_jsonl(jsonl))
+        assert [r["experiment"] for r in records] == ["c/exp0"]
+        assert "truncated" in caplog.text
+
     def test_v1_database_migrates_in_place(self, tmp_path):
         path = tmp_path / "old.db"
         GoofiDatabase(path).close()
@@ -408,9 +450,9 @@ class TestProgressRate:
         reporter.start("c", 100)
         for index in range(50):
             reporter.experiment_done(f"e{index}", "workload_end")
-        out = capsys.readouterr().out
-        assert " exp/s" in out
-        assert "ETA " in out
+        err = capsys.readouterr().err
+        assert " exp/s" in err
+        assert "ETA " in err
 
     def test_format_duration(self):
         assert format_duration(0.5) == "0.5s"
@@ -486,6 +528,41 @@ class TestStatsSurface:
         assert cli_main(["stats", "c", "--db", db, "--json"]) == 0
         snapshot = json.loads(capsys.readouterr().out)
         assert snapshot["counters"]["experiments"] == 6
+
+    def test_cli_stats_json_schema_is_pinned(self, tmp_path, capsys):
+        """``goofi stats --json`` is a machine interface (CI trend
+        scripts parse it): pin the top-level key set and value types so
+        a refactor cannot silently rename or retype them."""
+        db = str(tmp_path / "pin.db")
+        assert cli_main([
+            "campaign", "create", "--db", db, "--name", "c",
+            "--workload", "fibonacci", "--experiments", "4",
+        ]) == 0
+        assert cli_main(["run", "c", "--db", db, "--quiet",
+                         "--telemetry=spans"]) == 0
+        capsys.readouterr()
+        assert cli_main(["stats", "c", "--db", db, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+
+        assert set(snapshot) == {"counters", "gauges", "histograms", "timers"}
+        assert all(
+            isinstance(value, int) for value in snapshot["counters"].values()
+        )
+        assert all(
+            isinstance(value, (int, float))
+            for value in snapshot["gauges"].values()
+        )
+        for name, histogram in snapshot["histograms"].items():
+            assert set(histogram) == {"bounds", "counts"}, name
+            assert len(histogram["counts"]) == len(histogram["bounds"]) + 1
+        for name, timer in snapshot["timers"].items():
+            assert set(timer) == {"count", "seconds"}, name
+            assert isinstance(timer["count"], int)
+            assert isinstance(timer["seconds"], float)
+        # The keys trend tracking and the stats report read must exist.
+        assert "experiments" in snapshot["counters"]
+        assert "elapsed_seconds" in snapshot["gauges"]
+        assert any(name.startswith("phase.") for name in snapshot["timers"])
 
     def test_cli_stats_without_telemetry_errors(self, tmp_path, capsys):
         db = str(tmp_path / "cli2.db")

@@ -1,0 +1,123 @@
+"""Resource-sampling overhead bench on the telemetry-bench workload.
+
+Regenerates: wall-clock cost of running the same campaign with resource
+sampling off versus on (default cadence), plus the row-level invariance
+check — resource telemetry observes a run, it must not perturb it.
+
+Writes ``BENCH_resources.json`` next to the text table
+(machine-readable, via :func:`conftest.write_result`).
+
+Methodology mirrors ``bench_telemetry.py``: each round runs both modes
+back to back with the in-round order rotated, and the overhead is the
+*median of the per-round paired ratios*, which discards one-off
+scheduler/GC noise that a ratio of minima would keep.  The overhead
+ceiling (sampling < 3% over off) fires only in full mode;
+``GOOFI_BENCH_QUICK=1`` shrinks the campaign for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import build_campaign, write_result
+
+QUICK = os.environ.get("GOOFI_BENCH_QUICK") == "1"
+
+EXPERIMENTS = 60 if QUICK else 200
+RUNS = 2 if QUICK else 9
+#: Resource-sampling overhead ceiling (fraction of the sampling-off time).
+RESOURCES_OVERHEAD_CEILING = 0.03
+
+#: ``run_campaign(resources=...)`` values per mode.  Sampling-on uses
+#: the default cadence — the configuration ``goofi run --resources``
+#: enables — so the ceiling gates what users actually pay.
+MODES = (("off", None), ("resources", True))
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _rows(db, campaign: str) -> dict:
+    return {
+        record.experiment_name.split("/", 1)[1]: (
+            record.experiment_data,
+            record.state_vector,
+        )
+        for record in db.iter_experiments(campaign)
+    }
+
+
+def test_resource_sampling_overhead(bench_session):
+    build_campaign(
+        bench_session, "res", workload="bubble_sort",
+        num_experiments=EXPERIMENTS, seed=10,
+    )
+
+    times: dict[str, list[float]] = {label: [] for label, _ in MODES}
+    rows: dict[str, dict] = {}
+    sample_counts: list[int] = []
+    # Warm caches outside the timed runs, then interleave the modes with
+    # rotating order so drift hits both equally.
+    bench_session.run_campaign("res")
+    for round_index in range(RUNS):
+        rotation = round_index % len(MODES)
+        for label, resources in MODES[rotation:] + MODES[:rotation]:
+            # Clear the previous run's rows (and resource samples)
+            # outside the timed region — the deletion cost depends on
+            # what the previous mode wrote.
+            bench_session.db.delete_campaign_experiments("res")
+            started = time.perf_counter()
+            result = bench_session.run_campaign("res", resources=resources)
+            elapsed = time.perf_counter() - started
+            assert result.experiments_run == EXPERIMENTS
+            times[label].append(elapsed)
+            rows[label] = _rows(bench_session.db, "res")
+            if resources is not None:
+                assert result.resource_samples > 0
+                sample_counts.append(result.resource_samples)
+    best = {label: min(samples) for label, samples in times.items()}
+
+    assert rows["resources"] == rows["off"], "sampling perturbed the rows"
+
+    overhead = _median(
+        [
+            sample / baseline
+            for sample, baseline in zip(times["resources"], times["off"])
+        ]
+    ) - 1.0
+    lines = [
+        "BENCH: resource-sampling overhead (campaign run, median paired "
+        f"ratio over {RUNS} rounds, {EXPERIMENTS} experiments)",
+        f"  off      : {best['off']:7.3f}s best "
+        f"({EXPERIMENTS / best['off']:6.1f} exp/s)",
+        f"  resources: {best['resources']:7.3f}s best "
+        f"({EXPERIMENTS / best['resources']:6.1f} exp/s, "
+        f"{overhead:+6.1%} vs off, "
+        f"{_median([float(c) for c in sample_counts]):.0f} samples/run)",
+        "  rows     : bit-identical across off/resources (asserted)",
+    ]
+    write_result(
+        "BENCH_resources",
+        "\n".join(lines),
+        data={
+            "mode": "quick" if QUICK else "full",
+            "experiments": EXPERIMENTS,
+            "runs": RUNS,
+            "seconds": best,
+            "overhead_vs_off": overhead,
+            "samples_per_run": sample_counts,
+            "rows_identical": True,
+        },
+    )
+
+    if not QUICK:
+        assert overhead < RESOURCES_OVERHEAD_CEILING, (
+            f"resource sampling costs {overhead:.1%}, "
+            f"ceiling is {RESOURCES_OVERHEAD_CEILING:.0%}"
+        )

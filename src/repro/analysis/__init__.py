@@ -69,10 +69,17 @@ from .probes_report import (
     infection_percentiles,
     propagation_report,
 )
+from .htmlreport import (
+    render_campaign_report,
+    render_index,
+    write_campaign_report,
+    write_index,
+)
 from .reports import campaign_report, format_classification, format_measures
 from .telemetry_report import (
     format_stats_report,
     phase_breakdown,
+    resource_summary,
     stats_report,
     throughput_summary,
 )

@@ -32,6 +32,16 @@ def _fmt_count(value: float) -> str:
     return f"{value:,.1f}"
 
 
+def _fmt_bytes(value: float | None) -> str:
+    if value is None:
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:,.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:,.1f}GiB"  # pragma: no cover - loop always returns
+
+
 def phase_breakdown(snapshot: dict) -> list[tuple[str, float, int]]:
     """``(phase, total_seconds, calls)`` for every ``phase.*`` timer,
     slowest first."""
@@ -48,9 +58,70 @@ def _ratio_line(label: str, hits: float, total: float) -> str:
     return f"  {label:<22}: {_fmt_count(hits)} of {_fmt_count(total)} ({share:.1%})"
 
 
+def resource_summary(samples: list[dict]) -> dict:
+    """Fold ``ResourceSample`` rows (sample dicts, see
+    :data:`repro.core.resources.RESOURCE_SAMPLE_KEYS`) into per-worker
+    and campaign-wide totals.
+
+    CPU counters inside a sample are *cumulative* for that process, so
+    a worker's total is its last sample; campaign CPU is the sum of the
+    per-worker totals.  RSS and shared-memory footprints are peaks
+    (max over samples).
+    """
+    workers: dict[int, dict] = {}
+    for sample in samples:
+        worker = sample.get("worker", 0)
+        entry = workers.setdefault(
+            worker,
+            {
+                "samples": 0,
+                "source": sample.get("source"),
+                "cpu_user_seconds": 0.0,
+                "cpu_system_seconds": 0.0,
+                "peak_rss_bytes": None,
+                "peak_shm_bytes": None,
+                "timeline": [],
+            },
+        )
+        entry["samples"] += 1
+        if sample.get("cpu_user_seconds") is not None:
+            entry["cpu_user_seconds"] = sample["cpu_user_seconds"]
+        if sample.get("cpu_system_seconds") is not None:
+            entry["cpu_system_seconds"] = sample["cpu_system_seconds"]
+        for key, peak in (("rss_bytes", "peak_rss_bytes"),
+                          ("shm_bytes", "peak_shm_bytes")):
+            value = sample.get(key)
+            if value is not None:
+                current = entry[peak]
+                entry[peak] = value if current is None else max(current, value)
+        entry["timeline"].append(
+            (sample.get("uptime_seconds", 0.0), sample.get("rss_bytes"))
+        )
+    peaks_rss = [w["peak_rss_bytes"] for w in workers.values()
+                 if w["peak_rss_bytes"] is not None]
+    peaks_shm = [w["peak_shm_bytes"] for w in workers.values()
+                 if w["peak_shm_bytes"] is not None]
+    return {
+        "samples": len(samples),
+        "workers": workers,
+        "cpu_user_seconds": sum(w["cpu_user_seconds"] for w in workers.values()),
+        "cpu_system_seconds": sum(
+            w["cpu_system_seconds"] for w in workers.values()
+        ),
+        "peak_rss_bytes": max(peaks_rss) if peaks_rss else None,
+        "peak_shm_bytes": max(peaks_shm) if peaks_shm else None,
+    }
+
+
+def _worker_label(worker: int) -> str:
+    # The serial loop and the parallel coordinator sample as well;
+    # COORDINATOR_WORKER (-1) reads better spelled out.
+    return "coordinator" if worker < 0 else f"worker {worker}"
+
+
 def format_stats_report(
     campaign_name: str, snapshot: dict, spans: list[dict] | None = None,
-    slowest: int = 5,
+    slowest: int = 5, resources: list[dict] | None = None,
 ) -> str:
     """The full ``goofi stats`` report for one campaign."""
     counters = snapshot.get("counters", {})
@@ -157,6 +228,35 @@ def format_stats_report(
             buckets.append(f">{_fmt_secs(histogram['bounds'][-1])}: {overflow}")
         lines.append("  " + "   ".join(buckets))
 
+    if resources:
+        folded = resource_summary(resources)
+        lines += ["", f"Resources ({folded['samples']} samples):"]
+        for worker in sorted(folded["workers"]):
+            entry = folded["workers"][worker]
+            cpu = entry["cpu_user_seconds"] + entry["cpu_system_seconds"]
+            lines.append(
+                f"  {_worker_label(worker):<22}: "
+                f"{entry['samples']:>4} samples, cpu {_fmt_secs(cpu)}, "
+                f"peak rss {_fmt_bytes(entry['peak_rss_bytes'])}, "
+                f"peak shm {_fmt_bytes(entry['peak_shm_bytes'])} "
+                f"[{entry['source'] or 'unavailable'}]"
+            )
+        total_cpu = folded["cpu_user_seconds"] + folded["cpu_system_seconds"]
+        lines.append(
+            f"  {'total cpu':<22}: {_fmt_secs(total_cpu)} "
+            f"(user {_fmt_secs(folded['cpu_user_seconds'])}, "
+            f"system {_fmt_secs(folded['cpu_system_seconds'])})"
+        )
+        lines.append(
+            f"  {'peak rss (any worker)':<22}: "
+            f"{_fmt_bytes(folded['peak_rss_bytes'])}"
+        )
+        if folded["peak_shm_bytes"] is not None:
+            lines.append(
+                f"  {'peak shared memory':<22}: "
+                f"{_fmt_bytes(folded['peak_shm_bytes'])}"
+            )
+
     if spans:
         ranked = sorted(
             spans, key=lambda span: -span.get("duration_seconds", 0.0)
@@ -176,11 +276,25 @@ def format_stats_report(
 def stats_report(
     db: GoofiDatabase, campaign_name: str, slowest: int = 5
 ) -> str:
-    """Load a campaign's stored telemetry and render the report."""
-    snapshot = db.load_campaign_telemetry(campaign_name)
+    """Load a campaign's stored telemetry and render the report.
+
+    Resource samples live in their own table and do not require a
+    telemetry snapshot — a run with ``--resources`` but no
+    ``--telemetry`` still gets a report (with just the Resources
+    section)."""
+    resources = [
+        record.sample for record in db.iter_resource_samples(campaign_name)
+    ]
+    try:
+        snapshot = db.load_campaign_telemetry(campaign_name)
+    except Exception:
+        if not resources:
+            raise
+        snapshot = {}
     spans = [record.span for record in db.iter_spans(campaign_name)]
     return format_stats_report(
-        campaign_name, snapshot, spans=spans or None, slowest=slowest
+        campaign_name, snapshot, spans=spans or None, slowest=slowest,
+        resources=resources or None,
     )
 
 

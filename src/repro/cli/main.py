@@ -39,6 +39,7 @@ from ..logconfig import setup_logging
 from ..core import (
     DEFAULT_CHECKPOINT_CAPACITY,
     DEFAULT_PROBE_PERIOD,
+    DEFAULT_RESOURCE_PERIOD,
     DEFAULT_SPOT_CHECK_RATE,
     ProgressReporter,
     registered_targets,
@@ -354,6 +355,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             prune=args.prune,
             shared_state=args.shared_state,
             events=args.events,
+            resources=args.resources,
+            profile=args.profile,
         )
         # With --events=- the event JSONL owns stdout; the human
         # summary moves to stderr so piped output stays parseable.
@@ -379,6 +382,18 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"({prune['divergences']} divergences)",
                 file=out,
             )
+        if result.resource_samples is not None:
+            print(
+                f"resources: {result.resource_samples} samples recorded",
+                file=out,
+            )
+        if result.profile is not None:
+            print(
+                f"profile: {result.profile['functions']} functions "
+                f"recorded; inspect with: goofi stats "
+                f"{result.campaign_name} --profile --db {args.db}",
+                file=out,
+            )
         if result.telemetry is not None:
             print(
                 f"telemetry recorded; inspect with: "
@@ -390,6 +405,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     with _session(args) as session:
+        if args.profile:
+            from ..core import format_profile_report
+
+            snapshot = session.db.load_campaign_telemetry(args.campaign)
+            profile = snapshot.get("profile")
+            if not profile:
+                print(
+                    f"goofi: error: campaign {args.campaign!r} recorded no "
+                    "profile — run it with 'goofi run --profile'",
+                    file=sys.stderr,
+                )
+                return 1
+            print(format_profile_report(args.campaign, profile))
+            return 0
         if args.history:
             from ..analysis import format_history
 
@@ -412,6 +441,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
             )
             return 0
         print(stats_report(session.db, args.campaign, slowest=args.slowest))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from ..analysis import write_campaign_report, write_index
+
+    with _session(args) as session:
+        if args.campaign is None:
+            path = write_index(session.db, args.out)
+            count = len(session.db.list_campaigns())
+            print(f"wrote index of {count} campaign(s) to {path}")
+        else:
+            path = write_campaign_report(session.db, args.campaign, args.out)
+            print(
+                f"wrote report for campaign {args.campaign!r} to {path} "
+                f"(self-contained; open in any browser)"
+            )
     return 0
 
 
@@ -842,6 +888,27 @@ def build_parser() -> argparse.ArgumentParser:
              "diverge from the synthesized row",
     )
     run.add_argument(
+        "--resources",
+        nargs="?",
+        const=DEFAULT_RESOURCE_PERIOD,
+        default=None,
+        type=float,
+        metavar="PERIOD",
+        help="sample each worker's CPU time, resident set, and "
+             "shared-memory footprint every PERIOD seconds (default: "
+             f"{DEFAULT_RESOURCE_PERIOD}) plus at phase boundaries, into "
+             "the ResourceSample table (inspect with 'goofi stats' or "
+             "'goofi report'; logged rows are identical either way)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap every worker's experiment loop in cProfile and store "
+             "the merged hotspot summary with the campaign telemetry "
+             "(inspect with 'goofi stats --profile'; logged rows are "
+             "identical either way)",
+    )
+    run.add_argument(
         "--events",
         nargs="?",
         const="-",
@@ -910,7 +977,34 @@ def build_parser() -> argparse.ArgumentParser:
              "throughput) from the history table written by "
              "'goofi gate --trend'",
     )
+    stats.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the profiler hotspot table from a campaign run with "
+             "'goofi run --profile'",
+    )
     stats.set_defaults(func=cmd_stats)
+
+    report = sub.add_parser(
+        "report",
+        help="write a self-contained HTML dashboard for one campaign "
+             "(or, without a campaign, a cross-campaign index)",
+    )
+    _add_db_argument(report)
+    report.add_argument(
+        "campaign",
+        nargs="?",
+        default=None,
+        help="campaign to render (omit for the cross-campaign index)",
+    )
+    report.add_argument(
+        "--out",
+        default="goofi-report.html",
+        metavar="PATH",
+        help="output HTML file (default: goofi-report.html); single "
+             "file, inline SVG charts, no external assets",
+    )
+    report.set_defaults(func=cmd_report)
 
     analyze = sub.add_parser("analyze", help="analysis phase")
     _add_db_argument(analyze)

@@ -62,6 +62,8 @@ class WatchModel:
         self.elapsed_seconds: float | None = None
         self.phases: dict[str, float] = {}
         self.spans = 0
+        self.resource_samples = 0
+        self.unknown_kinds: Counter[str] = Counter()
         self.worker_state: dict[int, str] = {}
         self.gate: dict | None = None
         self.finished = False
@@ -123,8 +125,16 @@ class WatchModel:
             self.finished = True
             self.aborted = True
             self.elapsed_seconds = record.get("elapsed_seconds")
+        elif kind == "resource_sample":
+            self.resource_samples += 1
         elif kind == "gate_verdict":
             self.gate = record
+        else:
+            # Event kinds are additive within a schema version: a newer
+            # writer may emit kinds this reader predates.  Skip them,
+            # but count what was skipped so the summary says so instead
+            # of silently under-reporting.
+            self.unknown_kinds[str(kind)] += 1
 
     @property
     def done(self) -> bool:
@@ -193,6 +203,14 @@ class WatchModel:
                 for worker, state in sorted(self.worker_state.items())
             )
             lines.append(f"workers: {states}")
+        if self.resource_samples:
+            lines.append(f"resource samples: {self.resource_samples}")
+        if self.unknown_kinds:
+            skipped = ", ".join(
+                f"{kind} ({count})"
+                for kind, count in sorted(self.unknown_kinds.items())
+            )
+            lines.append(f"unrecognized kinds skipped: {skipped}")
         if self.gate is not None:
             verdict = "PASSED" if self.gate.get("passed") else "FAILED"
             lines.append(f"gate: {verdict}")

@@ -115,11 +115,25 @@ from .probes import (
     location_class,
     resolve_probes,
 )
+from .profiling import (
+    ProfileCollector,
+    format_profile_report,
+    merge_profile_stats,
+    profile_summary,
+)
 from .progress import (
     ProgressEvent,
     ProgressReporter,
     console_observer,
     format_duration,
+)
+from .resources import (
+    COORDINATOR_WORKER,
+    DEFAULT_RESOURCE_PERIOD,
+    RESOURCE_SAMPLE_KEYS,
+    ResourceConfig,
+    ResourceSampler,
+    resolve_resources,
 )
 from .telemetry import (
     MODE_METRICS,

@@ -42,6 +42,7 @@ from ..db import (
     ExperimentRecord,
     GoofiDatabase,
     ProbeRecord,
+    ResourceSampleRecord,
     SpanRecord,
     TargetSystemRecord,
     reference_name,
@@ -79,8 +80,16 @@ from .liveness import (
 from .locations import KIND_MEMORY, KIND_SCAN
 from .plugins import create_environment, technique_method
 from .probes import ProbeConfig, ProbeSession, resolve_probes
+from .profiling import ProfileCollector, merge_profile_stats, profile_summary
 from .progress import ProgressReporter
-from .telemetry import NULL_SPAN, NULL_TELEMETRY, resolve_telemetry
+from .resources import ResourceConfig, ResourceSampler, resolve_resources
+from .telemetry import (
+    MODE_METRICS,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    Telemetry,
+    resolve_telemetry,
+)
 from .triggers import ReferenceTrace
 
 logger = logging.getLogger(__name__)
@@ -105,6 +114,12 @@ class CampaignResult:
     #: counts and divergences) when the run used ``--prune``; ``None``
     #: otherwise.
     prune: dict | None = None
+    #: Aggregated cProfile hotspot summary when the run used
+    #: ``--profile``; ``None`` otherwise.
+    profile: dict | None = None
+    #: Number of resource samples persisted when the run used
+    #: ``--resources``; ``None`` otherwise.
+    resource_samples: int | None = None
 
 
 def emit_pruned_events(bus, campaign_name: str, prune_plan, total: int) -> None:
@@ -193,6 +208,16 @@ class FaultInjectionAlgorithms:
         #: campaign run (``run_campaign(prune=...)``); ``None`` when
         #: pruning is off.
         self.prune_config: PruneConfig | None = None
+        #: Requested resource-sampling configuration for the current
+        #: campaign run (``run_campaign(resources=...)``); ``None``
+        #: when resource telemetry is off.
+        self.resource_config: ResourceConfig | None = None
+        #: Active resource sampler (serial runs and parallel workers
+        #: install their own); the flush path drains it.
+        self.resources: ResourceSampler | None = None
+        #: Whether the current run wraps the experiment loop in
+        #: :mod:`cProfile` (``run_campaign(profile=True)``).
+        self.profile: bool = False
         #: The reference run's logged record, stashed by
         #: :meth:`make_reference_run` — pruned rows synthesise their
         #: state vector from it.
@@ -218,6 +243,8 @@ class FaultInjectionAlgorithms:
         prune=None,
         shared_state: bool = True,
         events=None,
+        resources=None,
+        profile: bool = False,
     ) -> CampaignResult:
         """Run the campaign's technique-specific algorithm (dispatched
         through the technique registry).
@@ -291,10 +318,35 @@ class FaultInjectionAlgorithms:
         for zero-copy worker attachment; ``False`` forces the
         serialising fallback (the same content shipped by value).  Rows
         are bit-identical either way.
+
+        ``resources`` turns on worker resource telemetry (see
+        :func:`repro.core.resources.resolve_resources`: ``True``, a
+        sampling period in seconds, a dict, or a ready
+        :class:`~repro.core.resources.ResourceConfig`).  Each worker
+        then samples its own CPU time, RSS, and shared-memory footprint
+        on that cadence (plus phase boundaries); samples land in the
+        ``ResourceSample`` table, stream as ``resource_sample`` events,
+        and fold into the telemetry snapshot when telemetry is also on.
+        Sampling is read-only observation of the worker process — rows
+        are bit-identical with it on or off, and a platform without
+        ``/proc`` or ``getrusage`` degrades to no samples, never to a
+        failed campaign.
+
+        ``profile=True`` wraps each worker's experiment loop in
+        :mod:`cProfile`; the coordinator aggregates the per-worker
+        stats and persists a top-N hotspot summary with the campaign
+        telemetry snapshot (``goofi stats --profile``).  Implies
+        metrics-mode telemetry when none was requested, so the summary
+        has a snapshot row to live in.  Purely observational: rows are
+        bit-identical profiled or not.
         """
         config = self.read_campaign_data(campaign_name)
         self.target.set_fast_path(fast)
         tele = resolve_telemetry(telemetry, telemetry_jsonl)
+        if profile and not tele.enabled:
+            # The hotspot summary is persisted with the telemetry
+            # snapshot, so profiling needs at least metrics mode.
+            tele = Telemetry(MODE_METRICS)
         self.telemetry = tele
         probe_config = resolve_probes(probes)
         if probe_config is not None and not self.target.supports_probes:
@@ -311,6 +363,8 @@ class FaultInjectionAlgorithms:
             )
         self.probe_config = probe_config
         self.prune_config = prune_config
+        self.resource_config = resolve_resources(resources)
+        self.profile = bool(profile)
         bus = resolve_events(events)
         # A bus handed in ready-made (e.g. goofi gate, which appends its
         # verdict after the run) stays open for the caller to close.
@@ -343,6 +397,9 @@ class FaultInjectionAlgorithms:
             self.telemetry = NULL_TELEMETRY
             self.probe_config = None
             self.prune_config = None
+            self.resource_config = None
+            self.resources = None
+            self.profile = False
 
     def experiment_runner(self, technique: str):
         """The per-experiment body for ``technique`` (bound method taking
@@ -504,6 +561,13 @@ class FaultInjectionAlgorithms:
         checkpoints: bool = False,
     ) -> CampaignResult:
         tele = self.telemetry
+        sampler: ResourceSampler | None = None
+        if self.resource_config is not None:
+            # Serial runs sample the one process doing the work; when
+            # no backend works the sampler degrades to a no-op rather
+            # than failing the campaign.
+            sampler = ResourceSampler(self.resource_config, worker=0)
+            self.resources = sampler
         if resume:
             already_logged = {
                 record.experiment_name
@@ -517,9 +581,13 @@ class FaultInjectionAlgorithms:
             self.db.delete_campaign_experiments(config.name)
         with tele.time("phase.reference"):
             trace = self.make_reference_run(config)
+        if sampler is not None:
+            sampler.sample("reference")
         space = self.target.location_space()
         with tele.time("phase.plan"):
             plan = PlanGenerator(config, space, trace).generate()
+        if sampler is not None:
+            sampler.sample("plan")
         if self.probe_config is not None:
             # One extra fault-free pass captures the golden snapshots
             # every experiment's probes diff against.
@@ -533,6 +601,8 @@ class FaultInjectionAlgorithms:
                 # The golden pass also records per-element liveness —
                 # the same summary the pruning classifier reasons from.
                 self.probes.golden.liveness = liveness_map(trace)
+            if sampler is not None:
+                sampler.sample("golden")
         remaining = [spec for spec in plan if spec.name not in already_logged]
         prune_plan: PrunePlan | None = None
         if self.prune_config is not None:
@@ -619,8 +689,12 @@ class FaultInjectionAlgorithms:
         failed = False
         checkpoint_stats: dict | None = None
         snapshot: dict | None = None
+        profile_data: dict | None = None
         pending: list[ExperimentRecord] = []
+        collector = ProfileCollector() if self.profile else None
         try:
+            if collector is not None:
+                collector.start()
             for spec in remaining:
                 if progress.abort_requested:
                     aborted = True
@@ -639,6 +713,8 @@ class FaultInjectionAlgorithms:
                     self._flush_batch(config.name, pending)
                     pending = []
                 completed += 1
+                if sampler is not None:
+                    sampler.maybe_sample()
                 outcome = record.state_vector["termination"]["outcome"]
                 progress_event = progress.experiment_done(spec.name, outcome)
                 if bus.enabled:
@@ -651,6 +727,13 @@ class FaultInjectionAlgorithms:
             failed = True
             raise
         finally:
+            if collector is not None:
+                collector.stop()
+                profile_data = profile_summary(
+                    merge_profile_stats([collector.stats_payload()]), workers=1
+                )
+            if sampler is not None:
+                sampler.sample("finish")
             if self.checkpoints is not None:
                 checkpoint_stats = self.checkpoints.stats.to_dict()
                 self.checkpoints = None
@@ -658,13 +741,18 @@ class FaultInjectionAlgorithms:
             # accumulated before it, nor leave the campaign stuck at
             # "running" — flush and mark aborted before propagating.
             try:
-                if pending or (self.probes is not None and self.probes.has_pending):
+                if (
+                    pending
+                    or (self.probes is not None and self.probes.has_pending)
+                    or (sampler is not None and sampler.pending)
+                ):
                     self._flush_batch(config.name, pending)
             except Exception:
                 if not failed:
                     raise
             finally:
                 self.probes = None
+                self.resources = None
             progress.finish()
             self.db.set_campaign_status(
                 config.name, "aborted" if (aborted or failed) else "completed"
@@ -688,7 +776,11 @@ class FaultInjectionAlgorithms:
                     elapsed_seconds=round(progress.elapsed_seconds, 6),
                 )
             if tele.enabled and not failed:
-                snapshot = self._finish_telemetry(config.name, checkpoint_stats)
+                if sampler is not None:
+                    sampler.fold_into(tele.metrics)
+                snapshot = self._finish_telemetry(
+                    config.name, checkpoint_stats, profile=profile_data
+                )
         return CampaignResult(
             campaign_name=config.name,
             experiments_run=completed,
@@ -698,6 +790,10 @@ class FaultInjectionAlgorithms:
             checkpoint_stats=checkpoint_stats,
             telemetry=snapshot,
             prune=prune_plan.report() if prune_plan is not None else None,
+            profile=profile_data,
+            resource_samples=(
+                sampler.samples_taken if sampler is not None else None
+            ),
         )
 
     def _flush_batch(
@@ -719,10 +815,30 @@ class FaultInjectionAlgorithms:
             if self.probes is not None
             else []
         )
+        resource_records: list[ResourceSampleRecord] = []
+        if self.resources is not None:
+            samples = self.resources.drain()
+            if self.events.enabled:
+                for sample in samples:
+                    self.events.emit(
+                        "resource_sample",
+                        campaign=campaign_name,
+                        worker=sample["worker"],
+                        sample=sample,
+                    )
+            resource_records = [
+                ResourceSampleRecord(
+                    campaign_name=campaign_name,
+                    sample=sample,
+                    worker=sample["worker"],
+                )
+                for sample in samples
+            ]
         if not tele.enabled:
             if records:
                 self.db.save_experiments(records)
             self.db.save_probes(probe_records)
+            self.db.save_resource_samples(resource_records)
             return
         spans = tele.drain_spans()
         for span in spans:
@@ -744,6 +860,7 @@ class FaultInjectionAlgorithms:
         if records:
             self.db.save_experiments(records)
         self.db.save_probes(probe_records)
+        self.db.save_resource_samples(resource_records)
         if spans:
             self.db.save_spans(
                 [
@@ -763,12 +880,17 @@ class FaultInjectionAlgorithms:
         metrics.inc("db.batches")
 
     def _finish_telemetry(
-        self, campaign_name: str, checkpoint_stats: dict | None = None
+        self,
+        campaign_name: str,
+        checkpoint_stats: dict | None = None,
+        profile: dict | None = None,
     ) -> dict:
         """Close out a telemetered campaign: fold the execution-engine
         and checkpoint-cache counters into the registry, write the
         final snapshot to the database (and the JSONL sink, when one is
-        configured), and return it."""
+        configured), and return it.  A ``--profile`` run's aggregated
+        hotspot summary rides along in the persisted snapshot under the
+        ``profile`` key."""
         tele = self.telemetry
         metrics = tele.metrics
         for key, value in self.target.execution_stats().items():
@@ -781,6 +903,8 @@ class FaultInjectionAlgorithms:
         metrics.gauges.setdefault("workers", 1)
         metrics.set_gauge("elapsed_seconds", self.progress.elapsed_seconds)
         snapshot = tele.write_snapshot()
+        if profile is not None:
+            snapshot["profile"] = profile
         self.db.save_campaign_telemetry(campaign_name, snapshot)
         logger.debug(
             "campaign %r: telemetry snapshot saved (%d counters, %d timers)",

@@ -58,6 +58,8 @@ EVENT_KINDS = (
     "campaign_finished",    # the run completed
     "campaign_aborted",     # the run was aborted (end request or failure)
     "gate_verdict",         # a dependability-gate verdict (goofi gate --events)
+    "resource_sample",      # one worker CPU/RSS/shm sample (additive in v1:
+                            # readers must skip unknown kinds, not fail)
 )
 
 #: Largest datagram we will send to a socket sink.  Span events for

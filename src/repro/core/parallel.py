@@ -34,14 +34,22 @@ import queue as queue_module
 import time
 import traceback
 
-from ..db import ExperimentRecord, GoofiDatabase, ProbeRecord, SpanRecord
+from ..db import (
+    ExperimentRecord,
+    GoofiDatabase,
+    ProbeRecord,
+    ResourceSampleRecord,
+    SpanRecord,
+)
 from . import sharedstate
 from .campaign import CampaignConfig, ExperimentSpec, PlanGenerator
 from .checkpoint import CheckpointCache, sort_plan_by_first_injection
 from .errors import ConfigurationError, GoofiError
 from .liveness import PrunePlan, build_prune_plan, liveness_map
 from .probes import GoldenSnapshots, ProbeConfig, ProbeSession, capture_golden_snapshots
+from .profiling import ProfileCollector, merge_profile_stats, profile_summary
 from .progress import ProgressReporter
+from .resources import COORDINATOR_WORKER, ResourceConfig, ResourceSampler
 from .telemetry import MODE_OFF, Telemetry
 
 logger = logging.getLogger(__name__)
@@ -76,6 +84,8 @@ def _worker_main(
     telemetry_mode=MODE_OFF,
     probes_payload=None,
     shared_descriptor=None,
+    resources_payload=None,
+    profile=False,
 ):
     """Run one shard of the plan and stream results back.
 
@@ -86,8 +96,14 @@ def _worker_main(
       the run is telemetered at span level;
     * ``("probes", worker_id, probe_payloads)`` right after a result,
       when the run is probed;
+    * ``("resources", worker_id, sample_records)`` right after a result,
+      when the run samples worker resources (``resources_payload`` is a
+      :class:`~repro.core.resources.ResourceConfig` dict);
     * ``("metrics", worker_id, registry_snapshot)`` once after the
       shard, when telemetry is on (the coordinator merges it);
+    * ``("profile", worker_id, stats_table)`` once after the shard, when
+      ``profile`` wrapped the shard loop in :mod:`cProfile` (the
+      coordinator aggregates the tables);
     * ``("error", worker_id, traceback_text)`` once on failure;
     * ``("done", worker_id, None)`` always, as the last message.
 
@@ -126,6 +142,12 @@ def _worker_main(
 
         config = CampaignConfig.from_dict(config_dict)
         tele = Telemetry(telemetry_mode)
+        sampler = None
+        if resources_payload is not None:
+            sampler = ResourceSampler(
+                ResourceConfig.from_dict(resources_payload), worker=worker_id
+            )
+        collector = ProfileCollector() if profile else None
         with tele.time("phase.worker_startup"):
             target = create_target(config.target)
             target.set_fast_path(fast)
@@ -177,6 +199,10 @@ def _worker_main(
                     )
                     algorithms.probes = probes
             run_experiment = algorithms.experiment_runner(config.technique)
+        if sampler is not None:
+            sampler.sample("worker_startup")
+        if collector is not None:
+            collector.start()
         for spec_dict in spec_dicts:
             if abort_event.is_set():
                 break
@@ -198,12 +224,26 @@ def _worker_main(
                 result_queue.put(("spans", worker_id, tele.drain_spans()))
             if probes is not None and probes.has_pending:
                 result_queue.put(("probes", worker_id, probes.drain()))
+            if sampler is not None:
+                sampler.maybe_sample()
+                if sampler.pending:
+                    result_queue.put(("resources", worker_id, sampler.drain()))
+        if collector is not None:
+            collector.stop()
+        if sampler is not None:
+            sampler.sample("shard_end")
+            if tele.enabled:
+                sampler.fold_into(tele.metrics)
+            if sampler.pending:
+                result_queue.put(("resources", worker_id, sampler.drain()))
         if tele.enabled:
             for key, value in target.execution_stats().items():
                 if key == "cycles":
                     continue  # point-in-time, not a counter
                 tele.metrics.inc(f"engine.{key}", value)
             result_queue.put(("metrics", worker_id, tele.metrics.snapshot()))
+        if collector is not None:
+            result_queue.put(("profile", worker_id, collector.stats_payload()))
     except BaseException:
         # BaseException, not Exception: a worker killed mid-chunk (e.g.
         # KeyboardInterrupt reaching the child) must still report before
@@ -272,6 +312,13 @@ class ParallelCampaignRunner:
         progress: ProgressReporter = algorithms.progress
         tele = algorithms.telemetry
         bus = algorithms.events
+        sampler: ResourceSampler | None = None
+        if algorithms.resource_config is not None:
+            # The coordinator samples its own process too: its phases
+            # (reference, plan, golden) run before any worker exists.
+            sampler = ResourceSampler(
+                algorithms.resource_config, worker=COORDINATOR_WORKER
+            )
         if resume:
             already_logged = {
                 record.experiment_name for record in db.iter_experiments(config.name)
@@ -283,9 +330,13 @@ class ParallelCampaignRunner:
         # the workers must not race to write.
         with tele.time("phase.reference"):
             trace = algorithms.make_reference_run(config)
+        if sampler is not None:
+            sampler.sample("reference")
         space = algorithms.target.location_space()
         with tele.time("phase.plan"):
             plan = PlanGenerator(config, space, trace).generate()
+        if sampler is not None:
+            sampler.sample("plan")
         remaining = [spec for spec in plan if spec.name not in already_logged]
         prune_plan: PrunePlan | None = None
         if algorithms.prune_config is not None:
@@ -334,6 +385,8 @@ class ParallelCampaignRunner:
             # The golden pass also records per-element liveness — the
             # summary rides along in the shared metadata.
             golden.liveness = liveness_map(trace)
+            if sampler is not None:
+                sampler.sample("golden")
         use_checkpoints = checkpoints and algorithms.target.supports_checkpoints
         if use_checkpoints:
             # Sorting before the round-robin sharding keeps every shard
@@ -376,6 +429,29 @@ class ParallelCampaignRunner:
                     total=0,
                     elapsed_seconds=round(progress.elapsed_seconds, 6),
                 )
+            if sampler is not None:
+                sampler.sample("finish")
+                samples = sampler.drain()
+                if bus.enabled:
+                    for sample in samples:
+                        bus.emit(
+                            "resource_sample",
+                            campaign=config.name,
+                            worker=sample["worker"],
+                            sample=sample,
+                        )
+                db.save_resource_samples(
+                    [
+                        ResourceSampleRecord(
+                            campaign_name=config.name,
+                            sample=sample,
+                            worker=sample["worker"],
+                        )
+                        for sample in samples
+                    ]
+                )
+                if tele.enabled:
+                    sampler.fold_into(tele.metrics)
             return CampaignResult(
                 campaign_name=config.name,
                 experiments_run=0,
@@ -388,6 +464,9 @@ class ParallelCampaignRunner:
                     else None
                 ),
                 prune=prune_plan.report() if prune_plan is not None else None,
+                resource_samples=(
+                    sampler.samples_taken if sampler is not None else None
+                ),
             )
 
         # Everything a worker needs on startup, derived exactly once:
@@ -440,6 +519,12 @@ class ParallelCampaignRunner:
                     tele.mode,
                     None,  # probes_payload — superseded by the descriptor
                     shared_descriptor,
+                    (
+                        algorithms.resource_config.to_dict()
+                        if algorithms.resource_config is not None
+                        else None
+                    ),
+                    algorithms.profile,
                 ),
                 daemon=True,
             )
@@ -475,6 +560,9 @@ class ParallelCampaignRunner:
         pending: list[ExperimentRecord] = []
         pending_spans: list[SpanRecord] = []
         pending_probes: list[ProbeRecord] = []
+        pending_resources: list[ResourceSampleRecord] = []
+        profile_payloads: list[dict] = []
+        resource_count = 0
         live = set(range(worker_count))
         dead_polls = dict.fromkeys(live, 0)
 
@@ -505,10 +593,11 @@ class ParallelCampaignRunner:
                 event_next += 1
 
         def flush_pending() -> None:
-            """Write the batched rows (and any relayed span records and
-            probe summaries), timing the write when telemetry is on."""
-            nonlocal pending, pending_spans, pending_probes
-            if not (pending or pending_spans or pending_probes):
+            """Write the batched rows (and any relayed span records,
+            probe summaries, and resource samples), timing the write
+            when telemetry is on."""
+            nonlocal pending, pending_spans, pending_probes, pending_resources
+            if not (pending or pending_spans or pending_probes or pending_resources):
                 return
             started = time.perf_counter()
             if pending:
@@ -517,6 +606,8 @@ class ParallelCampaignRunner:
                 db.save_spans(pending_spans)
             if pending_probes:
                 db.save_probes(pending_probes)
+            if pending_resources:
+                db.save_resource_samples(pending_resources)
             if tele.enabled:
                 elapsed = time.perf_counter() - started
                 metrics = tele.metrics
@@ -527,6 +618,31 @@ class ParallelCampaignRunner:
             pending = []
             pending_spans = []
             pending_probes = []
+            pending_resources = []
+
+        def ingest_samples(samples: list[dict]) -> None:
+            """Queue worker (or coordinator) resource samples for the
+            next flush, emitting their events on arrival — resource
+            timelines are wall-clock observations, so unlike experiment
+            events they have no deterministic plan order to restore."""
+            nonlocal resource_count
+            resource_count += len(samples)
+            if bus.enabled:
+                for sample in samples:
+                    bus.emit(
+                        "resource_sample",
+                        campaign=config.name,
+                        worker=sample["worker"],
+                        sample=sample,
+                    )
+            pending_resources.extend(
+                ResourceSampleRecord(
+                    campaign_name=config.name,
+                    sample=sample,
+                    worker=sample["worker"],
+                )
+                for sample in samples
+            )
 
         try:
             while live:
@@ -616,8 +732,12 @@ class ParallelCampaignRunner:
                         )
                         for probe in payload
                     )
+                elif kind == "resources":
+                    ingest_samples(payload)
                 elif kind == "metrics":
                     tele.metrics.merge(payload)
+                elif kind == "profile":
+                    profile_payloads.append(payload)
                 elif kind == "error":
                     logger.error("worker %d failed:\n%s", worker_id, payload)
                     failures.append(f"worker {worker_id} failed:\n{payload}")
@@ -656,6 +776,9 @@ class ParallelCampaignRunner:
             result_queue.close()
             if shared_handle is not None:
                 shared_handle.close()
+            if sampler is not None:
+                sampler.sample("finish")
+                ingest_samples(sampler.drain())
             try:
                 flush_pending()
             except Exception:
@@ -705,8 +828,18 @@ class ParallelCampaignRunner:
                 f"parallel campaign {config.name!r} aborted; "
                 + "; ".join(failures)
             )
+        profile_data = None
+        if profile_payloads:
+            profile_data = profile_summary(
+                merge_profile_stats(profile_payloads),
+                workers=len(profile_payloads),
+            )
+        if sampler is not None and tele.enabled:
+            sampler.fold_into(tele.metrics)
         snapshot = (
-            algorithms._finish_telemetry(config.name) if tele.enabled else None
+            algorithms._finish_telemetry(config.name, profile=profile_data)
+            if tele.enabled
+            else None
         )
         return CampaignResult(
             campaign_name=config.name,
@@ -716,4 +849,8 @@ class ParallelCampaignRunner:
             elapsed_seconds=progress.elapsed_seconds,
             telemetry=snapshot,
             prune=prune_plan.report() if prune_plan is not None else None,
+            profile=profile_data,
+            resource_samples=(
+                resource_count if algorithms.resource_config is not None else None
+            ),
         )

@@ -1,0 +1,115 @@
+"""Per-worker campaign profiling built on stdlib :mod:`cProfile`.
+
+``goofi run --profile`` wraps each worker's experiment loop in a
+:class:`cProfile.Profile`.  Workers ship their raw stats tables through
+the result queue; the coordinator merges them and reduces the merged
+table to a JSON-able top-N hotspot summary that is persisted alongside
+the campaign telemetry snapshot (under the ``profile`` key) and rendered
+by ``goofi stats --profile``.
+
+Profiling is purely observational — the deterministic fault plan never
+sees the profiler, so campaign rows are bit-identical profiled or not
+(asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import cProfile
+from pathlib import PurePath
+
+#: How many hotspots the persisted summary keeps (display may show fewer).
+PROFILE_SUMMARY_LIMIT = 50
+
+
+class ProfileCollector:
+    """One worker's profiler with a queue-shippable payload."""
+
+    __slots__ = ("_profile",)
+
+    def __init__(self) -> None:
+        self._profile = cProfile.Profile()
+
+    def start(self) -> None:
+        self._profile.enable()
+
+    def stop(self) -> None:
+        self._profile.disable()
+
+    def stats_payload(self) -> dict:
+        """Raw stats table: {(file, line, func): (cc, nc, tt, ct, callers)}.
+
+        Keys and values are plain tuples/ints/floats, so the payload
+        pickles cleanly through a multiprocessing queue.
+        """
+        self._profile.create_stats()
+        return dict(self._profile.stats)
+
+
+def merge_profile_stats(payloads: list[dict]) -> dict:
+    """Merge per-worker stats tables the way :meth:`pstats.Stats.add` does
+    (sum call counts and times per function; callers are dropped — the
+    hotspot summary never uses them)."""
+    merged: dict = {}
+    for payload in payloads:
+        for func, (cc, nc, tt, ct, _callers) in payload.items():
+            if func in merged:
+                occ, onc, ott, oct_, _ = merged[func]
+                merged[func] = (occ + cc, onc + nc, ott + tt, oct_ + ct, {})
+            else:
+                merged[func] = (cc, nc, tt, ct, {})
+    return merged
+
+
+def _func_label(func: tuple) -> str:
+    filename, lineno, name = func
+    if filename == "~":  # builtins have no file
+        return name
+    parts = PurePath(filename).parts
+    short = "/".join(parts[-2:]) if len(parts) > 1 else filename
+    return f"{short}:{lineno}({name})"
+
+
+def profile_summary(merged: dict, *, workers: int,
+                    limit: int = PROFILE_SUMMARY_LIMIT) -> dict:
+    """Reduce a merged stats table to the persisted JSON summary."""
+    ranked = sorted(merged.items(), key=lambda item: item[1][2], reverse=True)
+    hotspots = [
+        {
+            "function": _func_label(func),
+            "calls": nc,
+            "primitive_calls": cc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        }
+        for func, (cc, nc, tt, ct, _callers) in ranked[:limit]
+    ]
+    return {
+        "workers": workers,
+        "functions": len(merged),
+        "total_calls": sum(nc for (_cc, nc, _tt, _ct, _c) in merged.values()),
+        "total_tottime": round(
+            sum(tt for (_cc, _nc, tt, _ct, _c) in merged.values()), 6),
+        "hotspots": hotspots,
+    }
+
+
+def format_profile_report(campaign_name: str, summary: dict,
+                          top: int = 15) -> str:
+    """Render the ``goofi stats --profile`` hotspot table."""
+    lines = [
+        f"Profile: {campaign_name}",
+        f"  workers profiled : {summary.get('workers', 0)}",
+        f"  functions        : {summary.get('functions', 0)}",
+        f"  total calls      : {summary.get('total_calls', 0)}",
+        f"  total tottime    : {summary.get('total_tottime', 0.0):.3f}s",
+        "",
+        f"  {'tottime':>9}  {'cumtime':>9}  {'calls':>9}  function",
+    ]
+    for spot in summary.get("hotspots", [])[:top]:
+        lines.append(
+            f"  {spot['tottime']:>8.3f}s  {spot['cumtime']:>8.3f}s  "
+            f"{spot['calls']:>9}  {spot['function']}"
+        )
+    if not summary.get("hotspots"):
+        lines.append("  (no hotspots recorded)")
+    return "\n".join(lines)

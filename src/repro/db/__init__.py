@@ -1,8 +1,9 @@
 """GOOFI database layer: SQLite storage with the paper's three tables
 (``TargetSystemData``, ``CampaignData``, ``LoggedSystemState``) plus
 the v2 telemetry tables (``CampaignTelemetry``, ``ExperimentSpan``),
-the v3 propagation-probe table (``PropagationProbe``), and the v5
-cross-run history table (``CampaignHistory``)."""
+the v3 propagation-probe table (``PropagationProbe``), the v5
+cross-run history table (``CampaignHistory``), and the v6 resource
+accounting table (``ResourceSample``)."""
 
 from .database import DatabaseError, GoofiDatabase
 from .models import (
@@ -10,6 +11,7 @@ from .models import (
     ExperimentRecord,
     HistoryRecord,
     ProbeRecord,
+    ResourceSampleRecord,
     SpanRecord,
     TargetSystemRecord,
     utc_now,
@@ -24,6 +26,7 @@ __all__ = [
     "HistoryRecord",
     "ProbeRecord",
     "REFERENCE_EXPERIMENT",
+    "ResourceSampleRecord",
     "SCHEMA_VERSION",
     "SpanRecord",
     "TargetSystemRecord",

@@ -20,6 +20,7 @@ from .models import (
     ExperimentRecord,
     HistoryRecord,
     ProbeRecord,
+    ResourceSampleRecord,
     SpanRecord,
     TargetSystemRecord,
 )
@@ -274,6 +275,10 @@ class GoofiDatabase:
                 "DELETE FROM CampaignTelemetry WHERE campaignName = ?",
                 (campaign_name,),
             )
+            conn.execute(
+                "DELETE FROM ResourceSample WHERE campaignName = ?",
+                (campaign_name,),
+            )
             cur = conn.execute(
                 "DELETE FROM LoggedSystemState WHERE campaignName = ?",
                 (campaign_name,),
@@ -334,6 +339,10 @@ class GoofiDatabase:
             )
             conn.execute(
                 "DELETE FROM CampaignTelemetry WHERE campaignName = ?",
+                (campaign_name,),
+            )
+            conn.execute(
+                "DELETE FROM ResourceSample WHERE campaignName = ?",
                 (campaign_name,),
             )
             conn.execute(
@@ -450,6 +459,45 @@ class GoofiDatabase:
     def count_probes(self, campaign_name: str) -> int:
         cur = self._conn.execute(
             "SELECT COUNT(*) FROM PropagationProbe WHERE campaignName = ?",
+            (campaign_name,),
+        )
+        return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # ResourceSample
+    # ------------------------------------------------------------------
+    def save_resource_samples(self, records: list[ResourceSampleRecord]) -> None:
+        """Batch-append worker resource samples (one ``executemany`` per
+        campaign flush, like :meth:`save_spans`; samples are append-only
+        within a run — a fresh run of the campaign clears them via
+        :meth:`delete_campaign_experiments`)."""
+        if not records:
+            return
+        try:
+            with self.transaction() as conn:
+                conn.executemany(
+                    "INSERT INTO ResourceSample "
+                    "(campaignName, worker, sampleJson, createdAt) "
+                    "VALUES (?, ?, ?, ?)",
+                    [record.to_row() for record in records],
+                )
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(f"batch resource-sample insert failed: {exc}") from exc
+
+    def iter_resource_samples(
+        self, campaign_name: str
+    ) -> Iterator[ResourceSampleRecord]:
+        cur = self._conn.execute(
+            "SELECT sampleId, campaignName, worker, sampleJson, createdAt "
+            "FROM ResourceSample WHERE campaignName = ? ORDER BY sampleId",
+            (campaign_name,),
+        )
+        for row in cur:
+            yield ResourceSampleRecord.from_row(row)
+
+    def count_resource_samples(self, campaign_name: str) -> int:
+        cur = self._conn.execute(
+            "SELECT COUNT(*) FROM ResourceSample WHERE campaignName = ?",
             (campaign_name,),
         )
         return int(cur.fetchone()[0])

@@ -201,6 +201,41 @@ class HistoryRecord:
 
 
 @dataclass(slots=True)
+class ResourceSampleRecord:
+    """One row of ``ResourceSample``: a per-process CPU/RSS/shared-memory
+    reading taken by :class:`repro.core.resources.ResourceSampler` during
+    a resource-telemetry run.  ``sample`` is the backend-independent
+    record (see ``RESOURCE_SAMPLE_KEYS``); ``worker`` is denormalised out
+    of it for cheap per-worker queries (``-1`` marks the coordinator).
+    ``sample_id`` is assigned by the database on insert."""
+
+    campaign_name: str
+    sample: dict
+    worker: int = 0
+    sample_id: int | None = None
+    created_at: str = field(default_factory=utc_now)
+
+    def to_row(self) -> tuple:
+        return (
+            self.campaign_name,
+            self.worker,
+            json.dumps(self.sample, sort_keys=True),
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "ResourceSampleRecord":
+        sample_id, campaign, worker, sample_json, created = row
+        return cls(
+            campaign_name=campaign,
+            sample=json.loads(sample_json),
+            worker=worker,
+            sample_id=sample_id,
+            created_at=created,
+        )
+
+
+@dataclass(slots=True)
 class SpanRecord:
     """One row of ``ExperimentSpan``: the structured per-experiment
     telemetry record (phase timings, execution counters, outcome)

@@ -59,6 +59,15 @@ Version 5 adds the cross-run history table:
   ``CampaignData``: history must survive a campaign being deleted and
   re-set-up between runs — that is the very sequence trends compare.
 
+Version 6 adds the resource-accounting table:
+
+* ``ResourceSample`` — per-process CPU/RSS/shared-memory samples taken
+  on a cadence inside each worker (and at phase boundaries in the
+  coordinator) by :mod:`repro.core.resources` when a run enables
+  resource telemetry (``goofi run --resources``).  Append-only rows,
+  one JSON sample each; read back by the ``goofi stats`` Resources
+  section and the worker-timeline charts of ``goofi report``.
+
 Opening an older database migrates it in place: migrations are additive
 (``CREATE TABLE IF NOT EXISTS`` / ``ALTER TABLE ... ADD COLUMN`` with a
 default), so older data is untouched and keeps its meaning.
@@ -66,7 +75,7 @@ default), so older data is untouched and keeps its meaning.
 
 from __future__ import annotations
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 CREATE_TABLES = """
 CREATE TABLE IF NOT EXISTS SchemaInfo (
@@ -141,6 +150,17 @@ CREATE TABLE IF NOT EXISTS CampaignHistory (
 
 CREATE INDEX IF NOT EXISTS idx_history_campaign
     ON CampaignHistory(campaignName);
+
+CREATE TABLE IF NOT EXISTS ResourceSample (
+    sampleId     INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaignName TEXT NOT NULL REFERENCES CampaignData(campaignName),
+    worker       INTEGER NOT NULL DEFAULT 0,
+    sampleJson   TEXT NOT NULL,
+    createdAt    TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_resource_campaign
+    ON ResourceSample(campaignName);
 """
 
 #: Stepwise in-place migrations: ``MIGRATIONS[n]`` upgrades a version-n
@@ -190,6 +210,18 @@ CREATE TABLE IF NOT EXISTS CampaignHistory (
 
 CREATE INDEX IF NOT EXISTS idx_history_campaign
     ON CampaignHistory(campaignName);
+""",
+    5: """
+CREATE TABLE IF NOT EXISTS ResourceSample (
+    sampleId     INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaignName TEXT NOT NULL REFERENCES CampaignData(campaignName),
+    worker       INTEGER NOT NULL DEFAULT 0,
+    sampleJson   TEXT NOT NULL,
+    createdAt    TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_resource_campaign
+    ON ResourceSample(campaignName);
 """,
 }
 

@@ -146,6 +146,8 @@ class GoofiSession:
         prune=None,
         shared_state: bool = True,
         events=None,
+        resources=None,
+        profile: bool = False,
     ) -> CampaignResult:
         """Run a stored campaign.  ``workers > 1`` shards the experiment
         plan across that many processes (single-writer coordinator, see
@@ -168,6 +170,13 @@ class GoofiSession:
         streams versioned campaign lifecycle records (a destination
         string, sink list, or :class:`repro.core.events.EventBus`) for
         ``goofi watch`` and recording — see :mod:`repro.core.events`.
+        ``resources`` samples each worker's CPU/RSS/shared-memory
+        footprint into the ``ResourceSample`` table (``True``, a
+        sampling period in seconds, or a
+        :class:`repro.core.resources.ResourceConfig`) — see
+        :mod:`repro.core.resources`.  ``profile=True`` wraps each
+        worker's experiment loop in :mod:`cProfile` and persists the
+        aggregated hotspot summary for ``goofi stats --profile``.
         Logged rows are identical to the plain serial loop in all
         cases."""
         return self.algorithms.run_campaign(
@@ -182,6 +191,8 @@ class GoofiSession:
             prune=prune,
             shared_state=shared_state,
             events=events,
+            resources=resources,
+            profile=profile,
         )
 
     def stats(self, campaign_name: str) -> str:

@@ -248,6 +248,77 @@ class TestPersistence:
         )
         conn.close()
 
+    def test_full_chain_migration_v1_to_current(self, tmp_path):
+        """A v1 database (the paper's three tables only) walks the whole
+        migration chain in one ``connect``: every intermediate table and
+        column lands, and the v1 data keeps its meaning."""
+        from repro.db import HistoryRecord, ResourceSampleRecord, SpanRecord
+        from repro.db.models import ProbeRecord
+
+        path = tmp_path / "goofi.db"
+        with GoofiDatabase(path) as db:
+            seed_target(db)
+            seed_campaign(db)
+            db.save_experiment(make_experiment("c1/exp0"))
+        # Rewind the file to the v1 shape: drop everything the
+        # migrations added, newest addition first.
+        conn = sqlite3.connect(path)
+        for table in (
+            "ResourceSample",     # v6
+            "CampaignHistory",    # v5
+            "PropagationProbe",   # v3
+            "ExperimentSpan",     # v2
+            "CampaignTelemetry",  # v2
+        ):
+            conn.execute(f"DROP TABLE {table}")
+        conn.execute("ALTER TABLE LoggedSystemState DROP COLUMN pruned")  # v4
+        conn.execute("UPDATE SchemaInfo SET version = 1")
+        conn.commit()
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert not tables & {
+            "CampaignTelemetry", "ExperimentSpan", "PropagationProbe",
+            "CampaignHistory", "ResourceSample",
+        }
+        conn.close()
+
+        with GoofiDatabase(path) as db:
+            # v1 data survived, and the v4 column landed with its default.
+            assert db.load_experiment("c1/exp0").pruned is False
+            # Every versioned table is present *and usable* end to end.
+            db.save_campaign_telemetry("c1", {"counters": {"experiments": 1}})
+            assert db.load_campaign_telemetry("c1") == {
+                "counters": {"experiments": 1}
+            }
+            db.save_spans([SpanRecord("c1/exp0", "c1", {"phases": {}})])
+            assert db.count_spans("c1") == 1
+            db.save_probes([ProbeRecord("c1/exp0", "c1", {"probes": 0})])
+            assert db.count_probes("c1") == 1
+            db.save_history(HistoryRecord("c1", {"coverage": None}))
+            assert db.count_history("c1") == 1
+            db.save_resource_samples(
+                [ResourceSampleRecord("c1", {"rss_bytes": 1}, worker=2)]
+            )
+            samples = list(db.iter_resource_samples("c1"))
+            assert len(samples) == 1
+            assert samples[0].worker == 2
+
+        conn = sqlite3.connect(path)
+        assert (
+            conn.execute("SELECT version FROM SchemaInfo").fetchone()[0]
+            == SCHEMA_VERSION
+        )
+        columns = {
+            row[1]
+            for row in conn.execute("PRAGMA table_info(LoggedSystemState)")
+        }
+        assert "pruned" in columns
+        conn.close()
+
 
 class TestReplaceAndBulkDelete:
     def test_replace_experiment_overwrites(self, db):

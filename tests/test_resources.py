@@ -1,0 +1,618 @@
+"""Campaign observatory: worker resource telemetry, per-phase
+profiling, and the ``goofi report`` HTML dashboard.
+
+The load-bearing properties:
+
+* **Non-perturbation** — logged experiment rows are bit-identical with
+  resource sampling and profiling on or off, serial or parallel.
+* **One record shape** — both sampler backends (procfs, getrusage)
+  emit records with exactly :data:`RESOURCE_SAMPLE_KEYS`, and a
+  sampler with no working backend degrades to a no-op instead of
+  failing the campaign.
+* **Self-contained report** — ``goofi report`` emits one well-formed
+  HTML file with inline SVG only, skipping sections whose data source
+  was not recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from tests.conftest import make_campaign
+from repro import GoofiSession
+from repro.analysis import (
+    format_stats_report,
+    render_campaign_report,
+    render_index,
+    resource_summary,
+    stats_report,
+)
+from repro.cli.main import main as cli_main
+from repro.cli.watch import WatchModel, watch
+from repro.core import (
+    COORDINATOR_WORKER,
+    RESOURCE_SAMPLE_KEYS,
+    MetricsRegistry,
+    ProfileCollector,
+    ResourceConfig,
+    ResourceSampler,
+    format_profile_report,
+    merge_profile_stats,
+    profile_summary,
+    resolve_resources,
+)
+from repro.core.errors import ConfigurationError
+
+
+def rows_by_name(db, campaign: str) -> dict:
+    """Logged rows keyed by campaign-relative name, stripped of
+    ``createdAt`` and insertion order."""
+    return {
+        record.experiment_name.split("/", 1)[1]: (
+            record.experiment_data,
+            record.state_vector,
+            record.parent_experiment,
+        )
+        for record in db.iter_experiments(campaign)
+    }
+
+
+# ----------------------------------------------------------------------
+# Configuration knob
+# ----------------------------------------------------------------------
+class TestResourceConfig:
+    def test_resolve_off(self):
+        assert resolve_resources(None) is None
+        assert resolve_resources(False) is None
+
+    def test_resolve_forms(self):
+        assert resolve_resources(True) == ResourceConfig()
+        assert resolve_resources(0.5).period_seconds == 0.5
+        assert resolve_resources(2).period_seconds == 2.0
+        assert resolve_resources({"period_seconds": 1.5}).period_seconds == 1.5
+        config = ResourceConfig(period_seconds=3.0)
+        assert resolve_resources(config) is config
+
+    def test_bad_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            ResourceConfig(period_seconds=0)
+        with pytest.raises(ConfigurationError):
+            ResourceConfig(period_seconds=-1)
+        with pytest.raises(ConfigurationError):
+            resolve_resources("fast")
+        with pytest.raises(ConfigurationError):
+            resolve_resources({"cadence": 1})
+
+    def test_round_trips_through_dict(self):
+        config = ResourceConfig(period_seconds=0.125)
+        assert ResourceConfig.from_dict(config.to_dict()) == config
+
+
+# ----------------------------------------------------------------------
+# Sampler backends
+# ----------------------------------------------------------------------
+def write_fake_procfs(root, utime_ticks=110, stime_ticks=120,
+                      rss_pages=100, shared_pages=40):
+    """A minimal /proc/self — comm contains a space *and* a paren, the
+    cases the stat parser must survive."""
+    root.mkdir(parents=True, exist_ok=True)
+    # Fields after the comm: state ppid pgrp session tty tpgid flags
+    # minflt cminflt majflt cmajflt utime stime ... — utime/stime land
+    # at offsets 11/12 counted from the state field.
+    fields = ["R"] + [str(i) for i in range(30)]
+    fields[11] = str(utime_ticks)
+    fields[12] = str(stime_ticks)
+    (root / "stat").write_text(
+        "1234 (goofi ) wrk) " + " ".join(fields) + "\n"
+    )
+    (root / "statm").write_text(f"200 {rss_pages} {shared_pages} 1 0 50 0\n")
+    return root
+
+
+class TestResourceSampler:
+    def test_real_procfs_sample_shape(self):
+        sampler = ResourceSampler(worker=3)
+        assert sampler.available
+        record = sampler.sample(phase="setup")
+        assert record is not None
+        assert set(record) == set(RESOURCE_SAMPLE_KEYS)
+        assert record["worker"] == 3
+        assert record["phase"] == "setup"
+        assert record["rss_bytes"] > 0
+        assert record["cpu_user_seconds"] >= 0.0
+        if sampler.source == "procfs":
+            assert record["shm_bytes"] is not None
+
+    def test_fake_procfs_parses_awkward_comm(self, tmp_path):
+        root = write_fake_procfs(tmp_path / "proc")
+        sampler = ResourceSampler(proc_root=root)
+        assert sampler.source == "procfs"
+        record = sampler.sample()
+        ticks = sampler._ticks
+        page = sampler._page_size
+        assert record["cpu_user_seconds"] == pytest.approx(110 / ticks)
+        assert record["cpu_system_seconds"] == pytest.approx(120 / ticks)
+        assert record["rss_bytes"] == 100 * page
+        assert record["shm_bytes"] == 40 * page
+
+    def test_missing_procfs_falls_back_to_getrusage(self, tmp_path):
+        sampler = ResourceSampler(proc_root=tmp_path / "no-such-proc")
+        assert sampler.available
+        assert sampler.source == "getrusage"
+        record = sampler.sample(phase="x")
+        # Identical key set to the procfs backend — downstream consumers
+        # (table, events, report) never branch on the source.
+        assert set(record) == set(RESOURCE_SAMPLE_KEYS)
+        assert record["source"] == "getrusage"
+        assert record["shm_bytes"] is None
+        assert record["rss_bytes"] > 0
+
+    def test_procfs_vanishing_mid_run_degrades(self, tmp_path):
+        root = write_fake_procfs(tmp_path / "proc")
+        sampler = ResourceSampler(proc_root=root)
+        assert sampler.sample()["source"] == "procfs"
+        (root / "stat").unlink()
+        record = sampler.sample()
+        assert record is not None
+        assert record["source"] == "getrusage"
+        assert sampler.source == "getrusage"
+
+    def test_no_backend_is_a_noop(self, tmp_path, monkeypatch):
+        from repro.core import resources as resources_module
+
+        monkeypatch.setattr(resources_module, "_resource", None)
+        sampler = ResourceSampler(proc_root=tmp_path / "no-such-proc")
+        assert not sampler.available
+        assert sampler.source is None
+        assert sampler.sample() is None
+        assert sampler.maybe_sample() is None
+        assert sampler.drain() == []
+        assert sampler.samples_taken == 0
+
+    def test_cadence_and_drain(self, tmp_path):
+        root = write_fake_procfs(tmp_path / "proc")
+        sampler = ResourceSampler(
+            ResourceConfig(period_seconds=3600.0), proc_root=root
+        )
+        assert sampler.maybe_sample() is not None  # first call always fires
+        assert sampler.maybe_sample() is None      # within the period
+        sampler.sample("boundary")                 # explicit samples ignore it
+        drained = sampler.drain()
+        assert [r["seq"] for r in drained] == [0, 1]
+        assert sampler.pending == []
+        assert sampler.samples_taken == 2
+
+    def test_fold_into_aggregates_like_the_registry(self, tmp_path):
+        """Per-worker folds must aggregate correctly under the registry
+        merge semantics: CPU counters sum, footprint gauges max."""
+        a = ResourceSampler(
+            worker=0, proc_root=write_fake_procfs(tmp_path / "a")
+        )
+        b = ResourceSampler(
+            worker=1,
+            proc_root=write_fake_procfs(
+                tmp_path / "b", utime_ticks=300, rss_pages=500, shared_pages=5
+            ),
+        )
+        a.sample()
+        b.sample()
+        registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+        a.fold_into(registry_a)
+        b.fold_into(registry_b)
+        registry_a.merge(registry_b.snapshot())
+        snapshot = registry_a.snapshot()
+        page = a._page_size
+        assert snapshot["counters"]["resources.samples"] == 2
+        assert snapshot["counters"]["resources.cpu_user_seconds"] == (
+            pytest.approx((110 + 300) / a._ticks)
+        )
+        assert snapshot["gauges"]["resources.max_rss_bytes"] == 500 * page
+        assert snapshot["gauges"]["resources.max_shm_bytes"] == 40 * page
+
+    def test_fold_into_without_samples_is_silent(self):
+        registry = MetricsRegistry()
+        ResourceSampler().fold_into(registry)
+        assert registry.snapshot()["counters"] == {}
+
+
+# ----------------------------------------------------------------------
+# Profiling primitives
+# ----------------------------------------------------------------------
+def busy(n: int = 200) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestProfiling:
+    def collect(self) -> dict:
+        collector = ProfileCollector()
+        collector.start()
+        busy()
+        collector.stop()
+        return collector.stats_payload()
+
+    def test_collector_payload_is_picklable_stats(self):
+        import pickle
+
+        payload = self.collect()
+        assert payload
+        func, stat = next(iter(payload.items()))
+        assert isinstance(func, tuple) and len(func) == 3
+        assert len(stat) == 5
+        pickle.dumps(payload)  # must cross a multiprocessing queue
+
+    def test_merge_sums_across_workers(self):
+        payload = self.collect()
+        merged = merge_profile_stats([payload, payload])
+        key = next(
+            func for func in payload if func[2] == "busy"
+        )
+        assert merged[key][1] == 2 * payload[key][1]  # call counts add
+
+    def test_summary_and_report(self):
+        summary = profile_summary(
+            merge_profile_stats([self.collect()]), workers=1, limit=10
+        )
+        assert summary["workers"] == 1
+        assert 0 < len(summary["hotspots"]) <= 10
+        assert summary["functions"] >= len(summary["hotspots"])
+        spots = [spot["function"] for spot in summary["hotspots"]]
+        assert any("busy" in spot for spot in spots)
+        report = format_profile_report("camp", summary)
+        assert "Profile: camp" in report
+        assert "tottime" in report
+
+    def test_empty_summary_renders(self):
+        summary = profile_summary({}, workers=0)
+        assert summary["hotspots"] == []
+        assert "(no hotspots recorded)" in format_profile_report("c", summary)
+
+
+# ----------------------------------------------------------------------
+# Campaign integration
+# ----------------------------------------------------------------------
+class TestCampaignResources:
+    def test_serial_run_persists_samples(self, session):
+        make_campaign(session, "c", num_experiments=8, seed=21)
+        result = session.run_campaign(
+            "c", resources=0.001, telemetry="metrics"
+        )
+        count = session.db.count_resource_samples("c")
+        assert result.resource_samples == count > 0
+        samples = [r.sample for r in session.db.iter_resource_samples("c")]
+        assert all(set(s) == set(RESOURCE_SAMPLE_KEYS) for s in samples)
+        phases = {s["phase"] for s in samples}
+        assert {"reference", "plan", "finish"} <= phases
+        assert {s["worker"] for s in samples} == {0}
+        snapshot = session.db.load_campaign_telemetry("c")
+        assert snapshot["counters"]["resources.samples"] == count
+        assert snapshot["gauges"]["resources.max_rss_bytes"] > 0
+
+    def test_resources_work_without_telemetry(self, session):
+        make_campaign(session, "c", num_experiments=6, seed=22)
+        result = session.run_campaign("c", resources=True)
+        assert result.telemetry is None
+        assert result.resource_samples == session.db.count_resource_samples("c")
+        assert result.resource_samples > 0
+        # The stats surface renders from the sample table alone.
+        report = stats_report(session.db, "c")
+        assert "Resources" in report
+
+    def test_parallel_samples_every_process(self, session):
+        make_campaign(session, "c", num_experiments=12, seed=23)
+        result = session.run_campaign("c", workers=2, resources=0.001)
+        samples = [r.sample for r in session.db.iter_resource_samples("c")]
+        assert result.resource_samples == len(samples) > 0
+        workers = {s["worker"] for s in samples}
+        assert workers == {0, 1, COORDINATOR_WORKER}
+        phases = {s["phase"] for s in samples}
+        assert "worker_startup" in phases
+        assert "shard_end" in phases
+
+    def test_unavailable_sampler_never_fails_the_campaign(
+        self, session, monkeypatch
+    ):
+        monkeypatch.setattr(
+            ResourceSampler, "_probe_backend", lambda self: None
+        )
+        make_campaign(session, "c", num_experiments=6, seed=24)
+        result = session.run_campaign("c", resources=True)
+        assert result.experiments_run == 6
+        assert result.resource_samples == 0
+        assert session.db.count_resource_samples("c") == 0
+
+    def test_samples_stream_as_events(self, session, tmp_path):
+        path = tmp_path / "run.jsonl"
+        make_campaign(session, "c", num_experiments=6, seed=25)
+        session.run_campaign("c", resources=0.001, events=str(path))
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        samples = [r for r in records if r["kind"] == "resource_sample"]
+        assert len(samples) == session.db.count_resource_samples("c")
+        for record in samples:
+            assert record["campaign"] == "c"
+            assert set(record["sample"]) == set(RESOURCE_SAMPLE_KEYS)
+            assert record["worker"] == record["sample"]["worker"]
+
+    def test_deleting_a_campaign_removes_its_samples(self, session):
+        make_campaign(session, "c", num_experiments=6, seed=26)
+        session.run_campaign("c", resources=True)
+        assert session.db.count_resource_samples("c") > 0
+        session.db.delete_campaign("c")
+        assert session.db.count_resource_samples("c") == 0
+
+
+class TestCampaignProfile:
+    def test_profile_forces_a_snapshot(self, session):
+        make_campaign(session, "c", num_experiments=6, seed=31)
+        result = session.run_campaign("c", profile=True)
+        assert result.profile is not None
+        assert result.profile["workers"] == 1
+        assert result.profile["hotspots"]
+        # Profiling implies a metrics snapshot so the hotspots persist.
+        snapshot = session.db.load_campaign_telemetry("c")
+        assert snapshot["profile"]["hotspots"] == result.profile["hotspots"]
+
+    def test_parallel_profile_merges_workers(self, session):
+        make_campaign(session, "c", num_experiments=10, seed=32)
+        result = session.run_campaign("c", workers=2, profile=True)
+        assert result.profile["workers"] == 2
+        assert result.profile["total_calls"] > 0
+
+    def test_profile_off_leaves_snapshot_clean(self, session):
+        make_campaign(session, "c", num_experiments=6, seed=33)
+        session.run_campaign("c", telemetry="metrics")
+        assert "profile" not in session.db.load_campaign_telemetry("c")
+
+
+class TestNonPerturbation:
+    """Resource sampling and profiling observe a run without changing
+    it: logged rows are bit-identical on/off, serial and parallel."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_rows_bit_identical_with_observatory_on(self, session, workers):
+        make_campaign(session, "plain", num_experiments=10, seed=41)
+        make_campaign(session, "observed", num_experiments=10, seed=41)
+        session.run_campaign("plain", workers=workers)
+        session.run_campaign(
+            "observed",
+            workers=workers,
+            resources=0.001,
+            profile=True,
+            telemetry="metrics",
+        )
+        assert rows_by_name(session.db, "plain") == rows_by_name(
+            session.db, "observed"
+        )
+
+
+# ----------------------------------------------------------------------
+# Stats surface
+# ----------------------------------------------------------------------
+class TestResourceStats:
+    SAMPLES = [
+        {"worker": 0, "seq": 0, "source": "procfs", "phase": None,
+         "uptime_seconds": 0.1, "cpu_user_seconds": 1.0,
+         "cpu_system_seconds": 0.25, "rss_bytes": 1000, "shm_bytes": 100},
+        {"worker": 0, "seq": 1, "source": "procfs", "phase": "finish",
+         "uptime_seconds": 0.2, "cpu_user_seconds": 2.0,
+         "cpu_system_seconds": 0.5, "rss_bytes": 3000, "shm_bytes": 50},
+        {"worker": 1, "seq": 0, "source": "getrusage", "phase": None,
+         "uptime_seconds": 0.1, "cpu_user_seconds": 3.0,
+         "cpu_system_seconds": 0.5, "rss_bytes": 2000, "shm_bytes": None},
+    ]
+
+    def test_summary_math(self):
+        folded = resource_summary(self.SAMPLES)
+        assert folded["samples"] == 3
+        # CPU readings are cumulative per process: a worker's total is
+        # its *last* sample, the campaign total the sum over workers.
+        assert folded["cpu_user_seconds"] == 5.0
+        assert folded["cpu_system_seconds"] == 1.0
+        assert folded["peak_rss_bytes"] == 3000
+        assert folded["peak_shm_bytes"] == 100
+        assert folded["workers"][1]["peak_shm_bytes"] is None
+        assert folded["workers"][0]["samples"] == 2
+
+    def test_report_section(self):
+        report = format_stats_report("c", {}, resources=self.SAMPLES)
+        assert "Resources (3 samples)" in report
+        assert "worker 0" in report and "worker 1" in report
+        assert "[procfs]" in report and "[getrusage]" in report
+        assert "total cpu" in report
+
+    def test_section_absent_without_samples(self):
+        assert "Resources" not in format_stats_report("c", {})
+
+    def test_cli_stats_profile(self, session, tmp_path, capsys):
+        db_path = str(tmp_path / "g.db")
+        with GoofiSession(db_path) as file_session:
+            make_campaign(file_session, "c", num_experiments=6, seed=51)
+            file_session.run_campaign("c", profile=True)
+        assert cli_main(["stats", "c", "--db", db_path, "--profile"]) == 0
+        assert "Profile: c" in capsys.readouterr().out
+
+    def test_cli_stats_profile_missing(self, session, tmp_path, capsys):
+        db_path = str(tmp_path / "g.db")
+        with GoofiSession(db_path) as file_session:
+            make_campaign(file_session, "c", num_experiments=4, seed=52)
+            file_session.run_campaign("c", telemetry="metrics")
+        assert cli_main(["stats", "c", "--db", db_path, "--profile"]) == 1
+        assert "recorded no profile" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# HTML report
+# ----------------------------------------------------------------------
+class _HtmlCheck(HTMLParser):
+    """Well-formedness checker: balanced non-void tags, collected ids."""
+
+    VOID = {"meta", "br", "hr", "img", "link", "input",
+            "rect", "circle", "polyline", "path", "line"}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stack: list[str] = []
+        self.ids: list[str] = []
+        self.svgs = 0
+        self.errors: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag in self.VOID:
+            return
+        self.stack.append(tag)
+        if tag == "svg":
+            self.svgs += 1
+        for key, value in attrs:
+            if key == "id":
+                self.ids.append(value)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}>")
+        else:
+            self.stack.pop()
+
+
+def check_html(text: str) -> _HtmlCheck:
+    checker = _HtmlCheck()
+    checker.feed(text)
+    checker.close()
+    assert not checker.errors, checker.errors
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+    return checker
+
+
+def observed_campaign(session, name: str = "c", seed: int = 61):
+    """A campaign run with every observability layer on, plus recorded
+    history — the report's richest input."""
+    from repro.analysis import record_run, run_summary
+
+    make_campaign(
+        session,
+        name,
+        num_experiments=12,
+        seed=seed,
+        locations=("internal:regs.*", "internal:icache.line*.data"),
+    )
+    session.run_campaign(
+        name, telemetry="metrics", probes=True, resources=0.001, profile=True
+    )
+    for _ in range(2):
+        record_run(session.db, name, run_summary(session.db, name))
+
+
+class TestHtmlReport:
+    def test_full_report_sections(self, session):
+        observed_campaign(session)
+        text = render_campaign_report(session.db, "c")
+        checker = check_html(text)
+        assert {"overview", "coverage", "infection", "phases",
+                "resources", "trends", "profile"} <= set(checker.ids)
+        assert checker.svgs > 0
+        # Self-contained: no external fetches of any kind.
+        body = text.split("</title>", 1)[1]
+        for marker in ("http://", "https://", "src=", "<script", "@import"):
+            assert marker not in body
+
+    def test_sections_without_data_are_skipped(self, session):
+        make_campaign(session, "bare", num_experiments=6, seed=62)
+        session.run_campaign("bare")  # no telemetry/probes/resources
+        text = render_campaign_report(session.db, "bare")
+        checker = check_html(text)
+        assert "overview" in checker.ids
+        for absent in ("phases", "resources", "trends", "profile",
+                       "infection"):
+            assert absent not in checker.ids
+        assert "omitted" in text
+
+    def test_unknown_campaign_fails_loudly(self, session):
+        from repro.db import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            render_campaign_report(session.db, "ghost")
+
+    def test_index_lists_campaigns(self, session):
+        make_campaign(session, "one", num_experiments=4, seed=63)
+        session.run_campaign("one")
+        make_campaign(session, "two", num_experiments=4, seed=64)
+        text = render_index(session.db)
+        check_html(text)
+        assert 'href="one.html"' in text
+        assert 'href="two.html"' in text
+
+    def test_empty_index_renders(self, session):
+        text = render_index(session.db)
+        check_html(text)
+        assert "No campaigns" in text
+
+    def test_cli_report_roundtrip(self, tmp_path, capsys):
+        db_path = str(tmp_path / "g.db")
+        with GoofiSession(db_path) as file_session:
+            observed_campaign(file_session, seed=65)
+        out = tmp_path / "c.html"
+        assert cli_main(["report", "c", "--db", db_path,
+                         "--out", str(out)]) == 0
+        assert "wrote report" in capsys.readouterr().out
+        checker = check_html(out.read_text())
+        assert "resources" in checker.ids
+        index = tmp_path / "index.html"
+        assert cli_main(["report", "--db", db_path,
+                         "--out", str(index)]) == 0
+        assert 'href="c.html"' in index.read_text()
+
+
+# ----------------------------------------------------------------------
+# goofi watch forward-compatibility
+# ----------------------------------------------------------------------
+class TestWatchForwardCompat:
+    def test_resource_samples_are_counted(self):
+        model = WatchModel()
+        model.consume({"v": 1, "seq": 1, "kind": "resource_sample",
+                       "campaign": "c", "worker": 0, "sample": {}})
+        assert model.resource_samples == 1
+        assert not model.unknown_kinds
+        assert "resource samples: 1" in model.summary()
+
+    def test_unknown_kinds_are_skipped_and_counted(self):
+        model = WatchModel()
+        model.consume({"v": 1, "seq": 1, "kind": "campaign_started",
+                       "campaign": "c", "total": 2, "workers": 1})
+        model.consume({"v": 1, "seq": 2, "kind": "flux_capacitor",
+                       "charge": 1.21})
+        model.consume({"v": 1, "seq": 3, "kind": "flux_capacitor"})
+        model.consume({"v": 1, "seq": 4, "kind": "campaign_finished",
+                       "campaign": "c"})
+        assert model.unknown_kinds == {"flux_capacitor": 2}
+        assert model.finished
+        summary = model.summary()
+        assert "unrecognized kinds skipped: flux_capacitor (2)" in summary
+
+    def test_replay_of_doctored_stream(self, session, tmp_path, capsys):
+        """A stream recorded by a *newer* goofi (extra event kinds) must
+        replay cleanly: unknown kinds are skipped, counted, and named in
+        the summary — never a crash, never silent."""
+        path = tmp_path / "run.jsonl"
+        make_campaign(session, "c", num_experiments=4, seed=71)
+        session.run_campaign("c", events=str(path), resources=0.001)
+        lines = path.read_text().splitlines()
+        # Splice two future-kind records into the middle of the stream.
+        doctored = (
+            lines[:2]
+            + ['{"v": 1, "seq": 9001, "kind": "quantum_flux", "x": 1}',
+               '{"v": 1, "seq": 9002, "kind": "quantum_flux", "x": 2}']
+            + lines[2:]
+        )
+        path.write_text("\n".join(doctored) + "\n")
+        model = watch(str(path), replay=True, once=True)
+        capsys.readouterr()
+        assert model.unknown_kinds == {"quantum_flux": 2}
+        assert model.resource_samples > 0
+        assert model.completed == 4
+        assert "unrecognized kinds skipped: quantum_flux (2)" in model.summary()
